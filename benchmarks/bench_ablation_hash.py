@@ -1,0 +1,104 @@
+"""A-HASH — §3.1 ablation: call-site-primary vs callee-primary hashing.
+
+The paper chose the call site as the primary key because "each call
+site typically calls only one callee", so lookups are "usually one"
+probe; it explicitly rejects the callee-primary alternative as having
+"longer lookups in the monitoring routine".
+
+This ablation runs both organizations on identical call streams:
+
+* on a fan-in workload (a popular routine called from many sites —
+  the paper's motivating program shape) the callee-keyed table's probe
+  count grows with the routine's popularity while the site-keyed one
+  stays at 1.0;
+* both condense to identical arc records, so the choice is purely a
+  run-time-cost question — exactly how §3.1 frames it.
+"""
+
+import random
+
+from repro.machine.mcount import ArcTable, CalleeKeyedArcTable
+
+from benchmarks.conftest import report
+
+
+def fan_in_stream(sites: int = 60, calls_per_site: int = 40, seed: int = 3):
+    """Call events: many distinct sites all calling one popular callee,
+    plus a sprinkle of private helpers (one site each)."""
+    rng = random.Random(seed)
+    events = []
+    popular = 8
+    for site in range(sites):
+        for _ in range(calls_per_site):
+            events.append((1000 + 4 * site, popular))
+    for site in range(sites):
+        events.append((5000 + 4 * site, 2000 + 8 * site))
+    rng.shuffle(events)
+    return events
+
+
+def run_table(table, events):
+    cost = 0
+    for from_pc, self_pc in events:
+        cost += table.record(from_pc, self_pc)
+    return cost
+
+
+def test_probe_counts(benchmark):
+    events = fan_in_stream()
+    site_keyed = ArcTable()
+    callee_keyed = CalleeKeyedArcTable()
+    site_cost = run_table(site_keyed, events)
+    callee_cost = run_table(callee_keyed, events)
+    rows = [
+        ("mean probes", f"{site_keyed.stats.mean_probes:.2f}",
+         f"{callee_keyed.stats.mean_probes:.2f}"),
+        ("colliding lookups", site_keyed.stats.collisions,
+         callee_keyed.stats.collisions),
+        ("simulated cycles", site_cost, callee_cost),
+    ]
+    report(
+        "Arc-table ablation on a fan-in workload (60 sites -> 1 routine)",
+        rows,
+        header=("metric", "site-keyed", "callee-keyed"),
+    )
+    benchmark(lambda: run_table(ArcTable(), events))
+    # the paper's choice: one probe per ordinary lookup…
+    assert site_keyed.stats.mean_probes == 1.0
+    # …the alternative: probes grow with the callee's popularity.
+    assert callee_keyed.stats.mean_probes > 5.0
+    assert callee_cost > site_cost
+
+
+def test_identical_condensed_output(benchmark):
+    events = fan_in_stream(seed=11)
+    site_keyed = ArcTable()
+    callee_keyed = CalleeKeyedArcTable()
+    run_table(site_keyed, events)
+    run_table(callee_keyed, events)
+    assert site_keyed.arcs() == callee_keyed.arcs()
+    report(
+        "Both organizations condense to the same arc records",
+        [("distinct arcs", len(site_keyed))],
+    )
+    benchmark(lambda: run_table(CalleeKeyedArcTable(), events))
+
+
+def test_functional_parameter_case_reverses(benchmark):
+    """Fairness check: for one CALLI site spraying many callees, the
+    trade reverses — the callee-keyed table wins there.  The paper
+    still prefers site-keying because such sites are rare."""
+    events = [(4, 100 * (i % 12)) for i in range(4000)]
+    site_keyed = ArcTable()
+    callee_keyed = CalleeKeyedArcTable()
+    run_table(site_keyed, events)
+    run_table(callee_keyed, events)
+    report(
+        "One CALLI site, 12 destinations",
+        [
+            ("site-keyed probes", f"{site_keyed.stats.mean_probes:.2f}"),
+            ("callee-keyed probes", f"{callee_keyed.stats.mean_probes:.2f}"),
+        ],
+    )
+    benchmark(lambda: run_table(ArcTable(), events))
+    assert callee_keyed.stats.mean_probes < site_keyed.stats.mean_probes

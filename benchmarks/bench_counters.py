@@ -1,0 +1,80 @@
+"""T-COUNTERS — §3: inline counters vs the monitoring routine.
+
+"The counter increment overhead is low, and is suitable for profiling
+statements.  A call of the monitoring routine has an overhead
+comparable with a call of a regular routine, and is therefore only
+suited to profiling on a routine by routine basis."
+
+Shape reproduced, per workload:
+
+* block-counter instrumentation costs a small fraction of mcount
+  instrumentation (an increment vs a simulated routine call + hash
+  lookup);
+* the counts themselves are *exact* (fib's recursion block runs
+  exactly F-number times), where sampling is statistical;
+* what counters cannot do — say where *time* went — is exactly why the
+  monitoring routine exists: the two instruments answer different
+  questions (§2).
+"""
+
+import pytest
+
+from repro.machine import CPU, assemble, block_counts, run_profiled, run_unprofiled
+from repro.machine.programs import PROGRAMS, fib
+
+from benchmarks.conftest import report
+
+
+def overheads(name: str) -> tuple[float, float]:
+    """(counter overhead, mcount overhead) for one canned program."""
+    src = PROGRAMS[name]()
+    plain = run_unprofiled(src).cycles
+    counted = CPU(assemble(src, count_blocks=True)).run().cycles
+    profiled = run_profiled(src)[0].cycles
+    return (counted - plain) / plain, (profiled - plain) / plain
+
+
+def test_counters_cheaper_than_mcount(benchmark):
+    rows = []
+    for name in ("fib", "abstraction", "codegen", "call_heavy", "netcycle"):
+        c, m = overheads(name)
+        rows.append((name, f"{100 * c:.1f}%", f"{100 * m:.1f}%"))
+        assert c < m, name
+    report(
+        "Instrumentation overhead: inline counters vs monitoring routine",
+        rows,
+        header=("program", "counters", "mcount"),
+    )
+    benchmark(lambda: overheads("fib"))
+
+
+def test_counts_are_exact(benchmark):
+    def run_counted():
+        cpu = CPU(assemble(fib(12), count_blocks=True))
+        cpu.run()
+        return cpu
+
+    cpu = benchmark(run_counted)
+    counts = {c.name: c.count for c in block_counts(cpu)}
+    # fib(n) makes 2*F(n+1)-1 calls; F(13)=233 → 465 entries.
+    assert counts["fib.entry"] == 465
+    assert counts["main.entry"] == 1
+    # the recurse block runs once per internal node: entries - leaves.
+    assert counts["fib.recurse"] == 465 - 233
+    report(
+        "Exact block counts for fib(12)",
+        sorted(counts.items()),
+        header=("block", "count"),
+    )
+
+
+def test_counting_preserves_behaviour(benchmark):
+    def check():
+        for name, builder in PROGRAMS.items():
+            src = builder()
+            plain = run_unprofiled(src)
+            counted = CPU(assemble(src, count_blocks=True)).run()
+            assert counted.output == plain.output, name
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

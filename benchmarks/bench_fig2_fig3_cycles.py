@@ -1,0 +1,42 @@
+"""FIG2/FIG3 — Figures 2-3: mutual recursion collapsed and renumbered.
+
+Figure 2 adds mutual recursion between two nodes of Figure 1's graph;
+Figure 3 shows the numbering after the strongly-connected component is
+collapsed.  The benchmark measures the combined discover-and-number
+pass on that graph.
+"""
+
+from repro.core.cycles import (
+    condensation_arcs,
+    number_graph,
+    verify_topological,
+)
+
+from benchmarks.conftest import report
+from tests.helpers import graph_from_edges
+from tests.test_figures import FIG2_EDGES
+
+
+def test_fig2_fig3_cycle_collapse(benchmark):
+    graph = graph_from_edges(*FIG2_EDGES)
+    numbered = benchmark(number_graph, graph)
+    verify_topological(numbered)
+    assert len(numbered.cycles) == 1
+    cycle = numbered.cycles[0]
+    assert set(cycle.members) == {"n3", "n7"}
+    # Figure 3: nine numbered positions remain after the collapse.
+    assert len(numbered.topo_order) == 9
+    rows = [
+        (name, numbered.topo_number[name], ",".join(numbered.members_of(name)))
+        for name in sorted(
+            numbered.topo_order, key=lambda n: -numbered.topo_number[n]
+        )
+    ]
+    report(
+        "Figures 2-3: numbering after collapsing cycle {n3,n7}",
+        rows,
+        header=("node", "number", "members"),
+    )
+    arcs = condensation_arcs(numbered)
+    for (src, dst) in arcs:
+        assert numbered.topo_number[src] > numbered.topo_number[dst]

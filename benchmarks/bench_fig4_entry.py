@@ -1,0 +1,64 @@
+"""FIG4 — Figure 4: the profile entry for EXAMPLE, regenerated.
+
+Reconstructs the exact workload behind every number in the paper's
+Figure 4 (see tests/test_figure4.py for the derivation), runs the full
+analysis pipeline on it (the benchmarked operation), and prints the
+entry next to the paper's values.
+"""
+
+import pytest
+
+from repro.core import AnalysisOptions, analyze
+from repro.report import format_entry
+
+from benchmarks.conftest import report
+from tests.test_figure4 import NAMES, figure4_profile
+from tests.helpers import make_symbols, profile_data
+
+
+def test_fig4_example_entry(benchmark):
+    profile = benchmark(figure4_profile)
+    entry = profile.entry("EXAMPLE")
+    paper = {
+        "%time": 41.5,
+        "self": 0.50,
+        "descendants": 3.00,
+        "called": "10+4",
+        "CALLER1": (0.20, 1.20, "4/10"),
+        "CALLER2": (0.30, 1.80, "6/10"),
+        "SUB1<cycle1>": (1.50, 1.00, "20/40"),
+        "SUB2": (0.00, 0.50, "1/5"),
+        "SUB3": (0.00, 0.00, "0/5"),
+    }
+    parents = {p.name: p for p in entry.parents}
+    children = {c.name: c for c in entry.children}
+    rows = [
+        ("%time", paper["%time"], round(entry.percent, 1)),
+        ("self", paper["self"], round(entry.self_seconds, 2)),
+        ("descendants", paper["descendants"], round(entry.child_seconds, 2)),
+        ("called", paper["called"], f"{entry.ncalls}+{entry.self_calls}"),
+    ]
+    for name, key in (("CALLER1", "CALLER1"), ("CALLER2", "CALLER2"),
+                      ("SUB1", "SUB1<cycle1>"), ("SUB2", "SUB2"),
+                      ("SUB3", "SUB3")):
+        line = parents.get(name) or children.get(name)
+        want = paper[key]
+        rows.append(
+            (
+                key,
+                f"{want[0]:.2f}/{want[1]:.2f} {want[2]}",
+                f"{line.self_share:.2f}/{line.child_share:.2f} "
+                f"{line.count}/{line.total}",
+            )
+        )
+    report("Figure 4: EXAMPLE entry, paper vs measured",
+           rows, header=("field", "paper", "measured"))
+    print()
+    print(format_entry(profile, "EXAMPLE"))
+
+    assert entry.percent == pytest.approx(41.5, abs=0.05)
+    assert entry.self_seconds == pytest.approx(0.50)
+    assert entry.child_seconds == pytest.approx(3.00)
+    assert (entry.ncalls, entry.self_calls) == (10, 4)
+    assert parents["CALLER1"].self_share == pytest.approx(0.20)
+    assert children["SUB1"].child_share == pytest.approx(1.00)

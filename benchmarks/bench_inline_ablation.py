@@ -1,0 +1,111 @@
+"""A-INLINE — §6 ablation: inline expansion vs profile granularity.
+
+"The easiest optimization ... If this format routine is expanded
+inline in the output routine, the overhead of a function call and
+return can be saved for each datum that needs to be formatted.  The
+drawback to inline expansion is that ... the profiling will also
+become less useful since the loss of routines will make its output
+more granular."
+
+The Rel compiler's ``-O2`` performs exactly that expansion, so both
+sides of the trade are measurable on the same program:
+
+* cycles saved per inlined call (the benefit);
+* routines visible in the profile before and after (the cost — the
+  abstraction's time is no longer separable).
+"""
+
+import pytest
+
+from repro.core import analyze
+from repro.lang import compile_source
+from repro.machine import CPU, Monitor, MonitorConfig
+
+from benchmarks.conftest import report
+
+#: A formatting-flavoured workload with an inlinable helper, echoing
+#: the §6 example (format expanded into output).
+SRC = """
+func scale(v) { return v * 10 + 7; }
+func emit(v) {
+    burn 6;
+    print scale(v);
+    return v;
+}
+func main() {
+    i = 0;
+    while (i < 80) {
+        emit(i);
+        i = i + 1;
+    }
+}
+"""
+
+
+def run_level(level: int):
+    exe = compile_source(SRC, name=f"O{level}", profile=True,
+                         optimize_level=level)
+    monitor = Monitor(MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=10))
+    cpu = CPU(exe, monitor)
+    cpu.run()
+    profile = analyze(monitor.mcleanup(), exe.symbol_table())
+    return cpu, profile
+
+
+def test_inline_saves_cycles_but_loses_routines(benchmark):
+    rows = []
+    results = {}
+    for level in (0, 1, 2):
+        cpu, profile = run_level(level)
+        visible = [
+            e.name for e in profile.graph_entries if not e.is_cycle
+        ]
+        results[level] = (cpu.cycles, visible, profile)
+        rows.append(
+            (f"-O{level}", cpu.cycles, len(visible),
+             "yes" if "scale" in visible else "no")
+        )
+    report(
+        "Inline ablation: speed gained, profile insight lost",
+        rows,
+        header=("level", "cycles", "routines", "scale visible"),
+    )
+    benchmark(lambda: run_level(2))
+    cycles0, visible0, prof0 = results[0]
+    cycles2, visible2, prof2 = results[2]
+    # the benefit: each of the 80 calls' linkage overhead is gone
+    assert cycles2 < cycles0
+    # the §6 drawback: the scale abstraction vanished from the profile
+    assert "scale" in visible0
+    assert "scale" not in visible2
+    # and its cost became indistinguishable inside emit's self *share*
+    share0 = prof0.entry("emit").self_seconds / prof0.total_seconds
+    share2 = prof2.entry("emit").self_seconds / prof2.total_seconds
+    assert share2 > share0 + 0.1
+
+
+def test_output_identical_across_levels(benchmark):
+    outputs = {}
+    for level in (0, 1, 2):
+        cpu, _ = run_level(level)
+        outputs[level] = cpu.output
+    assert outputs[0] == outputs[1] == outputs[2]
+    benchmark(lambda: run_level(0))
+
+
+def test_per_call_saving_matches_linkage_cost(benchmark):
+    """The saving is exactly the call/return/prologue linkage of the
+    inlined routine, per call — nothing more, nothing less."""
+    cpu0, _ = run_level(0)
+    cpu2, _ = run_level(2)
+    saved = cpu0.cycles - cpu2.cycles
+    calls = 80
+    per_call = saved / calls
+    report(
+        "Per-call saving from inlining 'scale'",
+        [("total cycles saved", saved), ("per call", f"{per_call:.1f}")],
+    )
+    benchmark(lambda: run_level(2))
+    # CALL(4) + RET(3) + MCOUNT(~6) + argument STORE/LOAD shuffling:
+    # the saving sits in the 8-20 cycle band per call.
+    assert 8 <= per_call <= 20

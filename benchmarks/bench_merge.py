@@ -1,0 +1,113 @@
+"""T-MERGE — §3 / retrospective: summing profiles over several runs.
+
+"the profile data for several executions of a program can be combined
+by the post-processing to provide a profile of many executions"; the
+retrospective adds the motive: "to accumulate enough time in
+short-running methods to get an idea of their performance."
+
+Shape reproduced:
+
+* one short run of a fast routine gathers zero or near-zero samples —
+  its time is invisible;
+* summing N short runs recovers a usable estimate that converges to a
+  long run's per-call figure;
+* the gmon file round-trip preserves the sum exactly.
+
+The benchmarked operation is merging 20 profiles.
+"""
+
+import pytest
+
+from repro.core import analyze, merge_profiles
+from repro.gmon import read_gmon, write_gmon
+from repro.machine import assemble, run_profiled
+
+from benchmarks.conftest import report
+
+#: A very short-running program: one call to a small routine.
+SHORT = """
+.func main
+    CALL quick
+    HALT
+.end
+
+.func quick
+    WORK 37
+    RET
+.end
+"""
+
+
+def short_run():
+    return run_profiled(SHORT, name="short", cycles_per_tick=25)[1]
+
+
+def test_accumulation_recovers_short_routines(benchmark):
+    symbols = assemble(SHORT, profile=True).symbol_table()
+    single = short_run()
+    runs = [short_run() for _ in range(20)]
+    merged = benchmark(merge_profiles, runs)
+    single_profile = analyze(single, symbols)
+    merged_profile = analyze(merged, symbols)
+    single_quick = single_profile.entry("quick")
+    merged_quick = merged_profile.entry("quick")
+    report(
+        "Short-running routine, one run vs twenty summed",
+        [
+            ("runs", 1, merged.runs),
+            ("total ticks", single.total_ticks, merged.total_ticks),
+            ("quick calls", single_quick.ncalls, merged_quick.ncalls),
+            ("quick self", f"{single_quick.self_seconds:.3f}s",
+             f"{merged_quick.self_seconds:.3f}s"),
+        ],
+        header=("metric", "1 run", "20 runs"),
+    )
+    assert merged.runs == 20
+    assert merged_quick.ncalls == 20
+    assert merged.total_ticks == pytest.approx(20 * single.total_ticks, abs=20)
+    # the merged profile accumulates measurable time for 'quick'
+    assert merged_quick.self_seconds > single_quick.self_seconds
+
+
+def test_merge_equals_long_run_distribution(benchmark):
+    """Summed short runs and one long run agree on the time split."""
+    from repro.machine.programs import abstraction
+
+    # A prime tick period decorrelates the deterministic simulator's
+    # sampling phase from the loop period (aliasing would otherwise
+    # repeat the same quantization bias in every short run).
+    src = abstraction(iterations=8)
+    symbols = assemble(src, profile=True).symbol_table()
+    shorts = [
+        run_profiled(src, name="short", cycles_per_tick=11)[1]
+        for _ in range(10)
+    ]
+    merged = benchmark(merge_profiles, shorts)
+    long_data = run_profiled(
+        abstraction(iterations=80), name="long", cycles_per_tick=11
+    )[1]
+    merged_profile = analyze(merged, symbols)
+    long_profile = analyze(long_data, symbols)
+    rows = []
+    for name in ("write", "format1", "format2"):
+        m = merged_profile.entry(name).percent
+        l = long_profile.entry(name).percent
+        rows.append((name, f"{m:.1f}%", f"{l:.1f}%"))
+        assert m == pytest.approx(l, abs=3.0)
+    report("Time split: 10 short runs summed vs 1 long run",
+           rows, header=("routine", "merged", "long run"))
+
+
+def test_gmon_sum_file_roundtrip(benchmark, tmp_path):
+    runs = [short_run() for _ in range(5)]
+    merged = merge_profiles(runs)
+    path = tmp_path / "gmon.sum"
+
+    def roundtrip():
+        write_gmon(merged, path)
+        return read_gmon(path)
+
+    back = benchmark(roundtrip)
+    assert back.runs == merged.runs
+    assert back.total_ticks == merged.total_ticks
+    assert back.condensed_arcs() == merged.condensed_arcs()

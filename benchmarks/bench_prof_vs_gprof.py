@@ -1,0 +1,85 @@
+"""T-PROFVSGPROF — §1-2: why a call graph profiler at all.
+
+The motivating workload: calculations funnel work through shared
+formatting abstractions.  prof (the baseline) shows the abstraction's
+routines with middling self times and cannot say who is responsible;
+gprof charges the cost to the calculations that caused it.
+
+Shape to reproduce:
+
+* under prof, no calc routine appears expensive (<~15% each) while the
+  formatting trio collectively dominates;
+* under gprof, every calc entry's inherited time exceeds its self time
+  and the three calcs together account for most of the program;
+* both tools agree exactly on self time (same histogram), so the
+  difference is pure attribution.
+"""
+
+import pytest
+
+from repro.baseline import prof_analyze
+from repro.core import analyze
+from repro.machine import assemble, run_profiled
+from repro.machine.programs import abstraction
+
+from benchmarks.conftest import report
+
+
+@pytest.fixture(scope="module")
+def workload():
+    src = abstraction(iterations=80)
+    cpu, data = run_profiled(src, name="abstraction")
+    symbols = assemble(src, profile=True).symbol_table()
+    return data, symbols
+
+
+def test_prof_view_is_diffuse(benchmark, workload):
+    data, symbols = workload
+    rows_list = benchmark(prof_analyze, data, symbols)
+    rows = {r.name: r for r in rows_list}
+    table = [
+        (name, f"{rows[name].percent:.1f}%", rows[name].calls)
+        for name in ("calc1", "calc2", "calc3", "format1", "format2", "write")
+    ]
+    report("prof (baseline): flat view of the abstraction workload",
+           table, header=("routine", "%time", "calls"))
+    for calc in ("calc1", "calc2", "calc3"):
+        assert rows[calc].percent < 15.0
+    fmt_total = sum(rows[n].percent for n in ("format1", "format2", "write"))
+    assert fmt_total > 60.0
+
+
+def test_gprof_view_reattributes(benchmark, workload):
+    data, symbols = workload
+    profile = benchmark(analyze, data, symbols)
+    table = [
+        (
+            name,
+            f"{profile.entry(name).percent:.1f}%",
+            f"{profile.entry(name).self_seconds:.2f}",
+            f"{profile.entry(name).child_seconds:.2f}",
+        )
+        for name in ("calc1", "calc2", "calc3", "format1", "format2", "write")
+    ]
+    report("gprof: call-graph view of the same data",
+           table, header=("routine", "%time", "self", "inherited"))
+    calc_total = sum(
+        profile.entry(c).percent for c in ("calc1", "calc2", "calc3")
+    )
+    assert calc_total > 90.0  # the calcs own (almost) the whole program
+    for calc in ("calc1", "calc2", "calc3"):
+        entry = profile.entry(calc)
+        assert entry.child_seconds > entry.self_seconds
+
+
+def test_same_self_time_basis(benchmark, workload):
+    data, symbols = workload
+    profile = analyze(data, symbols)
+    rows = {r.name: r for r in prof_analyze(data, symbols)}
+
+    def compare():
+        for flat in profile.flat_entries:
+            assert rows[flat.name].seconds == pytest.approx(flat.self_seconds)
+        return True
+
+    assert benchmark(compare)

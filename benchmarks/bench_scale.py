@@ -1,0 +1,97 @@
+"""T-SCALE — post-processing cost on large call graphs.
+
+Implicit in the paper ("Of course, among the programs on which we used
+the new profiler was the profiler itself") and necessary for kernel
+profiles: the analysis must stay near-linear in the size of the call
+graph.  We run the full pipeline — symbolization, SCC discovery,
+topological numbering, propagation, entry assembly — on random graphs
+of 100 to 10,000 routines and check the growth is far from quadratic.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import analyze
+from repro.core.histogram import Histogram
+from repro.core.profiledata import ProfileData
+from repro.core.arcs import RawArc
+from repro.core.symbols import Symbol, SymbolTable
+
+from benchmarks.conftest import report
+
+SYM = 16  # address units per routine
+
+
+def synthetic_profile(n_routines: int, seed: int = 1):
+    """A random profile over ``n_routines`` with ~3 arcs per routine."""
+    rng = random.Random(seed)
+    symbols = SymbolTable(
+        Symbol(i * SYM, f"fn{i}", (i + 1) * SYM) for i in range(n_routines)
+    )
+    hist = Histogram.for_range(0, n_routines * SYM, scale=1.0 / SYM, profrate=100)
+    for _ in range(n_routines * 2):
+        hist.record(rng.randrange(n_routines) * SYM)
+    arcs = [RawArc(0, 0, 1)]  # spontaneous entry into fn0
+    for child in range(1, n_routines):
+        for _ in range(3):
+            parent = rng.randrange(n_routines)
+            arcs.append(
+                RawArc(parent * SYM + 4, child * SYM, rng.randint(1, 50))
+            )
+    return ProfileData(hist, arcs), symbols
+
+
+def analysis_time(n: int) -> float:
+    data, symbols = synthetic_profile(n)
+    start = time.perf_counter()
+    analyze(data, symbols)
+    return time.perf_counter() - start
+
+
+def test_scaling_is_near_linear(benchmark):
+    sizes = (100, 1000, 10000)
+    timings = {n: min(analysis_time(n) for _ in range(2)) for n in sizes}
+    rows = [
+        (n, f"{timings[n] * 1e3:.1f} ms",
+         f"{timings[n] / timings[100]:.1f}x")
+        for n in sizes
+    ]
+    report("Full analysis pipeline vs graph size",
+           rows, header=("routines", "time", "vs 100"))
+    benchmark(lambda: analysis_time(1000))
+    # 100x the routines must cost far less than 100^2/100 = 10000x;
+    # allow a generous super-linear factor for constant effects.
+    assert timings[10000] < timings[100] * 500
+
+
+def test_large_graph_correctness(benchmark):
+    data, symbols = synthetic_profile(5000)
+    profile = benchmark.pedantic(analyze, args=(data, symbols),
+                                 rounds=1, iterations=1)
+    assert len(profile.graph_entries) >= 4999
+    # percentages are sane and total preserved
+    assert profile.total_seconds == pytest.approx(
+        data.histogram.total_time, rel=0.01
+    )
+    top = profile.graph_entries[0]
+    assert 0.0 <= top.percent <= 100.0 + 1e-9
+
+
+def test_deep_recursion_graph(benchmark):
+    """A 20,000-deep chain (worse than any recursion limit) analyzes fine."""
+    n = 20000
+    symbols = SymbolTable(
+        Symbol(i * SYM, f"fn{i}", (i + 1) * SYM) for i in range(n)
+    )
+    hist = Histogram.for_range(0, n * SYM, scale=1.0 / SYM, profrate=100)
+    hist.record((n - 1) * SYM)
+    arcs = [RawArc(0, 0, 1)] + [
+        RawArc(i * SYM + 4, (i + 1) * SYM, 1) for i in range(n - 1)
+    ]
+    data = ProfileData(hist, arcs)
+    profile = benchmark.pedantic(analyze, args=(data, symbols),
+                                 rounds=1, iterations=1)
+    # the leaf's tick propagates all the way to the root
+    assert profile.entry("fn0").percent == pytest.approx(100.0)

@@ -1,0 +1,126 @@
+"""E-STACKS — retrospective extension: complete-call-stack sampling.
+
+"Modern profilers solve both these problems by periodically gathering
+... complete call stacks.  The additional overhead of gathering the
+call stack can be hidden by backing off the frequency with which the
+call stacks are sampled."
+
+Both claims, measured against classic gprof on the same programs:
+
+1. **the average-time pitfall disappears** — on the skewed workload
+   (two callers, equal true cost, 99:1 call counts) gprof attributes
+   99%/1%; stack sampling attributes ≈55%/45%, tracking ground truth;
+2. **cycles need no collapsing** — on the mutually recursive workload
+   gprof must fuse even/odd into one cycle node; stack sampling gives
+   each member an exact inclusive time;
+3. **overhead backs off with frequency** — stack-walk cycles drop
+   linearly with the sampling stride, while classic mcount overhead is
+   fixed per call no matter what.
+"""
+
+import pytest
+
+from repro.core import analyze
+from repro.machine import assemble, run_profiled, run_unprofiled, CPU
+from repro.machine.monitor import MonitorConfig
+from repro.machine.programs import even_odd, fib, skewed
+from repro.stacks import analyze_stacks
+from repro.stacks.vm import VMStackMonitor, run_stack_profiled
+
+from benchmarks.conftest import report
+
+
+def test_skew_pitfall_fixed(benchmark):
+    src = skewed(cheap_calls=99, dear_calls=1, dear_work=99)
+    # classic gprof attribution
+    cpu, data = run_profiled(src, name="skewed")
+    profile = analyze(data, assemble(src, profile=True).symbol_table())
+    entry = profile.entry("work_n")
+    gprof_shares = {
+        p.name: (p.self_share + p.child_share) for p in entry.parents
+    }
+    g_total = sum(gprof_shares.values())
+    # stack-based attribution (the benchmarked run)
+    cpu, stacks = benchmark(run_stack_profiled, src, "skewed", 7)
+    s_shares = analyze_stacks(stacks).caller_shares("work_n")
+    rows = [
+        ("cheap_caller", "50%",
+         f"{100 * gprof_shares['cheap_caller'] / g_total:.1f}%",
+         f"{100 * s_shares['cheap_caller']:.1f}%"),
+        ("dear_caller", "50%",
+         f"{100 * gprof_shares['dear_caller'] / g_total:.1f}%",
+         f"{100 * s_shares['dear_caller']:.1f}%"),
+    ]
+    report("Attribution of work_n's time (truth 50/50)",
+           rows, header=("caller", "truth", "gprof", "stacks"))
+    assert gprof_shares["cheap_caller"] / g_total > 0.95  # the pitfall
+    assert 0.3 < s_shares["dear_caller"] < 0.6            # the fix
+
+
+def test_cycles_need_no_collapsing(benchmark):
+    src = even_odd(40)
+    cpu, data = run_profiled(src, name="even_odd")
+    profile = analyze(data, assemble(src, profile=True).symbol_table())
+    cpu, stacks = benchmark(run_stack_profiled, src, "even_odd", 3)
+    an = analyze_stacks(stacks)
+    rows = [
+        ("gprof cycles", len(profile.numbered.cycles)),
+        ("stack cycles needed", 0),
+        ("even inclusive", f"{an.inclusive_percent('even'):.1f}%"),
+        ("odd inclusive", f"{an.inclusive_percent('odd'):.1f}%"),
+    ]
+    report("Mutual recursion: gprof collapses, stacks just measure", rows)
+    assert len(profile.numbered.cycles) == 1  # gprof had to collapse
+    # per-member exact inclusive figures, impossible for classic gprof:
+    assert 50.0 < an.inclusive_percent("even") <= 100.0
+    assert 50.0 < an.inclusive_percent("odd") <= 100.0
+    assert an.inclusive["even"] <= stacks.total_ticks
+
+
+def test_overhead_backs_off_with_stride(benchmark):
+    src = fib(16)
+    plain = run_unprofiled(src).cycles
+    mcount_cycles = run_profiled(src)[0].cycles - plain
+
+    def stack_overhead(stride):
+        exe = assemble(src, profile=False)
+        mon = VMStackMonitor(
+            MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=20),
+            stride=stride,
+        )
+        cpu = CPU(exe, mon)
+        mon.bind(cpu)
+        cpu.run()
+        return mon.stack_walk_cycles
+
+    rows = [("mcount (per call, fixed)", f"{100 * mcount_cycles / plain:.1f}%")]
+    costs = {}
+    for stride in (1, 4, 16, 64):
+        cost = stack_overhead(stride)
+        costs[stride] = cost
+        rows.append(
+            (f"stacks, stride {stride}", f"{100 * cost / plain:.2f}%")
+        )
+    report("Overhead: fixed per-call mcount vs stride-scaled stacks", rows)
+    benchmark(lambda: stack_overhead(4))
+    assert costs[64] < costs[1] / 16
+    assert costs[64] < mcount_cycles  # backed off below classic gprof
+
+
+def test_stack_and_classic_agree_on_flat_time(benchmark):
+    """Sanity: both methods see the same self-time distribution."""
+    src = skewed()
+    cpu, data = run_profiled(src, name="skewed")
+    symbols = assemble(src, profile=True).symbol_table()
+    classic = analyze(data, symbols)
+    cpu, stacks = run_stack_profiled(src, "skewed", 7)
+    an = benchmark(analyze_stacks, stacks)
+    total = stacks.total_ticks
+    rows = []
+    for flat in classic.flat_entries[:3]:
+        classic_pct = flat.percent
+        stack_pct = 100.0 * an.exclusive.get(flat.name, 0) / total
+        rows.append((flat.name, f"{classic_pct:.1f}%", f"{stack_pct:.1f}%"))
+        assert stack_pct == pytest.approx(classic_pct, abs=8.0)
+    report("Self-time split: classic histogram vs stack leaves",
+           rows, header=("routine", "classic", "stacks"))

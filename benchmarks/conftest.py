@@ -1,0 +1,18 @@
+"""Shared fixtures and report helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's figures or claims
+(see the experiment index in DESIGN.md).  Benchmarks both *measure*
+(via pytest-benchmark) and *assert the shape* the paper reports; the
+printed rows are collected into EXPERIMENTS.md by hand.
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, rows: list[tuple], header: tuple | None = None) -> None:
+    """Print a small fixed-width table under a title banner."""
+    print(f"\n== {title} ==")
+    if header:
+        print("  " + "  ".join(f"{h:>14}" for h in header))
+    for row in rows:
+        print("  " + "  ".join(f"{str(c):>14}" for c in row))

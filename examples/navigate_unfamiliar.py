@@ -1,0 +1,155 @@
+"""Using the profiler to understand an unfamiliar program (§6).
+
+Run:  python examples/navigate_unfamiliar.py
+
+§6's scenario, replayed exactly: "you need to change the output format
+of the program" someone else wrote.  The program (a VM executable — you
+may not even have its source) has this output section::
+
+    CALC1   CALC2   CALC3
+        \\   /   \\   /
+       FORMAT1  FORMAT2
+             \\  /
+            WRITE
+
+The recipe from the paper:
+
+1. profile a run and look at the entry for WRITE;
+2. its parents are the format routines — candidates to change;
+3. each format routine's entry lists *its* parents, so you can see
+   which calculations reach the output through which formatter;
+4. the static call graph matters because "the test case you run
+   probably will not exercise the entire program" — here CALC3 never
+   runs, yet the static arc still shows it feeds FORMAT2, so changing
+   FORMAT2 would affect it too.
+"""
+
+from repro.core import AnalysisOptions, analyze
+from repro.core.filters import reaching
+from repro.machine import assemble, run_profiled, static_call_graph
+from repro.report import format_entry, format_graph_profile
+
+#: The unfamiliar program.  Note main's test input never triggers calc3.
+UNFAMILIAR = """
+.func main
+    PUSH 30
+    STORE 0
+loop:
+    LOAD 0
+    CALL calc1
+    LOAD 0
+    CALL calc2
+    LOAD 0
+    PUSH 1000
+    GT
+    JZ no_calc3
+    LOAD 0
+    CALL calc3
+no_calc3:
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    HALT
+.end
+
+.func calc1
+    STORE 0
+    WORK 10
+    LOAD 0
+    CALL format1
+    RET
+.end
+
+.func calc2
+    STORE 0
+    WORK 14
+    LOAD 0
+    PUSH 2
+    MOD
+    JZ even
+    LOAD 0
+    CALL format1
+    RET
+even:
+    LOAD 0
+    CALL format2
+    RET
+.end
+
+.func calc3
+    STORE 0
+    WORK 9
+    LOAD 0
+    CALL format2
+    RET
+.end
+
+.func format1
+    STORE 0
+    WORK 25
+    LOAD 0
+    CALL write
+    RET
+.end
+
+.func format2
+    STORE 0
+    WORK 30
+    LOAD 0
+    CALL write
+    RET
+.end
+
+.func write
+    STORE 0
+    WORK 8
+    LOAD 0
+    OUT
+    RET
+.end
+"""
+
+
+def main():
+    # Run the program on "an example" and profile it.
+    cpu, data = run_profiled(UNFAMILIAR, name="unfamiliar")
+    exe = assemble(UNFAMILIAR, name="unfamiliar", profile=True)
+    profile = analyze(
+        data,
+        exe.symbol_table(),
+        AnalysisOptions(static_arcs=sorted(static_call_graph(exe))),
+    )
+
+    print("step 1 — look up the entry for the system call 'write':\n")
+    print(format_entry(profile, "write"))
+
+    fmt_parents = [p.name for p in profile.entry("write").parents]
+    print(f"step 2 — write's parents are {fmt_parents}: "
+          "the format routine to change is among them.\n")
+
+    print("step 3 — inspect each format routine's parents:\n")
+    for fmt in fmt_parents:
+        print(format_entry(profile, fmt))
+
+    print("step 4 — the static arc saves you: calc3 never ran on this "
+          "test case, but the crawler found calc3 -> format2 (shown "
+          "with a 0/N count), so splitting format2 must account for "
+          "calc3 as well.\n")
+    line = next(
+        p for p in profile.entry("format2").parents if p.name == "calc3"
+    )
+    print(f"   calc3 -> format2: count {line.count}/{line.total} "
+          f"(statically discovered)\n")
+
+    # Bonus: show only the output section of the graph, the subgraph
+    # filter the retrospective added.
+    keep = reaching(profile.graph, ["write"])
+    print("the output section of the program, isolated:\n")
+    print(format_graph_profile(profile, only=keep))
+
+
+if __name__ == "__main__":
+    main()

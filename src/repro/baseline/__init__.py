@@ -1,0 +1,5 @@
+"""The prof(1) baseline: the flat-only profiler gprof improved on."""
+
+from repro.baseline.prof import ProfRow, format_prof, prof_analyze
+
+__all__ = ["ProfRow", "format_prof", "prof_analyze"]

@@ -1,0 +1,1 @@
+"""Command-line tools: repro-gprof, repro-prof, repro-kgmon."""

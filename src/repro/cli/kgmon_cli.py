@@ -1,0 +1,76 @@
+"""The kgmon command: drive the simulated kernel's live profiling.
+
+Usage::
+
+    repro-kgmon [--iterations N] [--windows K] [--warmup-slices W]
+                [--out-prefix PREFIX]
+
+Boots the simulated kernel, optionally lets it warm up unprofiled,
+then records ``K`` profiling windows (on → run → extract → reset),
+writing each window to ``PREFIX.window<i>.gmon`` plus the kernel's
+symbol table to ``PREFIX.syms`` — the workflow the retrospective
+describes for profiling "events of interest in the kernel without
+taking the kernel down".  Analyze a window with::
+
+    repro-gprof PREFIX.syms PREFIX.window0.gmon -k if_output/netisr -k tcp_input/tcp_output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.gmon import write_gmon
+from repro.kernel import Kgmon, KernelSession
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kgmon", description="live kernel profiling control"
+    )
+    parser.add_argument("--iterations", type=int, default=800,
+                        help="kernel workload size (scheduling quanta)")
+    parser.add_argument("--windows", type=int, default=2,
+                        help="number of profiling windows to record")
+    parser.add_argument("--warmup-slices", type=int, default=2,
+                        help="unprofiled time slices before the first window")
+    parser.add_argument("--slice-instructions", type=int, default=5000,
+                        help="instructions per kernel time slice")
+    parser.add_argument("--out-prefix", default="kernel",
+                        help="output file prefix")
+    opts = parser.parse_args(argv)
+    try:
+        session = KernelSession(iterations=opts.iterations)
+        kgmon = Kgmon(session)
+        kgmon.off()
+        for _ in range(opts.warmup_slices):
+            session.run_slice(opts.slice_instructions)
+        session.symbol_table().save(f"{opts.out_prefix}.syms")
+        recorded = 0
+        while recorded < opts.windows and not session.halted:
+            kgmon.reset()
+            kgmon.on()
+            session.run_slice(opts.slice_instructions)
+            kgmon.off()
+            window = kgmon.extract(f"window {recorded}")
+            path = f"{opts.out_prefix}.window{recorded}.gmon"
+            write_gmon(window, path)
+            status = kgmon.status()
+            print(
+                f"window {recorded}: {window.total_ticks} ticks, "
+                f"{window.total_calls} calls -> {path} "
+                f"(kernel at {status.kernel_cycles} cycles, "
+                f"{'halted' if status.halted else 'running'})"
+            )
+            recorded += 1
+        print(f"symbols -> {opts.out_prefix}.syms")
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"repro-kgmon: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The prof command: the flat-only baseline profiler's CLI.
+
+Usage::
+
+    repro-prof IMAGE GMON [GMON ...]
+
+Prints the classic prof table (self time, call counts, ms/call) from
+the same image and profile data files repro-gprof consumes — handy for
+reproducing the paper's motivation side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.baseline import format_prof, prof_analyze
+from repro.core import merge_profiles
+from repro.cli.gprof_cli import load_image
+from repro.errors import ReproError
+from repro.gmon import read_gmon
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-prof", description="flat execution profiler (baseline)"
+    )
+    parser.add_argument("image", help="executable image or symbol table (JSON)")
+    parser.add_argument("gmon", nargs="+", help="profile data file(s); summed")
+    opts = parser.parse_args(argv)
+    try:
+        symbols, _ = load_image(opts.image)
+        data = merge_profiles([read_gmon(p) for p in opts.gmon])
+        print(format_prof(prof_analyze(data, symbols)), end="")
+        return 0
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"repro-prof: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

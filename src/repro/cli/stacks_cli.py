@@ -1,0 +1,120 @@
+"""The repro-stacks command: modern call-stack sampling, from the shell.
+
+Usage::
+
+    repro-stacks vm PROGRAM [--ticks N] [--stride K] [--folded FILE]
+        Stack-sample a VM program (canned name, .s source, or .vmexe
+        image path is re-assembled from a canned name only — images
+        carry no stride knob).
+
+    repro-stacks py SCRIPT [args...] [--interval SEC] [--mode signal|thread]
+                 [--folded FILE]
+        Stack-sample a Python script via SIGPROF (or a sampler thread).
+
+Both print the call tree and hot paths, and optionally write the
+samples in folded format for flame-graph tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import runpy
+import sys
+
+from repro.errors import ReproError
+from repro.machine.programs import PROGRAMS
+from repro.stacks import (
+    PyStackSampler,
+    format_call_tree,
+    format_hot_paths,
+    write_folded,
+)
+from repro.stacks.report import format_stack_flat
+from repro.stacks.vm import run_stack_profiled
+
+
+def _vm_source(spec: str) -> tuple[str, str]:
+    if spec in PROGRAMS:
+        return PROGRAMS[spec](), spec
+    if os.path.exists(spec):
+        with open(spec, encoding="utf-8") as f:
+            return f.read(), os.path.basename(spec)
+    raise ReproError(
+        f"{spec!r} is neither a canned program nor an assembly file"
+    )
+
+
+def cmd_vm(opts) -> int:
+    source, name = _vm_source(opts.program)
+    cpu, profile = run_stack_profiled(
+        source, name, cycles_per_tick=opts.ticks, stride=opts.stride
+    )
+    print(f"{name}: {cpu.cycles} cycles, {profile.total_ticks} stack samples\n")
+    print(format_call_tree(profile, min_percent=opts.min_percent))
+    print(format_hot_paths(profile, top=opts.paths))
+    print(format_stack_flat(profile, min_percent=opts.min_percent))
+    if opts.folded:
+        write_folded(profile, opts.folded)
+        print(f"folded samples -> {opts.folded}")
+    return 0
+
+
+def cmd_py(opts) -> int:
+    sampler = PyStackSampler(interval=opts.interval, mode=opts.mode)
+    saved_argv = sys.argv
+    sys.argv = [opts.script] + list(opts.args)
+    try:
+        with sampler:
+            runpy.run_path(opts.script, run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+        sampler.stop()
+    profile = sampler.profile
+    print(f"\n{opts.script}: {profile.total_ticks} stack samples\n")
+    print(format_call_tree(profile, min_percent=opts.min_percent))
+    print(format_hot_paths(profile, top=opts.paths))
+    if opts.folded:
+        write_folded(profile, opts.folded)
+        print(f"folded samples -> {opts.folded}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stacks", description="complete-call-stack sampling profiler"
+    )
+    parser.add_argument("--min-percent", type=float, default=1.0)
+    parser.add_argument("--paths", type=int, default=5,
+                        help="hot paths to show")
+    parser.add_argument("--folded", metavar="FILE",
+                        help="write folded samples for flame-graph tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    vm = sub.add_parser("vm", help="sample a VM program")
+    vm.add_argument("program")
+    vm.add_argument("--ticks", type=int, default=50,
+                    help="cycles per sampling tick")
+    vm.add_argument("--stride", type=int, default=1,
+                    help="capture a stack every K-th tick")
+
+    py = sub.add_parser("py", help="sample a Python script")
+    py.add_argument("script")
+    py.add_argument("--interval", type=float, default=0.001)
+    py.add_argument("--mode", choices=("signal", "thread"), default="signal")
+    py.add_argument("args", nargs=argparse.REMAINDER)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    opts = build_parser().parse_args(argv)
+    try:
+        return {"vm": cmd_vm, "py": cmd_py}[opts.command](opts)
+    except (ReproError, OSError) as exc:
+        print(f"repro-stacks: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

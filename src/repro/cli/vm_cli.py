@@ -1,0 +1,183 @@
+"""The repro-vm command: assemble, run, and profile VM programs.
+
+Subcommands::
+
+    repro-vm list
+        Show the canned program library.
+
+    repro-vm asm SOURCE.s -o prog.vmexe [--profile] [--name NAME]
+        Assemble (or, for .rl files, compile) a source file into an
+        executable image.
+
+    repro-vm run IMAGE_OR_SOURCE [--profile] [--gmon FILE]
+                 [--ticks N] [--annotate]
+        Execute a program (a .vmexe image, an assembly file, or a
+        canned program name).  With --profile, attach the monitor and
+        write the gmon file; with --annotate, print the per-instruction
+        annotated disassembly afterwards.
+
+This is the "compiler driver" of the reproduction's tool chain; its
+output files feed repro-gprof / repro-prof.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.errors import ReproError
+from repro.gmon import write_gmon
+from repro.machine import CPU, Executable, Monitor, MonitorConfig, assemble
+from repro.machine.programs import PROGRAMS
+from repro.report.annotate import format_annotated_disassembly
+
+
+def _load_program(spec: str, profile: bool, count_blocks: bool = False) -> Executable:
+    """Resolve IMAGE_OR_SOURCE: .vmexe image, canned name, or asm file."""
+    if spec in PROGRAMS:
+        return assemble(
+            PROGRAMS[spec](), name=spec, profile=profile, count_blocks=count_blocks
+        )
+    if not os.path.exists(spec):
+        raise ReproError(
+            f"{spec!r} is neither a canned program ({', '.join(sorted(PROGRAMS))}) "
+            "nor a file"
+        )
+    if spec.endswith(".vmexe"):
+        return Executable.load(spec)
+    with open(spec, encoding="utf-8") as f:
+        text = f.read()
+    if spec.endswith(".rl"):
+        from repro.lang import compile_source
+
+        return compile_source(
+            text,
+            name=os.path.basename(spec),
+            profile=profile,
+            count_blocks=count_blocks,
+        )
+    return assemble(
+        text,
+        name=os.path.basename(spec),
+        profile=profile,
+        count_blocks=count_blocks,
+    )
+
+
+def cmd_list(_opts) -> int:
+    print("canned programs:")
+    for name, builder in sorted(PROGRAMS.items()):
+        doc = (builder.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:15s} {doc}")
+    return 0
+
+
+def cmd_asm(opts) -> int:
+    with open(opts.source, encoding="utf-8") as f:
+        source = f.read()
+    if opts.source.endswith(".rl"):
+        from repro.lang import compile_source
+
+        exe = compile_source(
+            source,
+            name=opts.name or os.path.basename(opts.source),
+            profile=opts.profile,
+        )
+    else:
+        exe = assemble(
+            source,
+            name=opts.name or os.path.basename(opts.source),
+            profile=opts.profile,
+        )
+    exe.save(opts.output)
+    kind = "profiled" if opts.profile else "plain"
+    print(
+        f"assembled {len(exe.instructions)} instructions, "
+        f"{len(exe.functions)} routines ({kind}) -> {opts.output}"
+    )
+    return 0
+
+
+def cmd_run(opts) -> int:
+    exe = _load_program(
+        opts.program, profile=opts.profile, count_blocks=opts.count
+    )
+    monitor = None
+    if opts.count and not exe.counter_names:
+        raise ReproError(
+            "image carries no block counters; re-assemble from source "
+            "or use a canned program name with --count"
+        )
+    if opts.profile:
+        if not exe.profiled:
+            raise ReproError(
+                "image was assembled without profiling prologues; "
+                "re-assemble with --profile"
+            )
+        monitor = Monitor(
+            MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=opts.ticks)
+        )
+    cpu = CPU(exe, monitor)
+    cpu.run()
+    print(
+        f"{exe.name}: {cpu.instructions_executed} instructions, "
+        f"{cpu.cycles} cycles"
+        + (f", output {cpu.output}" if cpu.output else "")
+    )
+    if monitor is not None:
+        data = monitor.mcleanup(comment=exe.name)
+        write_gmon(data, opts.gmon)
+        print(
+            f"{data.total_ticks} samples, {data.total_calls} calls "
+            f"-> {opts.gmon}"
+        )
+        if opts.annotate:
+            print()
+            print(format_annotated_disassembly(exe, data.histogram))
+    if opts.count:
+        from repro.machine.blockcounts import format_block_counts
+
+        print()
+        print(format_block_counts(cpu))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-vm", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the canned program library")
+
+    asm = sub.add_parser("asm", help="assemble a source file")
+    asm.add_argument("source")
+    asm.add_argument("-o", "--output", required=True)
+    asm.add_argument("--profile", action="store_true")
+    asm.add_argument("--name")
+
+    run = sub.add_parser("run", help="run an image / source / canned program")
+    run.add_argument("program")
+    run.add_argument("--profile", action="store_true")
+    run.add_argument("--gmon", default="gmon.out")
+    run.add_argument("--ticks", type=int, default=100,
+                     help="cycles per profiling clock tick")
+    run.add_argument("--annotate", action="store_true",
+                     help="print per-instruction sample annotation")
+    run.add_argument("--count", action="store_true",
+                     help="instrument basic blocks with inline counters "
+                          "and print their exact execution counts")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    opts = build_parser().parse_args(argv)
+    try:
+        return {"list": cmd_list, "asm": cmd_asm, "run": cmd_run}[opts.command](opts)
+    except (ReproError, OSError) as exc:
+        print(f"repro-vm: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""The gprof post-processing core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.symbols.Symbol`, :class:`~repro.core.symbols.SymbolTable`
+* :class:`~repro.core.arcs.RawArc`, :class:`~repro.core.arcs.Arc`,
+  :class:`~repro.core.arcs.ArcSet`
+* :class:`~repro.core.histogram.Histogram`
+* :class:`~repro.core.callgraph.CallGraph`
+* :func:`~repro.core.cycles.number_graph` and friends
+* :func:`~repro.core.propagate.propagate`
+* :class:`~repro.core.profiledata.ProfileData`,
+  :func:`~repro.core.profiledata.merge_profiles`
+* :func:`~repro.core.analysis.analyze`, :class:`~repro.core.analysis.Profile`
+"""
+
+from repro.core.analysis import (
+    AnalysisOptions,
+    FlatEntry,
+    GraphEntry,
+    Profile,
+    RelativeLine,
+    analyze,
+)
+from repro.core.arcs import Arc, ArcSet, RawArc, symbolize_arcs
+from repro.core.callgraph import CallGraph
+from repro.core.compare import ProfileDelta, compare_profiles, format_delta
+from repro.core.coverage import CoverageReport, coverage, format_coverage
+from repro.core.export import profile_to_dict, save_profile_json
+from repro.core.regress import Baseline, Rule, Violation, check as check_baseline
+from repro.core.cycles import (
+    Cycle,
+    NumberedGraph,
+    number_graph,
+    paper_numbering,
+    strongly_connected_components,
+    verify_topological,
+)
+from repro.core.histogram import DEFAULT_PROFRATE, Histogram, sum_histograms
+from repro.core.profiledata import ProfileData, merge_profiles
+from repro.core.propagate import ArcShare, Propagation, propagate
+from repro.core.symbols import SPONTANEOUS, Symbol, SymbolTable
+
+__all__ = [
+    "AnalysisOptions",
+    "Arc",
+    "ArcSet",
+    "ArcShare",
+    "Baseline",
+    "CallGraph",
+    "CoverageReport",
+    "Cycle",
+    "DEFAULT_PROFRATE",
+    "FlatEntry",
+    "GraphEntry",
+    "Histogram",
+    "NumberedGraph",
+    "Profile",
+    "ProfileData",
+    "Propagation",
+    "ProfileDelta",
+    "RawArc",
+    "RelativeLine",
+    "Rule",
+    "SPONTANEOUS",
+    "Symbol",
+    "SymbolTable",
+    "Violation",
+    "analyze",
+    "check_baseline",
+    "compare_profiles",
+    "coverage",
+    "format_coverage",
+    "format_delta",
+    "profile_to_dict",
+    "save_profile_json",
+    "merge_profiles",
+    "number_graph",
+    "paper_numbering",
+    "propagate",
+    "strongly_connected_components",
+    "sum_histograms",
+    "symbolize_arcs",
+    "verify_topological",
+]

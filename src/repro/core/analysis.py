@@ -1,0 +1,492 @@
+"""The gprof analysis pipeline: profile data in, displayable profile out.
+
+This module strings together the post-processing passes in the order the
+paper prescribes (§4):
+
+1. symbolize the raw arc table against the executable's symbol table;
+2. apply user exclusions and arc deletions;
+3. augment the dynamic call graph with statically-discovered arcs
+   (before topological ordering, so cycle membership is stable);
+4. optionally break giant cycles with the bounded heuristic;
+5. discover strongly-connected components and assign topological numbers;
+6. apportion histogram samples into per-routine self time;
+7. solve the time-propagation recurrence;
+8. assemble the presentation-ready :class:`Profile`: indexed call-graph
+   entries (with parent/child/cycle-member lines), flat-profile rows,
+   and the list of routines never called.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.arcs import ArcSet, RawArc, symbolize_arcs
+from repro.core.arcremoval import (
+    RemovedArc,
+    break_cycles_heuristic,
+    remove_arcs,
+)
+from repro.core.callgraph import CallGraph
+from repro.core.cycles import NumberedGraph, number_graph
+from repro.core.profiledata import ProfileData
+from repro.core.propagate import Propagation, propagate
+from repro.core.staticgraph import augment_with_static_arcs
+from repro.core.symbols import SymbolTable
+
+
+@dataclass
+class AnalysisOptions:
+    """Knobs of the analysis pipeline.
+
+    Attributes:
+        static_arcs: ``(caller, callee)`` pairs discovered by crawling
+            the executable image; added with zero counts (§4).
+        deleted_arcs: ``(caller, callee)`` pairs the user wants removed
+            from the analysis (the retrospective's cycle-breaking option).
+        auto_break_cycles: run the bounded heuristic that removes
+            low-count arcs closing large cycles.
+        max_removed_arcs: the heuristic's bound (the problem is
+            NP-complete; see :mod:`repro.core.arcremoval`).
+        excluded: routine names erased from the analysis entirely —
+            their self time and their arcs are dropped before graph
+            construction, so totals shrink accordingly.
+        keep_unknown: keep arcs whose callee matches no symbol, under
+            synthetic ``<unknown:0x…>`` names, instead of dropping them.
+    """
+
+    static_arcs: Sequence[tuple[str, str]] = ()
+    deleted_arcs: Sequence[tuple[str, str]] = ()
+    auto_break_cycles: bool = False
+    max_removed_arcs: int = 10
+    excluded: Sequence[str] = ()
+    keep_unknown: bool = False
+
+
+@dataclass(frozen=True)
+class RelativeLine:
+    """One parent or child line of a call-graph profile entry.
+
+    For a parent line: time this routine propagated *to* that parent,
+    and ``count``/``total`` = calls from that parent / all external
+    calls to this routine.  For a child line: time that child propagated
+    to this routine, and ``count``/``total`` = calls from this routine
+    to the child / all external calls to the child (or to the child's
+    whole cycle).  A None ``name`` denotes a spontaneous parent.
+    """
+
+    name: str | None
+    self_share: float
+    child_share: float
+    count: int
+    total: int
+    cycle: int | None = None
+    intra_cycle: bool = False
+
+    @property
+    def display_name(self) -> str:
+        """Name with cycle annotation, e.g. ``SUB1 <cycle 1>``."""
+        if self.name is None:
+            return "<spontaneous>"
+        if self.cycle is not None:
+            return f"{self.name} <cycle {self.cycle}>"
+        return self.name
+
+
+@dataclass
+class GraphEntry:
+    """One major entry of the call-graph profile (a routine or a cycle).
+
+    Mirrors Figure 4: index, %time, self seconds, descendant seconds,
+    call counts (external + internal), parent lines above, child lines
+    below, and — for whole-cycle entries — the member list.
+    """
+
+    index: int
+    name: str
+    percent: float
+    self_seconds: float
+    child_seconds: float
+    ncalls: int
+    self_calls: int
+    parents: list[RelativeLine] = field(default_factory=list)
+    children: list[RelativeLine] = field(default_factory=list)
+    members: list[RelativeLine] = field(default_factory=list)
+    cycle: int | None = None
+    is_cycle: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        """Self plus inherited descendants' seconds."""
+        return self.self_seconds + self.child_seconds
+
+    @property
+    def display_name(self) -> str:
+        """Name with cycle annotation for member entries."""
+        if self.is_cycle:
+            return f"<cycle {self.cycle} as a whole>"
+        if self.cycle is not None:
+            return f"{self.name} <cycle {self.cycle}>"
+        return self.name
+
+
+@dataclass(frozen=True)
+class FlatEntry:
+    """One row of the flat profile (§5.1).
+
+    ``calls`` counts every dynamic activation, including self-recursive
+    ones; it is None for routines that appear only in the histogram
+    (sampled, but compiled without the monitoring prologue).
+    """
+
+    name: str
+    percent: float
+    self_seconds: float
+    calls: int | None
+    self_ms_per_call: float | None
+    total_ms_per_call: float | None
+
+
+@dataclass
+class Profile:
+    """The complete analysis result, ready for presentation.
+
+    Attributes:
+        total_seconds: sampled execution time attributed to profiled
+            routines — the denominator of every percentage.
+        graph_entries: call-graph profile entries, sorted by
+            self+descendants time (descending); index fields are 1-based
+            positions in this order.
+        flat_entries: flat profile rows sorted by self time (descending),
+            then by calls, as §5.1 prescribes.
+        never_called: routines present in the symbol table but neither
+            called nor sampled ("to verify that nothing important is
+            omitted by this execution").
+        removed_arcs: arcs deleted by user request or by the heuristic.
+        propagation: the underlying solved recurrence (for programmatic
+            consumers).
+        graph: the analyzed call graph (post deletions/augmentation).
+        numbered: cycle and topological-numbering information.
+    """
+
+    total_seconds: float
+    graph_entries: list[GraphEntry]
+    flat_entries: list[FlatEntry]
+    never_called: list[str]
+    removed_arcs: list[RemovedArc]
+    propagation: Propagation
+    graph: CallGraph
+    numbered: NumberedGraph
+    _index_by_name: dict[str, int] = field(default_factory=dict)
+
+    def index_of(self, name: str) -> int | None:
+        """The [n] cross-reference index of a routine or cycle name."""
+        return self._index_by_name.get(name)
+
+    def entry(self, name: str) -> GraphEntry | None:
+        """The graph entry for a routine or ``<cycle N>`` name."""
+        idx = self._index_by_name.get(name)
+        return self.graph_entries[idx - 1] if idx else None
+
+    def percent_of(self, name: str) -> float:
+        """%time (self + descendants) of a routine or cycle."""
+        e = self.entry(name)
+        return e.percent if e else 0.0
+
+
+def analyze(
+    data: ProfileData,
+    symbols: SymbolTable,
+    options: AnalysisOptions | None = None,
+) -> Profile:
+    """Run the full gprof post-processing pipeline.
+
+    Arguments:
+        data: the condensed output of one or more profiled runs.
+        symbols: the executable's symbol table.
+        options: pipeline knobs; defaults to a plain analysis.
+
+    Returns the presentation-ready :class:`Profile`.
+    """
+    options = options or AnalysisOptions()
+    excluded = set(options.excluded)
+
+    # 1. Symbolize arcs and apply exclusions.
+    arcs = ArcSet(
+        a
+        for a in symbolize_arcs(data.arcs, symbols, options.keep_unknown)
+        if a.callee not in excluded and a.caller not in excluded
+    )
+
+    # 2. Per-routine self time from the histogram.
+    self_times = {
+        name: secs
+        for name, secs in data.histogram.assign_samples(symbols).items()
+        if name not in excluded
+    }
+
+    # 3. Build the graph over every routine that was called or sampled.
+    graph = CallGraph(arcs, extra_nodes=self_times)
+
+    # 4. Static augmentation precedes ordering (it can complete cycles).
+    static_pairs = [
+        (c, e)
+        for c, e in options.static_arcs
+        if c not in excluded and e not in excluded
+    ]
+    augment_with_static_arcs(graph, static_pairs)
+
+    # 5. Arc deletion: explicit first, then the bounded heuristic.
+    removed = remove_arcs(graph, options.deleted_arcs)
+    if options.auto_break_cycles:
+        removed += break_cycles_heuristic(graph, options.max_removed_arcs)
+
+    # 6–7. Cycles, numbering, propagation.
+    numbered = number_graph(graph)
+    prop = propagate(numbered, self_times)
+
+    # 8. Presentation-ready entries.
+    return _assemble(data, symbols, graph, numbered, prop, removed)
+
+
+def _assemble(
+    data: ProfileData,
+    symbols: SymbolTable,
+    graph: CallGraph,
+    numbered: NumberedGraph,
+    prop: Propagation,
+    removed: list[RemovedArc],
+) -> Profile:
+    """Build Profile entries from a solved propagation."""
+    total = prop.total_program_time
+    cycle_of = {m: c for c in numbered.cycles for m in c.members}
+    cycle_num = {m: c.number for c in numbered.cycles for m in c.members}
+    member_sets = {c.number: set(c.members) for c in numbered.cycles}
+
+    def pct(seconds: float) -> float:
+        return 100.0 * seconds / total if total > 0 else 0.0
+
+    entries: list[GraphEntry] = []
+
+    # Whole-cycle entries.
+    for cyc in numbered.cycles:
+        rep = cyc.name
+        members = [
+            RelativeLine(
+                m,
+                prop.routine_self[m],
+                prop.routine_child[m],
+                graph.total_calls(m),
+                prop.ncalls[rep],
+                cycle=cyc.number,
+            )
+            for m in cyc.members
+        ]
+        entries.append(
+            GraphEntry(
+                index=0,
+                name=rep,
+                percent=pct(prop.total_time[rep]),
+                self_seconds=prop.self_time[rep],
+                child_seconds=prop.child_time[rep],
+                ncalls=prop.ncalls[rep],
+                self_calls=prop.self_calls[rep],
+                parents=_parent_lines(
+                    graph, numbered, prop, cyc.members, rep, cycle_num,
+                    include_intra=False,
+                ),
+                children=_child_lines(
+                    graph, numbered, prop, cyc.members, rep, cycle_num,
+                    include_intra=False,
+                ),
+                members=members,
+                cycle=cyc.number,
+                is_cycle=True,
+            )
+        )
+
+    # Per-routine entries (cycle members included, marked with their cycle).
+    for routine in graph.nodes():
+        rep = numbered.representative[routine]
+        cyc = cycle_of.get(routine)
+        in_cycle = cyc is not None
+        self_s = prop.routine_self[routine]
+        child_s = prop.routine_child[routine]
+        if in_cycle:
+            ncalls = _external_calls(graph, routine, member_sets[cyc.number])
+            self_calls = graph.total_calls(routine) - ncalls
+        else:
+            ncalls = prop.ncalls[rep]
+            self_calls = prop.self_calls[rep]
+        entries.append(
+            GraphEntry(
+                index=0,
+                name=routine,
+                percent=pct(prop.total_time[rep]) if not in_cycle else pct(self_s + child_s),
+                self_seconds=self_s,
+                child_seconds=child_s,
+                ncalls=ncalls,
+                self_calls=self_calls,
+                parents=_parent_lines(
+                    graph, numbered, prop, (routine,), rep, cycle_num
+                ),
+                children=_child_lines(
+                    graph, numbered, prop, (routine,), rep, cycle_num
+                ),
+                cycle=cyc.number if cyc else None,
+            )
+        )
+
+    # Sort by total time (cycle entries use the whole cycle's total),
+    # breaking ties by name for reproducible listings.
+    entries.sort(key=lambda e: (-(e.self_seconds + e.child_seconds), e.name))
+    index_by_name: dict[str, int] = {}
+    for i, e in enumerate(entries, start=1):
+        e.index = i
+        index_by_name[e.name] = i
+
+    # Flat profile (§5.1): self time descending, then call count.
+    flat: list[FlatEntry] = []
+    for routine in graph.nodes():
+        self_s = prop.routine_self[routine]
+        calls = graph.total_calls(routine)
+        had_counts = calls > 0 or any(True for _ in graph.parents(routine))
+        rep = numbered.representative[routine]
+        total_s = (
+            prop.routine_self[routine] + prop.routine_child[routine]
+        )
+        flat.append(
+            FlatEntry(
+                name=routine,
+                percent=pct(self_s),
+                self_seconds=self_s,
+                calls=calls if had_counts else None,
+                self_ms_per_call=1000.0 * self_s / calls if calls else None,
+                total_ms_per_call=1000.0 * total_s / calls if calls else None,
+            )
+        )
+    flat.sort(key=lambda f: (-f.self_seconds, -(f.calls or 0), f.name))
+
+    # Routines never called nor sampled.
+    never = sorted(
+        sym.name
+        for sym in symbols
+        if sym.name not in index_by_name
+    )
+
+    return Profile(
+        total_seconds=total,
+        graph_entries=entries,
+        flat_entries=flat,
+        never_called=never,
+        removed_arcs=removed,
+        propagation=prop,
+        graph=graph,
+        numbered=numbered,
+        _index_by_name=index_by_name,
+    )
+
+
+def _external_calls(graph: CallGraph, routine: str, member_set: set[str]) -> int:
+    """Calls into ``routine`` from outside ``member_set`` (plus spontaneous)."""
+    calls = graph.spontaneous_calls(routine)
+    for caller, arc in graph.parents(routine).items():
+        if caller not in member_set:
+            calls += arc.count
+    return calls
+
+
+def _parent_lines(
+    graph: CallGraph,
+    numbered: NumberedGraph,
+    prop: Propagation,
+    members: Iterable[str],
+    rep: str,
+    cycle_of: Mapping[str, int],
+    include_intra: bool = True,
+) -> list[RelativeLine]:
+    """Parent lines for an entry covering ``members`` (a routine, or a cycle).
+
+    External parents carry propagated shares; intra-cycle parents are
+    listed with counts but no time ("Calls among the members of the
+    cycle do not propagate any time, though they are listed") — except
+    on whole-cycle entries (``include_intra=False``), where members are
+    presented separately.  Self-arcs are omitted — they appear in the
+    ``+n`` call notation.
+    """
+    member_set = set(members)
+    total_calls = prop.ncalls[rep]
+    lines: list[RelativeLine] = []
+    spontaneous = sum(graph.spontaneous_calls(m) for m in member_set)
+    if spontaneous or (total_calls == 0 and not any(
+        c not in member_set for m in member_set for c in graph.parents(m)
+    )):
+        lines.append(
+            RelativeLine(None, 0.0, 0.0, spontaneous, total_calls)
+        )
+    rep_of = numbered.representative
+    for m in sorted(member_set):
+        for caller, arc in graph.parents(m).items():
+            if caller == m:
+                continue  # self-recursion: shown as "+n", not a line
+            intra = rep_of[caller] == rep_of[m]
+            if intra and not include_intra:
+                continue
+            share = prop.arc_shares.get((caller, m))
+            lines.append(
+                RelativeLine(
+                    caller,
+                    share.self_share if share else 0.0,
+                    share.child_share if share else 0.0,
+                    arc.count,
+                    total_calls,
+                    cycle=cycle_of.get(caller),
+                    intra_cycle=intra,
+                )
+            )
+    # Paper: parents sorted by the amount of time propagated to them.
+    lines.sort(key=lambda l: (-(l.self_share + l.child_share), -l.count))
+    return lines
+
+
+def _child_lines(
+    graph: CallGraph,
+    numbered: NumberedGraph,
+    prop: Propagation,
+    members: Iterable[str],
+    rep: str,
+    cycle_of: Mapping[str, int],
+    include_intra: bool = True,
+) -> list[RelativeLine]:
+    """Child lines: each child of ``members`` with the time it passed up.
+
+    For a child inside a cycle, the displayed time and the call-count
+    denominator are "those for the cycle as a whole" (§5.2).  On
+    whole-cycle entries intra-cycle arcs are skipped (members are shown
+    in the dedicated member list instead).
+    """
+    member_set = set(members)
+    lines: list[RelativeLine] = []
+    rep_of = numbered.representative
+    for m in sorted(member_set):
+        for callee, arc in graph.children(m).items():
+            if callee == m:
+                continue  # self-recursion handled by the "+n" notation
+            intra = rep_of[callee] == rep_of[m]
+            if intra and not include_intra:
+                continue
+            share = prop.arc_shares.get((m, callee))
+            child_rep = numbered.representative[callee]
+            lines.append(
+                RelativeLine(
+                    callee,
+                    share.self_share if share else 0.0,
+                    share.child_share if share else 0.0,
+                    arc.count,
+                    prop.ncalls[child_rep],
+                    cycle=cycle_of.get(callee),
+                    intra_cycle=intra,
+                )
+            )
+    lines.sort(key=lambda l: (-(l.self_share + l.child_share), -l.count))
+    return lines

@@ -1,0 +1,148 @@
+"""Breaking giant cycles by removing a few low-count arcs.
+
+The retrospective describes the problem: in the Berkeley kernel "there
+were several large cycles in the profiles", making it "impossible to get
+useful timing results for modules like the networking stack", yet "there
+were just a few arcs — with low traversal counts — that closed the
+cycles".  gprof grew two remedies:
+
+1. an option to *specify* a set of arcs to remove from the analysis
+   (:func:`remove_arcs`), effective but requiring intimate knowledge of
+   the program; and
+2. a *heuristic* to choose arcs automatically.  The underlying problem —
+   find the minimum set of arcs whose removal makes a strongly-connected
+   subgraph acyclic (minimum feedback arc set) — is NP-complete, so the
+   heuristic is bounded by a maximum number of arcs it will try.
+
+Our heuristic mirrors that spirit: repeatedly delete the
+lowest-traversal-count arc that still participates in a non-trivial
+strongly-connected component, stopping when the graph is acyclic or the
+bound is exhausted.  For tiny components an exact (exhaustive) solver is
+provided so benchmarks can measure how close the heuristic gets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.arcs import Arc
+from repro.core.callgraph import CallGraph
+from repro.core.cycles import strongly_connected_components
+
+
+@dataclass(frozen=True)
+class RemovedArc:
+    """An arc deleted from the analysis, with its traversal count."""
+
+    caller: str
+    callee: str
+    count: int
+
+
+def remove_arcs(graph: CallGraph, pairs) -> list[RemovedArc]:
+    """Delete the user-specified ``(caller, callee)`` pairs from ``graph``.
+
+    Unknown pairs are ignored (the user may list arcs that this
+    particular run never traversed).  Returns the arcs actually removed.
+    Mutates ``graph``.
+    """
+    removed: list[RemovedArc] = []
+    for caller, callee in pairs:
+        arc = graph.arc(caller, callee)
+        if arc is not None and graph.remove_arc(caller, callee):
+            removed.append(RemovedArc(caller, callee, arc.count))
+    return removed
+
+
+def _cyclic_arcs(graph: CallGraph) -> list[Arc]:
+    """Arcs lying inside some non-trivial strongly-connected component."""
+    membership: dict[str, int] = {}
+    for i, comp in enumerate(strongly_connected_components(graph)):
+        if len(comp) > 1:
+            for node in comp:
+                membership[node] = i
+    return [
+        arc
+        for arc in graph.arcs()
+        if arc.caller != arc.callee
+        and membership.get(arc.caller) is not None
+        and membership.get(arc.caller) == membership.get(arc.callee)
+    ]
+
+
+def break_cycles_heuristic(
+    graph: CallGraph,
+    max_arcs: int = 10,
+) -> list[RemovedArc]:
+    """Greedy bounded cycle breaking: drop cheap arcs until acyclic.
+
+    Repeatedly removes the arc with the lowest traversal count among
+    those that still sit inside a non-trivial strongly-connected
+    component (ties broken by name for determinism).  Stops when no
+    non-trivial component remains or ``max_arcs`` arcs have been removed
+    — the bound the retrospective added because the exact problem is
+    NP-complete.
+
+    Mutates ``graph``; returns the removed arcs in removal order.  The
+    information lost is exactly the traversal counts of the returned
+    arcs, which callers can (and the report does) surface to the user.
+    """
+    removed: list[RemovedArc] = []
+    for _ in range(max_arcs):
+        candidates = _cyclic_arcs(graph)
+        if not candidates:
+            break
+        victim = min(candidates, key=lambda a: (a.count, a.caller, a.callee))
+        graph.remove_arc(victim.caller, victim.callee)
+        removed.append(RemovedArc(victim.caller, victim.callee, victim.count))
+    return removed
+
+
+def break_cycles_exact(
+    graph: CallGraph,
+    max_arcs: int = 6,
+) -> list[RemovedArc] | None:
+    """Exhaustive feedback arc set, for small graphs only.
+
+    Minimizes lexicographically: first the *number* of removed arcs
+    (the quantity the retrospective bounds), then the total traversal
+    count discarded.  Returns None when no subset within ``max_arcs``
+    works.  Exponential — exists so benchmarks can score the greedy
+    heuristic, exactly the comparison the retrospective implies.
+
+    Does *not* mutate ``graph``.
+    """
+    base_candidates = _cyclic_arcs(graph)
+    if not base_candidates:
+        return []
+    best: list[RemovedArc] | None = None
+    best_cost = None
+    for size in range(1, min(max_arcs, len(base_candidates)) + 1):
+        for subset in itertools.combinations(base_candidates, size):
+            cost = sum(a.count for a in subset)
+            if best_cost is not None and (size, cost) >= best_cost:
+                continue
+            trial = graph.copy()
+            for arc in subset:
+                trial.remove_arc(arc.caller, arc.callee)
+            if not _cyclic_arcs(trial):
+                best = [RemovedArc(a.caller, a.callee, a.count) for a in subset]
+                best_cost = (size, cost)
+        if best is not None:
+            # A solution of this size exists; smaller sizes were already
+            # tried, so only cheaper same-size solutions could beat it —
+            # and the loop above already minimized cost within the size.
+            break
+    return best
+
+
+def information_lost(removed: list[RemovedArc], total_calls: int) -> float:
+    """Fraction of dynamic call traversals discarded by arc removal.
+
+    The retrospective's observation — "the information lost by omitting
+    these arcs was far less than the information gained" — quantified.
+    """
+    if total_calls <= 0:
+        return 0.0
+    return sum(r.count for r in removed) / total_calls

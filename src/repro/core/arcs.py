@@ -1,0 +1,177 @@
+"""Call graph arcs, raw and symbolized.
+
+During execution the monitoring routine records *raw* arcs: a call-site
+address, a callee entry address, and a traversal count (§3.1 of the paper).
+Post-processing symbolizes them — the call site resolves to the *caller*
+routine, the callee entry to the *callee* routine — and aggregates counts
+of arcs that connect the same pair of routines from different call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.symbols import SPONTANEOUS, SymbolTable
+
+
+@dataclass(frozen=True)
+class RawArc:
+    """An arc exactly as gathered at run time.
+
+    Attributes:
+        from_pc: the address of the call site (in the caller).  Zero means
+            the caller could not be identified (a "spontaneous" invocation).
+        self_pc: the entry address of the callee.
+        count: number of times this exact (call site, callee) pair was
+            traversed.  A count of zero marks a statically-discovered arc
+            (§4: added to complete the graph but never propagating time).
+    """
+
+    from_pc: int
+    self_pc: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"negative arc count {self.count}")
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A symbolized call graph arc between two routines.
+
+    Counts from multiple call sites in the same caller are summed; the
+    ``sites`` field remembers how many distinct call sites contributed.
+    """
+
+    caller: str
+    callee: str
+    count: int
+    sites: int = 1
+    static: bool = False
+
+    @property
+    def spontaneous(self) -> bool:
+        """True when the caller could not be identified at run time."""
+        return self.caller == SPONTANEOUS
+
+
+def symbolize_arcs(
+    raw_arcs: Iterable[RawArc],
+    symbols: SymbolTable,
+    keep_unknown: bool = False,
+) -> list[Arc]:
+    """Translate raw (address-level) arcs into routine-level arcs.
+
+    Arguments:
+        raw_arcs: arcs as recorded by the monitoring routine.
+        symbols: the executable's symbol table.
+        keep_unknown: when True, arcs whose *callee* address matches no
+            symbol are kept under a synthetic ``<unknown>`` name; when
+            False (the default, matching gprof) they are dropped.
+
+    A ``from_pc`` that resolves to no symbol (or is zero) marks the arc as
+    spontaneous: the callee was observably entered, but the call site was
+    not in any profiled routine.  Such arcs keep their counts — the callee
+    really was called — but propagate no time to any caller.
+
+    Returns the aggregated routine-level arcs.  Dynamic counts and static
+    markers are merged per (caller, callee): a pair seen both statically
+    and dynamically is dynamic (static arcs only *add* missing pairs).
+    """
+    merged: dict[tuple[str, str], list] = {}
+    for raw in raw_arcs:
+        callee_sym = symbols.find(raw.self_pc)
+        if callee_sym is None:
+            if not keep_unknown:
+                continue
+            callee = f"<unknown:0x{raw.self_pc:x}>"
+        else:
+            callee = callee_sym.name
+        caller_sym = symbols.find(raw.from_pc) if raw.from_pc else None
+        caller = caller_sym.name if caller_sym is not None else SPONTANEOUS
+        key = (caller, callee)
+        static = raw.count == 0
+        if key in merged:
+            entry = merged[key]
+            entry[0] += raw.count
+            entry[1] += 1
+            entry[2] = entry[2] and static
+        else:
+            merged[key] = [raw.count, 1, static]
+    return [
+        Arc(caller, callee, count, sites, static)
+        for (caller, callee), (count, sites, static) in merged.items()
+    ]
+
+
+class ArcSet:
+    """A mutable collection of routine-level arcs with set-like merging.
+
+    Used by analysis passes that need to add static arcs, delete arcs
+    named by the user (the retrospective's cycle-breaking option), or sum
+    several runs.
+    """
+
+    def __init__(self, arcs: Iterable[Arc] = ()):
+        self._arcs: dict[tuple[str, str], Arc] = {}
+        for arc in arcs:
+            self.add(arc)
+
+    def add(self, arc: Arc) -> None:
+        """Insert ``arc``, summing counts with any existing same-pair arc."""
+        key = (arc.caller, arc.callee)
+        old = self._arcs.get(key)
+        if old is None:
+            self._arcs[key] = arc
+        else:
+            self._arcs[key] = Arc(
+                arc.caller,
+                arc.callee,
+                old.count + arc.count,
+                old.sites + arc.sites,
+                old.static and arc.static,
+            )
+    def add_static(self, caller: str, callee: str) -> bool:
+        """Add a statically-discovered arc if the pair is not present.
+
+        Mirrors §4: "If a statically discovered arc already exists in the
+        dynamic call graph, no action is required."  Returns True when a
+        new zero-count arc was added.
+        """
+        key = (caller, callee)
+        if key in self._arcs:
+            return False
+        self._arcs[key] = Arc(caller, callee, 0, 1, static=True)
+        return True
+
+    def remove(self, caller: str, callee: str) -> bool:
+        """Delete the arc ``caller → callee``; True if it existed."""
+        return self._arcs.pop((caller, callee), None) is not None
+
+    def get(self, caller: str, callee: str) -> Arc | None:
+        """Return the arc ``caller → callee`` if present."""
+        return self._arcs.get((caller, callee))
+
+    def __len__(self) -> int:
+        return len(self._arcs)
+
+    def __iter__(self) -> Iterator[Arc]:
+        return iter(self._arcs.values())
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return pair in self._arcs
+
+    def routines(self) -> set[str]:
+        """All routine names appearing as caller or callee (not spontaneous)."""
+        names: set[str] = set()
+        for arc in self._arcs.values():
+            if not arc.spontaneous:
+                names.add(arc.caller)
+            names.add(arc.callee)
+        return names
+
+    def incoming_count(self, callee: str) -> int:
+        """Total dynamic calls into ``callee`` (sum over incoming arcs)."""
+        return sum(a.count for a in self._arcs.values() if a.callee == callee)

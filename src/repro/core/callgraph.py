@@ -1,0 +1,174 @@
+"""The dynamic call graph: routines as nodes, calls as weighted arcs.
+
+§2 of the paper distinguishes the *complete*, *static*, and *dynamic*
+call graphs.  This class represents whichever mixture the analysis is
+working with: dynamically-observed arcs carry positive traversal counts,
+statically-added arcs carry a count of zero (they shape the graph and can
+complete strongly-connected components, but never propagate time).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.arcs import Arc, ArcSet
+from repro.core.symbols import SPONTANEOUS
+from repro.errors import CallGraphError
+
+
+class CallGraph:
+    """A directed multigraph-collapsed-to-simple-graph of routine calls.
+
+    Nodes are routine names.  At most one arc exists per (caller, callee)
+    pair; parallel call sites have already been merged by
+    :func:`repro.core.arcs.symbolize_arcs`.  Spontaneous arcs (caller
+    unknown) contribute to a callee's incoming call count but create no
+    graph edge — there is nothing to propagate time *to*.
+    """
+
+    def __init__(
+        self,
+        arcs: Iterable[Arc] = (),
+        extra_nodes: Iterable[str] = (),
+    ):
+        self._children: dict[str, dict[str, Arc]] = {}
+        self._parents: dict[str, dict[str, Arc]] = {}
+        self._spontaneous: dict[str, int] = {}
+        for node in extra_nodes:
+            self.add_node(node)
+        for arc in arcs:
+            self.add_arc(arc)
+
+    # -- construction ----------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        """Ensure ``name`` exists as a node (possibly isolated)."""
+        if name == SPONTANEOUS:
+            raise CallGraphError("the spontaneous pseudo-caller is not a node")
+        self._children.setdefault(name, {})
+        self._parents.setdefault(name, {})
+
+    def add_arc(self, arc: Arc) -> None:
+        """Insert an arc, merging counts with an existing same-pair arc."""
+        self.add_node(arc.callee)
+        if arc.spontaneous:
+            self._spontaneous[arc.callee] = (
+                self._spontaneous.get(arc.callee, 0) + arc.count
+            )
+            return
+        self.add_node(arc.caller)
+        old = self._children[arc.caller].get(arc.callee)
+        if old is not None:
+            arc = Arc(
+                arc.caller,
+                arc.callee,
+                old.count + arc.count,
+                old.sites + arc.sites,
+                old.static and arc.static,
+            )
+        self._children[arc.caller][arc.callee] = arc
+        self._parents[arc.callee][arc.caller] = arc
+
+    def remove_arc(self, caller: str, callee: str) -> bool:
+        """Delete the arc ``caller → callee``; True if it existed.
+
+        This implements the retrospective's "option to specify a set of
+        arcs to be removed from the analysis" for breaking giant cycles.
+        """
+        arc = self._children.get(caller, {}).pop(callee, None)
+        if arc is None:
+            return False
+        del self._parents[callee][caller]
+        return True
+
+    @classmethod
+    def from_arcset(cls, arcs: ArcSet, extra_nodes: Iterable[str] = ()) -> "CallGraph":
+        """Build a graph from an :class:`ArcSet`."""
+        return cls(arcs, extra_nodes)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def nodes(self) -> Iterator[str]:
+        """All routine names in the graph."""
+        return iter(self._children)
+
+    def arcs(self) -> Iterator[Arc]:
+        """All arcs in the graph (spontaneous pseudo-arcs excluded)."""
+        for children in self._children.values():
+            yield from children.values()
+
+    def num_arcs(self) -> int:
+        """Number of arcs (spontaneous pseudo-arcs excluded)."""
+        return sum(len(c) for c in self._children.values())
+
+    def children(self, name: str) -> Mapping[str, Arc]:
+        """Arcs out of ``name``, keyed by callee."""
+        try:
+            return self._children[name]
+        except KeyError:
+            raise CallGraphError(f"no node named {name!r}") from None
+
+    def parents(self, name: str) -> Mapping[str, Arc]:
+        """Arcs into ``name``, keyed by caller."""
+        try:
+            return self._parents[name]
+        except KeyError:
+            raise CallGraphError(f"no node named {name!r}") from None
+
+    def arc(self, caller: str, callee: str) -> Arc | None:
+        """The arc ``caller → callee``, or None."""
+        return self._children.get(caller, {}).get(callee)
+
+    def spontaneous_calls(self, name: str) -> int:
+        """Calls into ``name`` whose caller could not be identified."""
+        return self._spontaneous.get(name, 0)
+
+    def total_calls(self, name: str) -> int:
+        """All dynamic calls into ``name``, including self-recursive and
+        spontaneous ones."""
+        return self.incoming_calls(name) + self.self_calls(name)
+
+    def incoming_calls(self, name: str) -> int:
+        """Dynamic calls into ``name`` from *other* routines (plus
+        spontaneous calls); self-recursive calls are excluded, as they
+        are in the paper's ``called+self`` notation."""
+        total = self._spontaneous.get(name, 0)
+        for caller, arc in self._parents[name].items():
+            if caller != name:
+                total += arc.count
+        return total
+
+    def self_calls(self, name: str) -> int:
+        """Self-recursive calls ``name → name``."""
+        arc = self._children.get(name, {}).get(name)
+        return arc.count if arc else 0
+
+    def roots(self) -> list[str]:
+        """Nodes with no parents other than themselves.
+
+        These are the program entry points (and routines only ever invoked
+        spontaneously)."""
+        return [
+            n
+            for n, parents in self._parents.items()
+            if all(p == n for p in parents)
+        ]
+
+    def copy(self) -> "CallGraph":
+        """An independent copy of the graph."""
+        clone = CallGraph()
+        for node in self._children:
+            clone.add_node(node)
+        for arc in self.arcs():
+            clone.add_arc(arc)
+        clone._spontaneous = dict(self._spontaneous)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CallGraph({len(self)} nodes, {self.num_arcs()} arcs)"

@@ -1,0 +1,148 @@
+"""Comparing profiles across program versions (§6's iterative loop).
+
+"This tool is best used in an iterative approach: profiling the
+program, eliminating one bottleneck, then finding some other part of
+the program that begins to dominate execution time."
+
+A :class:`ProfileDelta` lines up two analyses — before and after a
+change — routine by routine: self and total seconds, call counts, and
+rank in the listing.  The formatter highlights what the §6 loop needs
+to see at each turn: did the bottleneck shrink, what dominates now,
+and did anything regress.
+
+Comparisons are by routine *name*; routines only present on one side
+are reported as added/removed (inlining a routine, §6's first
+optimization, makes it disappear — at a documented cost to the next
+profile's usefulness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import Profile
+
+
+@dataclass(frozen=True)
+class RoutineDelta:
+    """One routine's change between two profiles.
+
+    Seconds fields are ``after - before``; None on either side of the
+    raw values marks a routine absent from that profile.
+    """
+
+    name: str
+    self_before: float | None
+    self_after: float | None
+    total_before: float | None
+    total_after: float | None
+    calls_before: int | None
+    calls_after: int | None
+
+    @property
+    def self_delta(self) -> float:
+        """Change in self seconds (absentees count as zero)."""
+        return (self.self_after or 0.0) - (self.self_before or 0.0)
+
+    @property
+    def total_delta(self) -> float:
+        """Change in self+descendants seconds."""
+        return (self.total_after or 0.0) - (self.total_before or 0.0)
+
+    @property
+    def added(self) -> bool:
+        """Present only in the 'after' profile."""
+        return self.self_before is None
+
+    @property
+    def removed(self) -> bool:
+        """Present only in the 'before' profile (e.g. inlined away)."""
+        return self.self_after is None
+
+
+@dataclass
+class ProfileDelta:
+    """The full before/after comparison.
+
+    Attributes:
+        total_before, total_after: program totals in seconds.
+        routines: per-routine deltas, sorted by |total change| desc.
+    """
+
+    total_before: float
+    total_after: float
+    routines: list[RoutineDelta]
+
+    @property
+    def speedup(self) -> float:
+        """before/after total-time ratio (>1 means the change helped)."""
+        if self.total_after <= 0:
+            return float("inf") if self.total_before > 0 else 1.0
+        return self.total_before / self.total_after
+
+    def routine(self, name: str) -> RoutineDelta | None:
+        """The delta for one routine, if it appears in either profile."""
+        for r in self.routines:
+            if r.name == name:
+                return r
+        return None
+
+    def dominating_after(self, top: int = 3) -> list[str]:
+        """What the §6 loop attacks next: the biggest remaining totals."""
+        present = [r for r in self.routines if r.total_after is not None]
+        present.sort(key=lambda r: -(r.total_after or 0.0))
+        return [r.name for r in present[:top]]
+
+
+def compare_profiles(before: Profile, after: Profile) -> ProfileDelta:
+    """Line up two analyses routine by routine."""
+
+    def rows(profile: Profile):
+        out = {}
+        for entry in profile.graph_entries:
+            if entry.is_cycle:
+                continue
+            out[entry.name] = (
+                entry.self_seconds,
+                entry.total_seconds,
+                entry.ncalls + entry.self_calls,
+            )
+        return out
+
+    b, a = rows(before), rows(after)
+    deltas = []
+    for name in sorted(set(b) | set(a)):
+        sb, tb, cb = b.get(name, (None, None, None))
+        sa, ta, ca = a.get(name, (None, None, None))
+        deltas.append(RoutineDelta(name, sb, sa, tb, ta, cb, ca))
+    deltas.sort(key=lambda d: (-abs(d.total_delta), d.name))
+    return ProfileDelta(before.total_seconds, after.total_seconds, deltas)
+
+
+def format_delta(delta: ProfileDelta, top: int = 15) -> str:
+    """A before/after table, biggest movements first."""
+    lines = [
+        "profile comparison:",
+        f"  total: {delta.total_before:.2f}s -> {delta.total_after:.2f}s "
+        f"(speedup {delta.speedup:.2f}x)",
+        "",
+        f"{'routine':<24} {'self':>15} {'self+desc':>17} {'calls':>15}",
+    ]
+
+    def col(before, after, fmt):
+        left = fmt.format(before) if before is not None else "-"
+        right = fmt.format(after) if after is not None else "-"
+        return f"{left}->{right}"
+
+    for r in delta.routines[:top]:
+        note = " (new)" if r.added else (" (gone)" if r.removed else "")
+        lines.append(
+            f"{r.name:<24} {col(r.self_before, r.self_after, '{:.2f}'):>15} "
+            f"{col(r.total_before, r.total_after, '{:.2f}'):>17} "
+            f"{col(r.calls_before, r.calls_after, '{}'):>15}{note}"
+        )
+    lines.append("")
+    lines.append(
+        "dominating now: " + ", ".join(delta.dominating_after())
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,114 @@
+"""Coverage reporting from execution counts (§2).
+
+"Another view of such counters is as boolean values.  One may be
+interested that a portion of code has executed at all, for exhaustive
+testing, or to check that one implementation of an abstraction
+completely replaces a previous one."
+
+Given the dynamic profile and the statically-apparent call graph, this
+module answers those questions at two granularities:
+
+* **routine coverage** — which routines ever ran (the flat profile's
+  never-called list, §5.1, as a queryable object);
+* **arc coverage** — which statically-possible calls were never
+  traversed; the complement of what the test case exercised, which §6
+  notes matters because "the test case you run probably will not
+  exercise the entire program".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import Profile
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Routine and arc coverage of one (or several summed) executions.
+
+    Attributes:
+        called: routines entered at least once.
+        never_called: routines in the symbol table that never ran.
+        traversed_arcs: (caller, callee) pairs with dynamic count > 0.
+        untraversed_arcs: statically-apparent pairs with zero dynamic
+            count (present in the graph only via augmentation).
+    """
+
+    called: frozenset[str]
+    never_called: frozenset[str]
+    traversed_arcs: frozenset[tuple[str, str]]
+    untraversed_arcs: frozenset[tuple[str, str]]
+
+    @property
+    def routine_coverage(self) -> float:
+        """Fraction of known routines that executed."""
+        total = len(self.called) + len(self.never_called)
+        return len(self.called) / total if total else 1.0
+
+    @property
+    def arc_coverage(self) -> float:
+        """Fraction of known (static ∪ dynamic) arcs traversed."""
+        total = len(self.traversed_arcs) + len(self.untraversed_arcs)
+        return len(self.traversed_arcs) / total if total else 1.0
+
+    def replaced_completely(self, old: str, new: str) -> bool:
+        """§2's replacement check: ``new`` ran, ``old`` never did."""
+        return new in self.called and old in self.never_called
+
+
+def coverage(profile: Profile) -> CoverageReport:
+    """Compute coverage from an analyzed profile.
+
+    Run the analysis with ``AnalysisOptions(static_arcs=...)`` so the
+    statically-possible arcs are in the graph; otherwise arc coverage
+    degenerates to 100% (only traversed arcs are known).
+    """
+    called: set[str] = set()
+    traversed: set[tuple[str, str]] = set()
+    untraversed: set[tuple[str, str]] = set()
+    for entry in profile.graph_entries:
+        if entry.is_cycle:
+            continue
+        if entry.ncalls + entry.self_calls > 0 or entry.self_seconds > 0:
+            called.add(entry.name)
+    for arc in profile.graph.arcs():
+        pair = (arc.caller, arc.callee)
+        if arc.count > 0:
+            traversed.add(pair)
+            called.add(arc.callee)
+        else:
+            untraversed.add(pair)
+    return CoverageReport(
+        called=frozenset(called),
+        never_called=frozenset(profile.never_called)
+        | frozenset(
+            e.name
+            for e in profile.graph_entries
+            if not e.is_cycle and e.name not in called
+        ),
+        traversed_arcs=frozenset(traversed),
+        untraversed_arcs=frozenset(untraversed),
+    )
+
+
+def format_coverage(report: CoverageReport) -> str:
+    """A compact textual coverage summary."""
+    lines = [
+        "coverage:",
+        f"  routines: {len(report.called)} executed, "
+        f"{len(report.never_called)} never called "
+        f"({100 * report.routine_coverage:.1f}%)",
+        f"  arcs:     {len(report.traversed_arcs)} traversed, "
+        f"{len(report.untraversed_arcs)} apparent-but-untraversed "
+        f"({100 * report.arc_coverage:.1f}%)",
+    ]
+    if report.never_called:
+        lines.append("  never called:")
+        for name in sorted(report.never_called):
+            lines.append(f"    {name}")
+    if report.untraversed_arcs:
+        lines.append("  untraversed arcs:")
+        for caller, callee in sorted(report.untraversed_arcs):
+            lines.append(f"    {caller} -> {callee}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,237 @@
+"""Cycle discovery and topological numbering.
+
+§4 of the paper: time is propagated from descendants to ancestors in
+topological order, but recursive programs put cycles in the call graph
+and "cycles cannot be topologically sorted".  gprof therefore runs "a
+variation of Tarjan's strongly-connected components algorithm that
+discovers strongly-connected components as it is assigning topological
+order numbers".
+
+This module implements exactly that: a single iterative DFS that both
+identifies strongly-connected components (Tarjan 1972) and numbers them.
+Tarjan's algorithm emits components in *reverse* topological order of the
+condensation — every component is completed only after all components it
+can reach — so numbering components ``1, 2, 3, …`` in emission order
+yields the property Figure 1 illustrates: **every arc goes from a
+higher-numbered node to a lower-numbered node** (callees are numbered
+before their callers), and visiting nodes in increasing number order
+walks the graph from the leaves toward the roots.
+
+Trivial components (a single node without a self-arc) are ordinary
+routines; non-trivial components (and self-loops are *not* cycles for
+this purpose — a self-recursive routine is handled by call-count
+bookkeeping, not collapsing) become :class:`Cycle` objects that the
+propagation phase treats as single nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.callgraph import CallGraph
+from repro.errors import CallGraphError
+
+
+@dataclass
+class Cycle:
+    """A non-trivial strongly-connected component of the call graph.
+
+    Attributes:
+        number: 1-based cycle index, as displayed (``<cycle 1>``).
+        members: the routines in the cycle, in discovery order.
+    """
+
+    number: int
+    members: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        """The display name gprof gives the collapsed node."""
+        return f"<cycle {self.number}>"
+
+    def __contains__(self, routine: str) -> bool:
+        return routine in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class NumberedGraph:
+    """The result of cycle discovery over a call graph.
+
+    Attributes:
+        graph: the original (uncollapsed) call graph.
+        cycles: the non-trivial strongly-connected components found.
+        representative: maps every routine to the node that stands for it
+            during propagation — itself for acyclic routines, the cycle
+            name for cycle members.
+        topo_order: representative node names, leaves first.  Visiting in
+            this order guarantees every (inter-representative) arc's
+            target has been visited before its source.
+        topo_number: 1-based number of each representative, matching the
+            paper's figures: arcs go from higher to lower numbers.
+    """
+
+    graph: CallGraph
+    cycles: list[Cycle]
+    representative: dict[str, str]
+    topo_order: list[str]
+    topo_number: dict[str, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.topo_number = {name: i + 1 for i, name in enumerate(self.topo_order)}
+        self._cycle_by_name = {c.name: c for c in self.cycles}
+
+    def cycle_of(self, routine: str) -> Cycle | None:
+        """The cycle containing ``routine``, or None."""
+        rep = self.representative.get(routine)
+        return self._cycle_by_name.get(rep) if rep != routine else None
+
+    def members_of(self, rep: str) -> tuple[str, ...]:
+        """Routines represented by ``rep`` (itself, or cycle members)."""
+        cycle = self._cycle_by_name.get(rep)
+        return cycle.members if cycle else (rep,)
+
+    def is_cycle(self, rep: str) -> bool:
+        """Whether ``rep`` names a collapsed cycle."""
+        return rep in self._cycle_by_name
+
+    def cycle_named(self, rep: str) -> Cycle:
+        """The :class:`Cycle` with display name ``rep``."""
+        try:
+            return self._cycle_by_name[rep]
+        except KeyError:
+            raise CallGraphError(f"{rep!r} is not a cycle") from None
+
+
+def strongly_connected_components(graph: CallGraph) -> list[list[str]]:
+    """Tarjan's algorithm, iterative, emitting components leaves-first.
+
+    Components are returned in reverse topological order of the
+    condensation: every component appears before any component with an
+    arc *into* it.  (Equivalently: callees before callers.)
+    """
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+
+    # Iterative DFS to survive the deep recursion of large call graphs.
+    for root in graph.nodes():
+        if root in index_of:
+            continue
+        work: list[tuple[str, Iterable[str]]] = [(root, iter(graph.children(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index_of:
+                    index_of[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph.children(child))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                component.reverse()
+                components.append(component)
+    return components
+
+
+def number_graph(graph: CallGraph) -> NumberedGraph:
+    """Discover cycles and assign topological numbers in one pass.
+
+    Non-trivial strongly-connected components are collapsed into
+    :class:`Cycle` nodes; a lone node with a self-arc is *not* collapsed
+    (self-recursion is handled by excluding self-calls from the call
+    count, per §5.2's ``10+4`` notation).
+
+    The returned :class:`NumberedGraph` orders representatives so that
+    arcs point from higher numbers to lower numbers; propagating time in
+    increasing-number order charges descendants before ancestors after a
+    single traversal of each arc (§4).
+    """
+    components = strongly_connected_components(graph)
+    cycles: list[Cycle] = []
+    representative: dict[str, str] = {}
+    topo_order: list[str] = []
+    for component in components:
+        if len(component) > 1:
+            cycle = Cycle(len(cycles) + 1, tuple(component))
+            cycles.append(cycle)
+            for member in component:
+                representative[member] = cycle.name
+            topo_order.append(cycle.name)
+        else:
+            node = component[0]
+            representative[node] = node
+            topo_order.append(node)
+    return NumberedGraph(graph, cycles, representative, topo_order)
+
+
+def condensation_arcs(numbered: NumberedGraph) -> dict[tuple[str, str], int]:
+    """Arcs of the collapsed graph, with summed dynamic counts.
+
+    Intra-cycle arcs and self-arcs disappear (they do not participate in
+    time propagation, §4); arcs between distinct representatives keep
+    their counts, summed across member pairs.
+    """
+    arcs: dict[tuple[str, str], int] = {}
+    for arc in numbered.graph.arcs():
+        src = numbered.representative[arc.caller]
+        dst = numbered.representative[arc.callee]
+        if src == dst:
+            continue
+        key = (src, dst)
+        arcs[key] = arcs.get(key, 0) + arc.count
+    return arcs
+
+
+def verify_topological(numbered: NumberedGraph) -> None:
+    """Check the Figure 1 invariant: arcs go from higher to lower numbers.
+
+    Raises :class:`CallGraphError` if violated; used by tests and as a
+    cheap internal sanity check.
+    """
+    number = numbered.topo_number
+    for (src, dst) in condensation_arcs(numbered):
+        if number[src] <= number[dst]:
+            raise CallGraphError(
+                f"arc {src} ({number[src]}) → {dst} ({number[dst]}) does "
+                "not descend in topological number"
+            )
+
+
+def paper_numbering(numbered: NumberedGraph) -> dict[str, int]:
+    """The numbering exactly as the paper's figures present it.
+
+    Identical to :attr:`NumberedGraph.topo_number`: leaves are numbered
+    first, so "all edges in the graph go from higher numbered nodes to
+    lower numbered nodes" and propagating in increasing-number order
+    walks from the leaves toward the roots (§4, Figure 1).
+    """
+    return dict(numbered.topo_number)

@@ -1,0 +1,81 @@
+"""JSON export of an analyzed profile, for downstream tooling.
+
+The text listings are for humans; dashboards, diffing scripts, and CI
+regression gates want structure.  ``profile_to_dict`` captures the
+whole :class:`~repro.core.analysis.Profile` — entries, relatives,
+cycles, flat rows, removed arcs — as plain JSON-serializable data with
+a versioned envelope.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.analysis import GraphEntry, Profile, RelativeLine
+
+FORMAT = "repro-profile-1"
+
+
+def _line_to_dict(line: RelativeLine) -> dict:
+    return {
+        "name": line.name,
+        "self_share": line.self_share,
+        "child_share": line.child_share,
+        "count": line.count,
+        "total": line.total,
+        "cycle": line.cycle,
+        "intra_cycle": line.intra_cycle,
+    }
+
+
+def _entry_to_dict(entry: GraphEntry) -> dict:
+    return {
+        "index": entry.index,
+        "name": entry.name,
+        "display_name": entry.display_name,
+        "percent": entry.percent,
+        "self_seconds": entry.self_seconds,
+        "child_seconds": entry.child_seconds,
+        "ncalls": entry.ncalls,
+        "self_calls": entry.self_calls,
+        "cycle": entry.cycle,
+        "is_cycle": entry.is_cycle,
+        "parents": [_line_to_dict(p) for p in entry.parents],
+        "children": [_line_to_dict(c) for c in entry.children],
+        "members": [_line_to_dict(m) for m in entry.members],
+    }
+
+
+def profile_to_dict(profile: Profile) -> dict:
+    """The complete analysis as JSON-serializable data."""
+    return {
+        "format": FORMAT,
+        "total_seconds": profile.total_seconds,
+        "entries": [_entry_to_dict(e) for e in profile.graph_entries],
+        "flat": [
+            {
+                "name": f.name,
+                "percent": f.percent,
+                "self_seconds": f.self_seconds,
+                "calls": f.calls,
+                "self_ms_per_call": f.self_ms_per_call,
+                "total_ms_per_call": f.total_ms_per_call,
+            }
+            for f in profile.flat_entries
+        ],
+        "never_called": list(profile.never_called),
+        "cycles": [
+            {"number": c.number, "members": list(c.members)}
+            for c in profile.numbered.cycles
+        ],
+        "removed_arcs": [
+            {"caller": r.caller, "callee": r.callee, "count": r.count}
+            for r in profile.removed_arcs
+        ],
+    }
+
+
+def save_profile_json(profile: Profile, path, indent: int | None = 1) -> None:
+    """Write :func:`profile_to_dict` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(profile_to_dict(profile), f, indent=indent)

@@ -1,0 +1,76 @@
+"""Analysis-side filtering of profiles.
+
+"After using the profiles for a while we discovered the need to filter
+the data, i.e., to show only hot functions, or only parts of the graph
+containing certain methods" (retrospective).  These helpers select the
+set of routines an analysis or report should keep; the call graph
+machinery itself is untouched — filtering is a view, applied after
+propagation, so percentages remain relative to the whole program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.callgraph import CallGraph
+
+
+def hot_routines(
+    percent_of: Callable[[str], float],
+    routines: Iterable[str],
+    threshold: float,
+) -> set[str]:
+    """Routines whose share of total time is at least ``threshold`` percent.
+
+    ``percent_of`` maps a routine name to its percentage of total program
+    time (self + descendants); the analysis layer provides it.
+    """
+    return {r for r in routines if percent_of(r) >= threshold}
+
+
+def reachable_from(graph: CallGraph, sources: Iterable[str]) -> set[str]:
+    """Routines reachable from any of ``sources`` (inclusive).
+
+    The ``-f`` style focus filter: a routine and everything it (transitively)
+    calls.  Unknown source names are ignored.
+    """
+    seen: set[str] = set()
+    stack = [s for s in sources if s in graph]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(c for c in graph.children(node) if c not in seen)
+    return seen
+
+
+def reaching(graph: CallGraph, sinks: Iterable[str]) -> set[str]:
+    """Routines from which any of ``sinks`` is reachable (inclusive).
+
+    The dual filter: everything that (transitively) calls a routine —
+    used, e.g., to show only the part of the graph above ``WRITE`` in the
+    §6 navigation example.
+    """
+    seen: set[str] = set()
+    stack = [s for s in sinks if s in graph]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(p for p in graph.parents(node) if p not in seen)
+    return seen
+
+
+def containing(graph: CallGraph, names: Iterable[str]) -> set[str]:
+    """The part of the graph "containing certain methods": every routine
+    on some path through any of ``names`` — ancestors and descendants."""
+    names = list(names)
+    return reachable_from(graph, names) | reaching(graph, names)
+
+
+def exclude(routines: Iterable[str], excluded: Iterable[str]) -> set[str]:
+    """All of ``routines`` except ``excluded`` (the ``-E`` style flag)."""
+    banned = set(excluded)
+    return {r for r in routines if r not in banned}

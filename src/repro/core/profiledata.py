@@ -1,0 +1,98 @@
+"""ProfileData: everything one profiled execution leaves behind.
+
+§3 of the paper: "Our solution is to gather profiling data in memory
+during program execution and to condense it to a file as the profiled
+program exits."  The condensed data is (a) the arc table — source
+address, destination address, traversal count — and (b) the PC-sample
+histogram with its bounds and step size.  This container holds exactly
+that, decoupled from both the gathering side (VM monitor, Python
+profiler, simulated kernel) and the analysis side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.arcs import RawArc
+from repro.core.histogram import Histogram, sum_histograms
+from repro.errors import MergeError
+
+
+@dataclass
+class ProfileData:
+    """The condensed output of one (or several summed) profiled runs.
+
+    Attributes:
+        histogram: the PC-sample histogram.
+        arcs: raw call graph arcs with traversal counts.
+        runs: how many executions were summed into this data (1 for a
+            fresh profile; merging adds them up).
+        comment: free-form provenance (program name, workload, ...).
+    """
+
+    histogram: Histogram
+    arcs: list[RawArc] = field(default_factory=list)
+    runs: int = 1
+    comment: str = ""
+
+    @property
+    def total_ticks(self) -> int:
+        """Total PC samples across the histogram."""
+        return self.histogram.total_ticks
+
+    @property
+    def total_calls(self) -> int:
+        """Total dynamic arc traversals recorded."""
+        return sum(a.count for a in self.arcs)
+
+    def condensed_arcs(self) -> list[RawArc]:
+        """Arcs with duplicate (from_pc, self_pc) pairs summed.
+
+        The in-memory arc table already keeps one entry per pair, but
+        merged data sets may contain duplicates; condensing restores the
+        on-file invariant.
+        """
+        merged: dict[tuple[int, int], int] = {}
+        for arc in self.arcs:
+            key = (arc.from_pc, arc.self_pc)
+            merged[key] = merged.get(key, 0) + arc.count
+        return [RawArc(f, s, c) for (f, s), c in sorted(merged.items())]
+
+    def copy(self) -> "ProfileData":
+        """A deep, independent copy."""
+        return ProfileData(
+            self.histogram.copy(),
+            list(self.arcs),
+            self.runs,
+            self.comment,
+        )
+
+
+def merge_profiles(profiles: Sequence[ProfileData]) -> ProfileData:
+    """Sum several profiles of the same executable into one.
+
+    Implements the paper's multi-run accumulation ("the profile data for
+    several executions of a program can be combined by the
+    post-processing") and the retrospective's "ability to sum the data
+    over several profiled runs, to accumulate enough time in
+    short-running methods".
+
+    All histograms must share bounds, bucket count and clock rate —
+    i.e. come from the same executable image.  Raises
+    :class:`~repro.errors.MergeError` otherwise.
+    """
+    if not profiles:
+        raise MergeError("cannot merge zero profiles")
+    try:
+        histogram = sum_histograms([p.histogram for p in profiles])
+    except Exception as exc:
+        raise MergeError(str(exc)) from exc
+    merged = ProfileData(
+        histogram,
+        [a for p in profiles for a in p.arcs],
+        runs=sum(p.runs for p in profiles),
+        comment="; ".join(filter(None, (p.comment for p in profiles))),
+    )
+    merged.arcs = merged.condensed_arcs()
+    return merged

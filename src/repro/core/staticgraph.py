@@ -1,0 +1,60 @@
+"""Static call graph augmentation.
+
+§4 of the paper: gprof can "examine the instructions in the object
+program, looking for calls to routines" and add the statically-apparent
+arcs to the dynamic call graph with a traversal count of zero.  They are
+"never responsible for any time propagation" but "may affect the
+structure of the graph": in particular they can complete
+strongly-connected components, making cycle membership stable across
+executions — which is why augmentation happens *before* topological
+ordering.
+
+The actual instruction scanning lives with each executable format
+(:mod:`repro.machine.crawl` for VM images,
+:mod:`repro.pyprof.staticarcs` for Python bytecode); this module defines
+the format-independent protocol and the merge step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from repro.core.arcs import ArcSet
+from repro.core.callgraph import CallGraph
+
+
+class StaticArcSource(Protocol):
+    """Anything that can enumerate statically-apparent calls.
+
+    Implementations yield ``(caller, callee)`` routine-name pairs for
+    every call instruction found in the program text.
+    """
+
+    def static_arcs(self) -> Iterable[tuple[str, str]]:
+        """Yield (caller name, callee name) for each apparent call."""
+        ...  # pragma: no cover - protocol
+
+
+def augment_with_static_arcs(
+    graph: CallGraph,
+    static_pairs: Iterable[tuple[str, str]],
+) -> int:
+    """Add zero-count arcs for statically-discovered calls.
+
+    Pairs already present in the dynamic graph are left untouched
+    ("If a statically discovered arc already exists in the dynamic call
+    graph, no action is required").  Returns the number of arcs added.
+    """
+    added = 0
+    from repro.core.arcs import Arc
+
+    for caller, callee in static_pairs:
+        if graph.arc(caller, callee) is None:
+            graph.add_arc(Arc(caller, callee, 0, 1, static=True))
+            added += 1
+    return added
+
+
+def augment_arcset(arcs: ArcSet, static_pairs: Iterable[tuple[str, str]]) -> int:
+    """Same as :func:`augment_with_static_arcs` for a raw :class:`ArcSet`."""
+    return sum(arcs.add_static(caller, callee) for caller, callee in static_pairs)

@@ -1,0 +1,200 @@
+"""Symbols and symbol tables: mapping program counters to routines.
+
+gprof never sees routine *names* at data-gathering time — the monitoring
+routine and the clock-tick sampler record raw addresses.  Names enter the
+picture only during post-processing, when addresses are looked up in the
+symbol table of the executable image.  This module provides that mapping.
+
+A :class:`Symbol` covers the half-open address range ``[address, end)``.
+A :class:`SymbolTable` holds non-overlapping symbols sorted by address and
+answers "which routine owns this PC?" queries in O(log n) via bisection.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import SymbolError
+
+#: Name used for the synthetic parent of routines whose caller could not be
+#: identified (non-standard calling sequences, program entry, interrupts).
+#: The paper calls such invocations "spontaneous".
+SPONTANEOUS = "<spontaneous>"
+
+
+@dataclass(frozen=True, order=True)
+class Symbol:
+    """A routine in the profiled program.
+
+    Attributes:
+        address: entry address of the routine (inclusive lower bound).
+        name: the routine's name, as found in the executable's symbol table.
+        end: one past the last address belonging to the routine.  A PC
+            sample at any address in ``[address, end)`` is charged to this
+            routine.
+        module: optional name of the object file / source module the
+            routine came from; used by presentation-side filters.
+    """
+
+    address: int
+    name: str = field(compare=False)
+    end: int = field(default=0, compare=False)
+    module: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.end and self.end < self.address:
+            raise SymbolError(
+                f"symbol {self.name!r} ends (0x{self.end:x}) before it "
+                f"starts (0x{self.address:x})"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of address units covered by the routine."""
+        return max(self.end - self.address, 0)
+
+    def covers(self, pc: int) -> bool:
+        """Whether ``pc`` falls inside this routine's address range."""
+        return self.address <= pc < self.end
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}@0x{self.address:x}"
+
+
+class SymbolTable:
+    """Sorted, non-overlapping collection of :class:`Symbol` entries.
+
+    The table is the post-processor's view of the executable image: it
+    translates the raw addresses recorded at run time (call sites, callee
+    entry points, PC samples) into routines.
+    """
+
+    def __init__(self, symbols: Iterable[Symbol] = ()):
+        self._symbols: list[Symbol] = sorted(symbols, key=lambda s: s.address)
+        self._addresses: list[int] = [s.address for s in self._symbols]
+        self._by_name: dict[str, Symbol] = {}
+        self._close_ranges()
+        for sym in self._symbols:
+            if sym.name in self._by_name:
+                raise SymbolError(f"duplicate symbol name {sym.name!r}")
+            self._by_name[sym.name] = sym
+
+    def _close_ranges(self) -> None:
+        """Give each symbol with an unknown end the start of its successor.
+
+        Real symbol tables frequently record only entry addresses; like
+        gprof we assume a routine extends to the next routine's entry.
+        """
+        closed: list[Symbol] = []
+        for i, sym in enumerate(self._symbols):
+            nxt = (
+                self._symbols[i + 1].address
+                if i + 1 < len(self._symbols)
+                else sym.end or sym.address + 1
+            )
+            if not sym.end:
+                sym = Symbol(sym.address, sym.name, nxt, sym.module)
+            elif closed and sym.address < closed[-1].end:
+                raise SymbolError(
+                    f"symbol {sym.name!r} overlaps {closed[-1].name!r}"
+                )
+            closed.append(sym)
+        self._symbols = closed
+
+    # -- collection protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._symbols)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymbolTable):
+            return NotImplemented
+        return self._symbols == other._symbols and [
+            s.name for s in self._symbols
+        ] == [s.name for s in other._symbols]
+
+    # -- lookups -------------------------------------------------------------
+
+    def find(self, pc: int) -> Symbol | None:
+        """Return the symbol whose address range covers ``pc``.
+
+        Returns None when the PC falls outside every known routine (e.g. a
+        sample taken in unprofiled library code).
+        """
+        i = bisect.bisect_right(self._addresses, pc) - 1
+        if i < 0:
+            return None
+        sym = self._symbols[i]
+        return sym if sym.covers(pc) else None
+
+    def by_name(self, name: str) -> Symbol:
+        """Return the symbol called ``name``; raise SymbolError if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SymbolError(f"no symbol named {name!r}") from None
+
+    def get(self, name: str) -> Symbol | None:
+        """Return the symbol called ``name``, or None."""
+        return self._by_name.get(name)
+
+    @property
+    def low_pc(self) -> int:
+        """Lowest address covered by any symbol (0 for an empty table)."""
+        return self._symbols[0].address if self._symbols else 0
+
+    @property
+    def high_pc(self) -> int:
+        """One past the highest address covered by any symbol."""
+        return self._symbols[-1].end if self._symbols else 0
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the table."""
+        return {
+            "symbols": [
+                {
+                    "address": s.address,
+                    "name": s.name,
+                    "end": s.end,
+                    "module": s.module,
+                }
+                for s in self._symbols
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SymbolTable":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            entries = data["symbols"]
+            return cls(
+                Symbol(e["address"], e["name"], e.get("end", 0), e.get("module", ""))
+                for e in entries
+            )
+        except (KeyError, TypeError) as exc:
+            raise SymbolError(f"malformed symbol table data: {exc}") from exc
+
+    def save(self, path) -> None:
+        """Write the table as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_dict(), f, indent=1)
+
+    @classmethod
+    def load(cls, path) -> "SymbolTable":
+        """Read a table previously written by :meth:`save`."""
+        with open(path, encoding="utf-8") as f:
+            return cls.from_dict(json.load(f))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SymbolTable({len(self._symbols)} symbols)"

@@ -1,0 +1,5 @@
+"""On-disk profile data format (our ``gmon.out`` equivalent)."""
+
+from repro.gmon.format import read_gmon, write_gmon
+
+__all__ = ["read_gmon", "write_gmon"]

@@ -1,0 +1,135 @@
+"""Binary profile data files, in the spirit of BSD's ``gmon.out``.
+
+§3.2: "When the profiled program terminates, the arc table and the
+histogram of program counter samples are written to a file.  The arc
+table is condensed to consist of the source and destination addresses of
+the arc and the count of the number of times the arc was traversed...
+The recorded histogram consists of counters... The ranges themselves are
+summarized as a lower and upper bound and a step size."
+
+Layout (all integers little-endian, unsigned):
+
+======================  =======  =========================================
+field                   size     meaning
+======================  =======  =========================================
+magic                   6        ``b"gmon\\x01\\x00"`` (name + version 1)
+header_len              2        bytes of comment that follow
+comment                 var      UTF-8 provenance string
+runs                    4        number of executions summed into the file
+low_pc                  8        histogram lower bound (inclusive)
+high_pc                 8        histogram upper bound (exclusive)
+num_buckets             4        histogram size
+profrate                4        clock ticks per second
+bucket counts           4 each   one per bucket
+num_arcs                4        arc record count
+arc records             20 each  from_pc (8), self_pc (8), count (4)
+======================  =======  =========================================
+
+Like the original, the file holds raw addresses only — symbol names come
+from the executable image at analysis time, which is what lets several
+runs (and even kernel snapshots) share one format.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO
+
+from repro.core.arcs import RawArc
+from repro.core.histogram import Histogram
+from repro.core.profiledata import ProfileData
+from repro.errors import GmonFormatError
+
+MAGIC = b"gmon\x01\x00"
+_HEADER = struct.Struct("<I QQ I I")  # runs, low, high, nbuckets, profrate
+_BUCKET = struct.Struct("<I")
+_NARCS = struct.Struct("<I")
+_ARC = struct.Struct("<QQI")
+
+#: Bucket counters are 32-bit on disk, matching the retrospective's
+#: "full 32-bit count for each possible program counter value".
+MAX_COUNT = 0xFFFFFFFF
+
+
+def write_gmon(data: ProfileData, path) -> None:
+    """Condense ``data`` to a binary file at ``path``.
+
+    Arc records are merged per (from_pc, self_pc) pair and sorted, so the
+    output is deterministic for identical data.  Counts larger than the
+    32-bit on-disk field raise :class:`GmonFormatError` rather than wrap.
+    """
+    with open(path, "wb") as f:
+        _write_stream(data, f)
+
+
+def _write_stream(data: ProfileData, f: BinaryIO) -> None:
+    hist = data.histogram
+    comment = data.comment.encode("utf-8")
+    if len(comment) > 0xFFFF:
+        raise GmonFormatError("comment longer than 65535 bytes")
+    f.write(MAGIC)
+    f.write(struct.pack("<H", len(comment)))
+    f.write(comment)
+    f.write(
+        _HEADER.pack(
+            data.runs, hist.low_pc, hist.high_pc, len(hist.counts), hist.profrate
+        )
+    )
+    for count in hist.counts:
+        if count > MAX_COUNT:
+            raise GmonFormatError(f"histogram count {count} exceeds 32 bits")
+        f.write(_BUCKET.pack(count))
+    arcs = data.condensed_arcs()
+    f.write(_NARCS.pack(len(arcs)))
+    for arc in arcs:
+        if arc.count > MAX_COUNT:
+            raise GmonFormatError(f"arc count {arc.count} exceeds 32 bits")
+        f.write(_ARC.pack(arc.from_pc, arc.self_pc, arc.count))
+
+
+def read_gmon(path) -> ProfileData:
+    """Read a profile data file written by :func:`write_gmon`.
+
+    Raises :class:`GmonFormatError` on bad magic, truncation, or any
+    structurally impossible content.
+    """
+    with open(path, "rb") as f:
+        return _read_stream(f)
+
+
+def _read_stream(f: BinaryIO) -> ProfileData:
+    magic = f.read(len(MAGIC))
+    if magic != MAGIC:
+        raise GmonFormatError(
+            f"bad magic {magic!r}: not a profile data file or wrong version"
+        )
+    comment_len = struct.unpack("<H", _exactly(f, 2))[0]
+    comment = _exactly(f, comment_len).decode("utf-8")
+    runs, low_pc, high_pc, nbuckets, profrate = _HEADER.unpack(
+        _exactly(f, _HEADER.size)
+    )
+    if high_pc < low_pc:
+        raise GmonFormatError(f"high_pc {high_pc:#x} below low_pc {low_pc:#x}")
+    counts = [
+        _BUCKET.unpack(_exactly(f, _BUCKET.size))[0] for _ in range(nbuckets)
+    ]
+    narcs = _NARCS.unpack(_exactly(f, _NARCS.size))[0]
+    arcs = []
+    for _ in range(narcs):
+        from_pc, self_pc, count = _ARC.unpack(_exactly(f, _ARC.size))
+        arcs.append(RawArc(from_pc, self_pc, count))
+    trailing = f.read(1)
+    if trailing:
+        raise GmonFormatError("trailing bytes after arc records")
+    histogram = Histogram(low_pc, high_pc, counts, profrate)
+    return ProfileData(histogram, arcs, runs=max(runs, 1), comment=comment)
+
+
+def _exactly(f: BinaryIO, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise on truncation."""
+    data = f.read(n)
+    if len(data) != n:
+        raise GmonFormatError(
+            f"truncated file: wanted {n} bytes, got {len(data)}"
+        )
+    return data

@@ -1,0 +1,17 @@
+"""The simulated time-sharing kernel and its live profiling interface."""
+
+from repro.kernel.build import (
+    CYCLE_CLOSING_ARCS,
+    NETWORK_CYCLE,
+    build_kernel_source,
+)
+from repro.kernel.kgmon import Kgmon, KgmonStatus, KernelSession
+
+__all__ = [
+    "CYCLE_CLOSING_ARCS",
+    "Kgmon",
+    "KgmonStatus",
+    "KernelSession",
+    "NETWORK_CYCLE",
+    "build_kernel_source",
+]

@@ -1,0 +1,155 @@
+"""kgmon: the programmer's interface for live kernel profiling.
+
+"Unlike user programs that could be run to completion, dump their
+profiling data to a file, and exit, we had to be able to profile events
+of interest in the kernel without taking the kernel down. ... The
+programmer's interface allowed us to turn the profiler on and off,
+extract the profiling data, and reset the data." (retrospective)
+
+:class:`KernelSession` owns a running simulated kernel (the CPU is
+executed in instruction slices, standing in for a kernel that keeps
+serving users between control operations).  :class:`Kgmon` is the
+control tool: ``on`` / ``off`` / ``extract`` / ``reset`` / ``status``,
+all usable while the kernel keeps running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profiledata import ProfileData
+from repro.core.symbols import SymbolTable
+from repro.errors import KernelError
+from repro.machine.assembler import assemble
+from repro.machine.cpu import CPU
+from repro.machine.executable import Executable
+from repro.machine.monitor import Monitor, MonitorConfig
+from repro.kernel.build import build_kernel_source
+
+
+class KernelSession:
+    """A live simulated kernel with profiling machinery attached.
+
+    Arguments:
+        iterations: scheduling quanta the kernel main loop executes.
+        cycles_per_tick: profiling clock granularity.
+        profrate: nominal ticks/second for converting ticks to seconds.
+        **build_kw: forwarded to
+            :func:`repro.kernel.build.build_kernel_source`.
+    """
+
+    def __init__(
+        self,
+        iterations: int = 400,
+        cycles_per_tick: int = 50,
+        profrate: int = 100,
+        device_interrupts: bool = True,
+        irq_period: int = 900,
+        **build_kw,
+    ):
+        source = build_kernel_source(iterations=iterations, **build_kw)
+        self.executable: Executable = assemble(source, name="kernel", profile=True)
+        self.monitor = Monitor(
+            MonitorConfig(
+                self.executable.low_pc,
+                self.executable.high_pc,
+                cycles_per_tick=cycles_per_tick,
+                profrate=profrate,
+            )
+        )
+        # Device interrupts arrive asynchronously: their handler's arcs
+        # have no identifiable call site and show up as <spontaneous> —
+        # the §3.1 "non-standard calling sequence" case, live.
+        from repro.machine.cpu import InterruptSource
+
+        interrupts = (
+            [InterruptSource("irq_device", irq_period)]
+            if device_interrupts
+            else []
+        )
+        self.cpu = CPU(self.executable, self.monitor, interrupts=interrupts)
+
+    # -- keeping the kernel running ------------------------------------------------
+
+    def run_slice(self, instructions: int = 2000) -> bool:
+        """Execute one time slice; returns True while the kernel lives."""
+        if self.cpu.halted:
+            return False
+        self.cpu.run(max_instructions=instructions)
+        return not self.cpu.halted
+
+    def run_to_completion(self) -> None:
+        """Let the kernel finish its workload."""
+        self.cpu.run()
+
+    @property
+    def halted(self) -> bool:
+        """Whether the kernel workload has finished."""
+        return self.cpu.halted
+
+    def symbol_table(self) -> SymbolTable:
+        """The kernel's symbol table (for analyzing extracted data)."""
+        return self.executable.symbol_table()
+
+
+@dataclass
+class KgmonStatus:
+    """What ``kgmon status`` reports.
+
+    Attributes:
+        enabled: whether the profiler is currently gathering.
+        ticks: PC samples accumulated since the last reset.
+        arcs: distinct (call site, callee) pairs recorded.
+        calls: total arc traversals recorded.
+        kernel_cycles: the kernel's cycle clock (keeps advancing even
+            with profiling off — the system never stops).
+        halted: whether the kernel workload has finished.
+    """
+
+    enabled: bool
+    ticks: int
+    arcs: int
+    calls: int
+    kernel_cycles: int
+    halted: bool
+
+
+class Kgmon:
+    """The kgmon control tool, bound to one kernel session."""
+
+    def __init__(self, session: KernelSession):
+        self.session = session
+
+    def on(self) -> None:
+        """Start (or resume) profiling the running kernel."""
+        self.session.monitor.moncontrol(True)
+
+    def off(self) -> None:
+        """Stop profiling; the kernel keeps running at full speed."""
+        self.session.monitor.moncontrol(False)
+
+    def reset(self) -> None:
+        """Zero the histogram and arc table without stopping anything."""
+        self.session.monitor.reset()
+
+    def extract(self, comment: str = "kgmon extract") -> ProfileData:
+        """Pull out the profiling data gathered so far.
+
+        The kernel is untouched: extraction copies the monitor state,
+        which keeps accumulating unless :meth:`reset` is called.
+        """
+        if self.session.cpu.instructions_executed == 0:
+            raise KernelError("kernel has not run yet; nothing to extract")
+        return self.session.monitor.snapshot(comment)
+
+    def status(self) -> KgmonStatus:
+        """Report the monitor and kernel state."""
+        mon = self.session.monitor
+        return KgmonStatus(
+            enabled=mon.enabled,
+            ticks=mon.histogram.total_ticks,
+            arcs=len(mon.arc_table),
+            calls=sum(a.count for a in mon.arc_table.arcs()),
+            kernel_cycles=self.session.cpu.cycles,
+            halted=self.session.halted,
+        )

@@ -1,0 +1,46 @@
+"""Rel: a small imperative language compiled to the VM.
+
+§3 of the paper: "our compilers for C, Fortran77, and Pascal can
+insert calls to a monitoring routine in the prologue for each routine.
+Use of the monitoring routine requires no planning on part of a
+programmer other than to request that augmented routine prologues be
+produced during compilation."
+
+This package is that compiler for the reproduction's machine: programs
+are written in a small language (functions, integers, globals, one
+global array, ``if``/``while``, short-circuit booleans, ``print``) and
+compiled to VM assembly; passing ``profile=True`` — the ``-pg`` flag —
+plants the monitoring prologues with zero source changes.  The
+compiler is itself a recursive-descent parser feeding a tree-walking
+code generator, i.e. exactly the kind of program §6 warns profiles
+poorly ("recursive descent compilers ... grouped into a single
+monolithic cycle") — profiling it with its own output is the dogfood
+the authors describe.
+
+Example::
+
+    func fib(n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    func main() {
+        print fib(15);
+    }
+
+    >>> exe = compile_source(text, profile=True)   # "cc -pg"
+"""
+
+from repro.lang.compiler import compile_source, compile_to_asm
+from repro.lang.optimize import optimize
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.programs import REL_PROGRAMS
+
+__all__ = [
+    "REL_PROGRAMS",
+    "compile_source",
+    "compile_to_asm",
+    "optimize",
+    "parse",
+    "pretty",
+]

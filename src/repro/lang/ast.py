@@ -1,0 +1,173 @@
+"""Abstract syntax of the Rel language.
+
+Plain dataclasses; every node carries the source line for diagnostics.
+Expressions evaluate to a single integer on the VM's operand stack;
+statements leave the stack balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """Integer literal."""
+
+    value: int
+    line: int
+
+
+@dataclass(frozen=True)
+class Var:
+    """A local or global scalar reference."""
+
+    name: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Index:
+    """A global array element, ``arr[expr]``."""
+
+    array: str
+    index: "Expr"
+    line: int
+
+
+@dataclass(frozen=True)
+class Unary:
+    """``-x`` or ``!x``."""
+
+    op: str
+    operand: "Expr"
+    line: int
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Arithmetic/comparison; ``&&``/``||`` short-circuit."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int
+
+
+@dataclass(frozen=True)
+class Call:
+    """A function call (always produces a value)."""
+
+    name: str
+    args: tuple["Expr", ...]
+    line: int
+
+
+Expr = Num | Var | Index | Unary | Binary | Call
+
+
+# -- statements -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``name = expr;`` (declares the local on first use)."""
+
+    name: str
+    value: Expr
+    line: int
+
+
+@dataclass(frozen=True)
+class AssignIndex:
+    """``arr[i] = expr;``"""
+
+    array: str
+    index: Expr
+    value: Expr
+    line: int
+
+
+@dataclass(frozen=True)
+class If:
+    """``if (cond) {…} else {…}`` (else optional)."""
+
+    cond: Expr
+    then: tuple["Stmt", ...]
+    otherwise: tuple["Stmt", ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class While:
+    """``while (cond) {…}``"""
+
+    cond: Expr
+    body: tuple["Stmt", ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class Return:
+    """``return expr;`` / ``return;`` (returns 0)."""
+
+    value: Expr | None
+    line: int
+
+
+@dataclass(frozen=True)
+class Print:
+    """``print expr;`` → the VM's OUT."""
+
+    value: Expr
+    line: int
+
+
+@dataclass(frozen=True)
+class Burn:
+    """``burn N;`` → WORK N, the synthetic-load statement."""
+
+    cycles: int
+    line: int
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    """An expression evaluated for effect; its value is discarded."""
+
+    value: Expr
+    line: int
+
+
+Stmt = Assign | AssignIndex | If | While | Return | Print | Burn | ExprStmt
+
+
+# -- top level ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Function:
+    """``func name(params) { body }``"""
+
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    line: int
+
+
+@dataclass
+class Program:
+    """A whole source file.
+
+    Attributes:
+        globals_: scalar global names, in declaration order.
+        arrays: array name → size, in declaration order.
+        functions: the program's routines.
+    """
+
+    globals_: list[str] = field(default_factory=list)
+    arrays: dict[str, int] = field(default_factory=dict)
+    functions: list[Function] = field(default_factory=list)

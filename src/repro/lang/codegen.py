@@ -1,0 +1,256 @@
+"""Code generation: Rel AST → VM assembly text.
+
+A tree-walking generator with the classic stack discipline: every
+expression leaves exactly one value on the operand stack; every
+statement leaves the stack balanced.  The output is ordinary assembly
+for :mod:`repro.machine.assembler`, so the profiling option (MCOUNT
+prologues) and block counting arrive there, not here — the compiler
+"requires no planning on part of a programmer".
+
+Name resolution is C-flavoured:
+
+* parameters and names assigned in a function are locals (slot
+  numbered; locals read before their first assignment are zero, like
+  the VM's frames);
+* a name declared ``var`` or ``array`` at top level is a global,
+  *unless* shadowed by a local assignment... which cannot happen: a
+  name assigned in a function that is also a declared global writes
+  the global (there is no local declaration syntax, so globals win).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LangError
+from repro.lang import ast
+
+#: Arithmetic and comparison opcodes by source operator.
+_BINOPS = {
+    "+": "ADD", "-": "SUB", "*": "MUL", "/": "DIV", "%": "MOD",
+    "==": "EQ", "!=": "NE", "<": "LT", "<=": "LE", ">": "GT", ">=": "GE",
+}
+
+
+class _Layout:
+    """Global segment layout and function signatures."""
+
+    def __init__(self, program: ast.Program):
+        self.scalar_slot: dict[str, int] = {}
+        self.array_base: dict[str, int] = {}
+        offset = 0
+        for name in program.globals_:
+            self.scalar_slot[name] = offset
+            offset += 1
+        for name, size in program.arrays.items():
+            self.array_base[name] = offset
+            offset += size
+        self.num_globals = offset
+        self.arity = {f.name: len(f.params) for f in program.functions}
+
+
+def generate(program: ast.Program) -> str:
+    """The whole program's assembly text."""
+    layout = _Layout(program)
+    parts = []
+    if layout.num_globals:
+        parts.append(f".globals {layout.num_globals}")
+    for fn in program.functions:
+        parts.append(_FunctionCodegen(layout, fn).generate())
+    return "\n".join(parts) + "\n"
+
+
+class _FunctionCodegen:
+    def __init__(self, layout: _Layout, fn: ast.Function):
+        self.layout = layout
+        self.fn = fn
+        self.lines: list[str] = []
+        self.slots: dict[str, int] = {}
+        self.labels = 0
+        for param in fn.params:
+            self.slots[param] = len(self.slots)
+        self._collect_locals(fn.body)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str) -> str:
+        self.labels += 1
+        return f"_L{self.labels}_{hint}"
+
+    def _collect_locals(self, stmts) -> None:
+        """Pre-scan assignment targets so forward reads resolve."""
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                if stmt.name not in self.layout.scalar_slot:
+                    self.slots.setdefault(stmt.name, len(self.slots))
+            elif isinstance(stmt, ast.If):
+                self._collect_locals(stmt.then)
+                self._collect_locals(stmt.otherwise)
+            elif isinstance(stmt, ast.While):
+                self._collect_locals(stmt.body)
+
+    # -- entry point ----------------------------------------------------------------
+
+    def generate(self) -> str:
+        self.lines.append(f".func {self.fn.name}")
+        # prologue: pop arguments into their slots (last argument is on
+        # top of the stack)
+        for i in reversed(range(len(self.fn.params))):
+            self.emit(f"STORE {i}")
+        for stmt in self.fn.body:
+            self.statement(stmt)
+        # implicit 'return 0' so no control path falls off the end and
+        # no generated label dangles past the last instruction
+        self.emit("PUSH 0")
+        self.emit("RET")
+        self.lines.append(".end")
+        return "\n".join(self.lines)
+
+    # -- statements --------------------------------------------------------------------
+
+    def statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self.expression(stmt.value)
+            if stmt.name in self.slots:
+                self.emit(f"STORE {self.slots[stmt.name]}")
+            elif stmt.name in self.layout.scalar_slot:
+                self.emit(f"GSTORE {self.layout.scalar_slot[stmt.name]}")
+            else:  # pragma: no cover - _collect_locals guarantees a slot
+                raise LangError(f"cannot assign {stmt.name!r}", stmt.line)
+        elif isinstance(stmt, ast.AssignIndex):
+            base = self._array_base(stmt.array, stmt.line)
+            self.expression(stmt.value)
+            self.expression(stmt.index)
+            if base:
+                self.emit(f"PUSH {base}")
+                self.emit("ADD")
+            self.emit("GSTOREI")
+        elif isinstance(stmt, ast.If):
+            otherwise = self.new_label("else")
+            end = self.new_label("endif")
+            self.expression(stmt.cond)
+            self.emit(f"JZ {otherwise if stmt.otherwise else end}")
+            for s in stmt.then:
+                self.statement(s)
+            if stmt.otherwise:
+                self.emit(f"JMP {end}")
+                self.emit_label(otherwise)
+                for s in stmt.otherwise:
+                    self.statement(s)
+            self.emit_label(end)
+        elif isinstance(stmt, ast.While):
+            loop = self.new_label("loop")
+            end = self.new_label("endloop")
+            self.emit_label(loop)
+            self.expression(stmt.cond)
+            self.emit(f"JZ {end}")
+            for s in stmt.body:
+                self.statement(s)
+            self.emit(f"JMP {loop}")
+            self.emit_label(end)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.expression(stmt.value)
+            else:
+                self.emit("PUSH 0")
+            self.emit("RET")
+        elif isinstance(stmt, ast.Print):
+            self.expression(stmt.value)
+            self.emit("OUT")
+        elif isinstance(stmt, ast.Burn):
+            if stmt.cycles < 0:
+                raise LangError("burn needs a non-negative count", stmt.line)
+            self.emit(f"WORK {stmt.cycles}")
+        elif isinstance(stmt, ast.ExprStmt):
+            self.expression(stmt.value)
+            self.emit("POP")
+        else:  # pragma: no cover - exhaustive
+            raise LangError(f"unknown statement {stmt!r}")
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def expression(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Num):
+            self.emit(f"PUSH {expr.value}")
+        elif isinstance(expr, ast.Var):
+            self._load_name(expr.name, expr.line)
+        elif isinstance(expr, ast.Index):
+            base = self._array_base(expr.array, expr.line)
+            self.expression(expr.index)
+            if base:
+                self.emit(f"PUSH {base}")
+                self.emit("ADD")
+            self.emit("GLOADI")
+        elif isinstance(expr, ast.Unary):
+            self.expression(expr.operand)
+            if expr.op == "-":
+                self.emit("NEG")
+            else:  # '!'
+                self.emit("PUSH 0")
+                self.emit("EQ")
+        elif isinstance(expr, ast.Binary):
+            if expr.op in ("&&", "||"):
+                self._short_circuit(expr)
+            else:
+                self.expression(expr.left)
+                self.expression(expr.right)
+                self.emit(_BINOPS[expr.op])
+        elif isinstance(expr, ast.Call):
+            arity = self.layout.arity.get(expr.name)
+            if arity is None:
+                raise LangError(f"unknown function {expr.name!r}", expr.line)
+            if arity != len(expr.args):
+                raise LangError(
+                    f"{expr.name!r} takes {arity} argument(s), "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                )
+            for arg in expr.args:
+                self.expression(arg)
+            self.emit(f"CALL {expr.name}")
+        else:  # pragma: no cover - exhaustive
+            raise LangError(f"unknown expression {expr!r}")
+
+    def _short_circuit(self, expr: ast.Binary) -> None:
+        end = self.new_label("bool")
+        if expr.op == "&&":
+            out = self.new_label("false")
+            self.expression(expr.left)
+            self.emit(f"JZ {out}")
+            self.expression(expr.right)
+            self.emit(f"JZ {out}")
+            self.emit("PUSH 1")
+            self.emit(f"JMP {end}")
+            self.emit_label(out)
+            self.emit("PUSH 0")
+        else:  # '||'
+            out = self.new_label("true")
+            self.expression(expr.left)
+            self.emit(f"JNZ {out}")
+            self.expression(expr.right)
+            self.emit(f"JNZ {out}")
+            self.emit("PUSH 0")
+            self.emit(f"JMP {end}")
+            self.emit_label(out)
+            self.emit("PUSH 1")
+        self.emit_label(end)
+        self.emit("NOP")  # anchor: labels always precede an instruction
+
+    def _load_name(self, name: str, line: int) -> None:
+        if name in self.slots:
+            self.emit(f"LOAD {self.slots[name]}")
+        elif name in self.layout.scalar_slot:
+            self.emit(f"GLOAD {self.layout.scalar_slot[name]}")
+        elif name in self.layout.array_base:
+            raise LangError(f"{name!r} is an array; index it", line)
+        else:
+            raise LangError(f"undefined name {name!r}", line)
+
+    def _array_base(self, name: str, line: int) -> int:
+        if name not in self.layout.array_base:
+            raise LangError(f"{name!r} is not an array", line)
+        return self.layout.array_base[name]

@@ -1,0 +1,55 @@
+"""The Rel compiler driver: source text → assembly → executable.
+
+``compile_source(text, profile=True)`` is the reproduction's
+``cc -pg``: the profiling instrumentation is a compilation option, not
+a source-level concern, exactly as §3 describes.
+"""
+
+from __future__ import annotations
+
+from repro.lang.codegen import generate
+from repro.lang.optimize import optimize
+from repro.lang.parser import parse
+from repro.machine.assembler import assemble
+from repro.machine.executable import Executable
+
+
+def compile_to_asm(
+    source: str, optimize_level: int = 0
+) -> str:
+    """Compile Rel source to VM assembly text (inspectable).
+
+    ``optimize_level``: 0 = none; 1 = constant folding, branch pruning,
+    dead-code removal; 2 = level 1 plus §6 inline expansion of trivial
+    routines (which removes them from the program — and therefore from
+    future profiles, the documented trade-off).
+    """
+    program = parse(source)
+    if optimize_level >= 1:
+        program = optimize(program, inline=optimize_level >= 2)
+    return generate(program)
+
+
+def compile_source(
+    source: str,
+    name: str = "a.out",
+    profile: bool = False,
+    count_blocks: bool = False,
+    optimize_level: int = 0,
+) -> Executable:
+    """Compile Rel source all the way to an executable image.
+
+    Arguments:
+        source: Rel program text.
+        name: program name recorded in the image.
+        profile: plant monitoring prologues (the ``-pg`` flag).
+        count_blocks: plant inline basic-block counters instead of or
+            in addition to profiling.
+        optimize_level: see :func:`compile_to_asm`.
+    """
+    return assemble(
+        compile_to_asm(source, optimize_level=optimize_level),
+        name=name,
+        profile=profile,
+        count_blocks=count_blocks,
+    )

@@ -1,0 +1,81 @@
+"""Tokenizer for the Rel language.
+
+Token kinds: ``num`` (integer literals), ``name`` (identifiers),
+``kw`` (reserved words), ``op`` (operators and punctuation), ``eof``.
+Comments run from ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LangError
+
+KEYWORDS = frozenset(
+    {"func", "var", "array", "if", "else", "while", "return", "print", "burn"}
+)
+
+#: Multi-character operators, longest first so '==' beats '='.
+_OPERATORS = (
+    "==", "!=", "<=", ">=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source line (for error messages)."""
+
+    kind: str   # num | name | kw | op | eof
+    value: object
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}:{self.value!r}@{self.line}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn Rel source text into a token list ending with ``eof``."""
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("num", int(source[i:j]), line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "kw" if word in KEYWORDS else "name"
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LangError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", None, line))
+    return tokens

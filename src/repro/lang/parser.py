@@ -1,0 +1,300 @@
+"""Recursive-descent parser for Rel.
+
+Grammar (EBNF)::
+
+    program   := (global | arraydecl | function)*
+    global    := 'var' name ';'
+    arraydecl := 'array' name '[' num ']' ';'
+    function  := 'func' name '(' [name (',' name)*] ')' block
+    block     := '{' stmt* '}'
+    stmt      := name '=' expr ';'
+               | name '[' expr ']' '=' expr ';'
+               | 'if' '(' expr ')' block ['else' block]
+               | 'while' '(' expr ')' block
+               | 'return' [expr] ';'
+               | 'print' expr ';'
+               | 'burn' num ';'
+               | expr ';'
+    expr      := or
+    or        := and ('||' and)*
+    and       := cmp ('&&' cmp)*
+    cmp       := add (('=='|'!='|'<'|'<='|'>'|'>=') add)?
+    add       := mul (('+'|'-') mul)*
+    mul       := unary (('*'|'/'|'%') unary)*
+    unary     := ('-'|'!') unary | primary
+    primary   := num | name '(' args ')' | name '[' expr ']' | name
+               | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import LangError
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+
+def parse(source: str) -> ast.Program:
+    """Parse Rel source text into a :class:`~repro.lang.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, value=None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def expect(self, kind: str, value=None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, value):
+            want = value if value is not None else kind
+            raise LangError(
+                f"expected {want!r}, found {tok.value!r}", tok.line
+            )
+        return self.advance()
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        seen: set[str] = set()
+        while not self.at("eof"):
+            tok = self.peek()
+            if self.at("kw", "var"):
+                self.advance()
+                name = self.expect("name").value
+                self.expect("op", ";")
+                self._declare(program, seen, name, tok.line)
+                program.globals_.append(name)
+            elif self.at("kw", "array"):
+                self.advance()
+                name = self.expect("name").value
+                self.expect("op", "[")
+                size = self.expect("num").value
+                self.expect("op", "]")
+                self.expect("op", ";")
+                if size < 1:
+                    raise LangError(f"array {name!r} needs size >= 1", tok.line)
+                self._declare(program, seen, name, tok.line)
+                program.arrays[name] = size
+            elif self.at("kw", "func"):
+                fn = self.parse_function()
+                self._declare(program, seen, fn.name, fn.line)
+                program.functions.append(fn)
+            else:
+                raise LangError(
+                    f"expected a declaration, found {tok.value!r}", tok.line
+                )
+        if not any(f.name == "main" for f in program.functions):
+            raise LangError("program has no 'main' function")
+        return program
+
+    @staticmethod
+    def _declare(program, seen: set[str], name: str, line: int) -> None:
+        if name in seen:
+            raise LangError(f"duplicate top-level name {name!r}", line)
+        seen.add(name)
+
+    def parse_function(self) -> ast.Function:
+        start = self.expect("kw", "func")
+        name = self.expect("name").value
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.at("op", ")"):
+            params.append(self.expect("name").value)
+            while self.at("op", ","):
+                self.advance()
+                params.append(self.expect("name").value)
+        if len(set(params)) != len(params):
+            raise LangError(f"duplicate parameter in {name!r}", start.line)
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.Function(name, tuple(params), body, start.line)
+
+    def parse_block(self) -> tuple[ast.Stmt, ...]:
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.at("op", "}"):
+            stmts.append(self.parse_statement())
+        self.expect("op", "}")
+        return tuple(stmts)
+
+    # -- statements ------------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if self.at("kw", "if"):
+            return self.parse_if()
+        if self.at("kw", "while"):
+            self.advance()
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            body = self.parse_block()
+            return ast.While(cond, body, tok.line)
+        if self.at("kw", "return"):
+            self.advance()
+            value = None if self.at("op", ";") else self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(value, tok.line)
+        if self.at("kw", "print"):
+            self.advance()
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return ast.Print(value, tok.line)
+        if self.at("kw", "burn"):
+            self.advance()
+            cycles = self.expect("num").value
+            self.expect("op", ";")
+            return ast.Burn(cycles, tok.line)
+        if self.at("name"):
+            # could be assignment, indexed assignment, or expression
+            if self.tokens[self.pos + 1].kind == "op":
+                nxt = self.tokens[self.pos + 1].value
+                if nxt == "=":
+                    name = self.advance().value
+                    self.advance()  # '='
+                    value = self.parse_expr()
+                    self.expect("op", ";")
+                    return ast.Assign(name, value, tok.line)
+                if nxt == "[" and self._is_indexed_assignment():
+                    name = self.advance().value
+                    self.advance()  # '['
+                    index = self.parse_expr()
+                    self.expect("op", "]")
+                    self.expect("op", "=")
+                    value = self.parse_expr()
+                    self.expect("op", ";")
+                    return ast.AssignIndex(name, index, value, tok.line)
+        value = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ExprStmt(value, tok.line)
+
+    def _is_indexed_assignment(self) -> bool:
+        """Lookahead: does ``name[ … ]`` continue with ``=``?"""
+        depth = 0
+        i = self.pos + 1  # at '['
+        while i < len(self.tokens):
+            tok = self.tokens[i]
+            if tok.kind == "op" and tok.value == "[":
+                depth += 1
+            elif tok.kind == "op" and tok.value == "]":
+                depth -= 1
+                if depth == 0:
+                    nxt = self.tokens[i + 1] if i + 1 < len(self.tokens) else None
+                    return (
+                        nxt is not None
+                        and nxt.kind == "op"
+                        and nxt.value == "="
+                    )
+            elif tok.kind == "eof":
+                break
+            i += 1
+        return False
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_block()
+        otherwise: tuple[ast.Stmt, ...] = ()
+        if self.at("kw", "else"):
+            self.advance()
+            if self.at("kw", "if"):
+                otherwise = (self.parse_if(),)
+            else:
+                otherwise = self.parse_block()
+        return ast.If(cond, then, otherwise, tok.line)
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        node = self.parse_and()
+        while self.at("op", "||"):
+            line = self.advance().line
+            node = ast.Binary("||", node, self.parse_and(), line)
+        return node
+
+    def parse_and(self) -> ast.Expr:
+        node = self.parse_cmp()
+        while self.at("op", "&&"):
+            line = self.advance().line
+            node = ast.Binary("&&", node, self.parse_cmp(), line)
+        return node
+
+    def parse_cmp(self) -> ast.Expr:
+        node = self.parse_add()
+        if self.peek().kind == "op" and self.peek().value in (
+            "==", "!=", "<", "<=", ">", ">=",
+        ):
+            op = self.advance()
+            node = ast.Binary(op.value, node, self.parse_add(), op.line)
+        return node
+
+    def parse_add(self) -> ast.Expr:
+        node = self.parse_mul()
+        while self.peek().kind == "op" and self.peek().value in ("+", "-"):
+            op = self.advance()
+            node = ast.Binary(op.value, node, self.parse_mul(), op.line)
+        return node
+
+    def parse_mul(self) -> ast.Expr:
+        node = self.parse_unary()
+        while self.peek().kind == "op" and self.peek().value in ("*", "/", "%"):
+            op = self.advance()
+            node = ast.Binary(op.value, node, self.parse_unary(), op.line)
+        return node
+
+    def parse_unary(self) -> ast.Expr:
+        if self.peek().kind == "op" and self.peek().value in ("-", "!"):
+            op = self.advance()
+            return ast.Unary(op.value, self.parse_unary(), op.line)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "num":
+            self.advance()
+            return ast.Num(tok.value, tok.line)
+        if tok.kind == "name":
+            self.advance()
+            if self.at("op", "("):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.at("op", ")"):
+                    args.append(self.parse_expr())
+                    while self.at("op", ","):
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect("op", ")")
+                return ast.Call(tok.value, tuple(args), tok.line)
+            if self.at("op", "["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return ast.Index(tok.value, index, tok.line)
+            return ast.Var(tok.value, tok.line)
+        if self.at("op", "("):
+            self.advance()
+            node = self.parse_expr()
+            self.expect("op", ")")
+            return node
+        raise LangError(f"expected an expression, found {tok.value!r}", tok.line)

@@ -1,0 +1,126 @@
+"""A pretty-printer for Rel syntax trees.
+
+Produces canonical, re-parseable source — useful for inspecting what
+the optimizer did (``pretty(optimize(parse(src)))``) and for the
+compiler's own round-trip property tests (printing then re-parsing is
+a fixed point).
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+#: Operator precedence for minimal parenthesization.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5, "%": 5,
+}
+
+_UNARY_PRECEDENCE = 6
+
+
+def pretty(program: ast.Program) -> str:
+    """Render a program as canonical Rel source."""
+    parts: list[str] = []
+    for name in program.globals_:
+        parts.append(f"var {name};")
+    for name, size in program.arrays.items():
+        parts.append(f"array {name}[{size}];")
+    if parts:
+        parts.append("")
+    for fn in program.functions:
+        parts.append(_function(fn))
+        parts.append("")
+    return "\n".join(parts).rstrip("\n") + "\n"
+
+
+def _function(fn: ast.Function) -> str:
+    header = f"func {fn.name}({', '.join(fn.params)}) {{"
+    body = _block(fn.body, indent=1)
+    return "\n".join([header, *body, "}"])
+
+
+def _block(stmts, indent: int) -> list[str]:
+    pad = "    " * indent
+    lines: list[str] = []
+    for stmt in stmts:
+        lines.extend(pad + line for line in _statement(stmt, indent))
+    return lines
+
+
+def _statement(stmt: ast.Stmt, indent: int) -> list[str]:
+    if isinstance(stmt, ast.Assign):
+        return [f"{stmt.name} = {_expr(stmt.value)};"]
+    if isinstance(stmt, ast.AssignIndex):
+        return [f"{stmt.array}[{_expr(stmt.index)}] = {_expr(stmt.value)};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"if ({_expr(stmt.cond)}) {{"]
+        lines.extend(
+            "    " + line
+            for s in stmt.then
+            for line in _statement(s, indent + 1)
+        )
+        if stmt.otherwise:
+            lines.append("} else {")
+            lines.extend(
+                "    " + line
+                for s in stmt.otherwise
+                for line in _statement(s, indent + 1)
+            )
+        lines.append("}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"while ({_expr(stmt.cond)}) {{"]
+        lines.extend(
+            "    " + line
+            for s in stmt.body
+            for line in _statement(s, indent + 1)
+        )
+        lines.append("}")
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return ["return;"]
+        return [f"return {_expr(stmt.value)};"]
+    if isinstance(stmt, ast.Print):
+        return [f"print {_expr(stmt.value)};"]
+    if isinstance(stmt, ast.Burn):
+        return [f"burn {stmt.cycles};"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{_expr(stmt.value)};"]
+    raise TypeError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+
+def _expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, ast.Num):
+        # negative literals re-parse as unary minus; canonicalize
+        if expr.value < 0:
+            return _wrap(f"-{-expr.value}", _UNARY_PRECEDENCE, parent_prec)
+        return str(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Index):
+        return f"{expr.array}[{_expr(expr.index)}]"
+    if isinstance(expr, ast.Unary):
+        inner = _expr(expr.operand, _UNARY_PRECEDENCE)
+        return _wrap(f"{expr.op}{inner}", _UNARY_PRECEDENCE, parent_prec)
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        # comparisons are non-associative in the grammar (one optional
+        # comparison per level), so an equal-precedence left operand
+        # needs parentheses there; arithmetic is left-associative.
+        non_assoc = expr.op in ("==", "!=", "<", "<=", ">", ">=")
+        left = _expr(expr.left, prec if non_assoc else prec - 1)
+        right = _expr(expr.right, prec)
+        return _wrap(f"{left} {expr.op} {right}", prec, parent_prec)
+    if isinstance(expr, ast.Call):
+        args = ", ".join(_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+def _wrap(text: str, prec: int, parent_prec: int) -> str:
+    return f"({text})" if prec <= parent_prec else text

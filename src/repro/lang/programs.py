@@ -1,0 +1,125 @@
+"""Canned Rel programs mirroring the assembly workload library.
+
+Having both lets tests cross-validate the compiler (the Rel fib must
+compute what the hand-written fib computes) and lets examples show
+profiles of *compiled* code — where routine shape is the compiler's
+choice, as it was for the paper's C/Fortran/Pascal users.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def fib(n: int = 15) -> str:
+    """Naive Fibonacci (self-recursion)."""
+    return f"""
+func fib(n) {{
+    if (n < 2) {{ return n; }}
+    return fib(n - 1) + fib(n - 2);
+}}
+func main() {{
+    print fib({n});
+}}
+"""
+
+
+def even_odd(n: int = 40) -> str:
+    """Mutual recursion (the minimal call graph cycle)."""
+    return f"""
+func even(n) {{
+    if (n == 0) {{ return 1; }}
+    return odd(n - 1);
+}}
+func odd(n) {{
+    if (n == 0) {{ return 0; }}
+    return even(n - 1);
+}}
+func main() {{
+    print even({n});
+}}
+"""
+
+
+def abstraction(iterations: int = 50) -> str:
+    """The §6 shape: calculations funnel through shared formatting."""
+    return f"""
+func calc1(v) {{ burn 5; return format1(v); }}
+func calc2(v) {{ burn 5; return format2(v); }}
+func calc3(v) {{ burn 5; return format2(v); }}
+func format1(v) {{ burn 40; return write(v); }}
+func format2(v) {{ burn 40; return write(v); }}
+func write(v) {{ burn 15; print v; return v; }}
+func main() {{
+    i = {iterations};
+    while (i > 0) {{
+        calc1(1);
+        calc2(2);
+        calc3(3);
+        i = i - 1;
+    }}
+}}
+"""
+
+
+def sieve(limit: int = 200) -> str:
+    """Sieve of Eratosthenes over the global array: counts primes.
+
+    A classic array workload the assembly library lacks; the inner
+    marking loop concentrates self time, the outer scan drives it.
+    """
+    return f"""
+array flags[{limit}];
+func mark_multiples(p) {{
+    m = p * p;
+    while (m < {limit}) {{
+        flags[m] = 1;
+        m = m + p;
+    }}
+    return 0;
+}}
+func count_primes() {{
+    count = 0;
+    i = 2;
+    while (i < {limit}) {{
+        if (flags[i] == 0) {{
+            count = count + 1;
+            mark_multiples(i);
+        }}
+        i = i + 1;
+    }}
+    return count;
+}}
+func main() {{
+    print count_primes();
+}}
+"""
+
+
+def gcd_chain(rounds: int = 60) -> str:
+    """Euclid's algorithm in a loop: data-dependent recursion depth."""
+    return f"""
+func gcd(a, b) {{
+    if (b == 0) {{ return a; }}
+    return gcd(b, a % b);
+}}
+func main() {{
+    total = 0;
+    i = 1;
+    while (i <= {rounds}) {{
+        total = total + gcd(i * 91, i + 133);
+        i = i + 1;
+    }}
+    print total;
+}}
+"""
+
+
+#: Registry, like :data:`repro.machine.programs.PROGRAMS`.
+REL_PROGRAMS: dict[str, Callable[..., str]] = {
+    "fib": fib,
+    "even_odd": even_odd,
+    "abstraction": abstraction,
+    "sieve": sieve,
+    "gcd_chain": gcd_chain,
+}

@@ -1,0 +1,56 @@
+"""Static call graph extraction by crawling the executable image.
+
+§4: "In our programming system, the static calling information is also
+contained in the executable version of the program...  One can examine
+the instructions in the object program, looking for calls to routines,
+and note which routines can be called."
+
+For the VM this is exact for direct calls: every ``CALL`` instruction
+names its target.  Indirect calls (``CALLI``) have no static target; as
+an *address-taken* heuristic we treat ``PUSH &f`` inside routine ``g``
+as a potential arc ``g → f`` — the code manifestly loads ``f``'s
+address, so ``f`` "can be called" from there.  This mirrors how real
+binary crawlers over-approximate calls through function pointers; the
+resulting arcs get zero traversal counts and never carry time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.machine.executable import Executable
+from repro.machine.isa import INSTRUCTION_SIZE, Op
+
+
+def static_arcs(exe: Executable) -> Iterator[tuple[str, str]]:
+    """Yield (caller, callee) name pairs apparent in the program text.
+
+    Direct ``CALL`` targets are exact; ``PUSH &f`` contributes the
+    address-taken heuristic arc.  Pairs may repeat when a caller has
+    several call sites for the same callee; consumers deduplicate.
+    """
+    for i, ins in enumerate(exe.instructions):
+        if ins.op is Op.CALL or (ins.op is Op.PUSH and _is_code_address(exe, ins.operand)):
+            addr = i * INSTRUCTION_SIZE
+            caller = exe.function_at(addr)
+            callee = exe.function_at(ins.operand) if ins.operand is not None else None
+            if caller is None or callee is None:
+                continue
+            if ins.op is Op.PUSH and callee.entry != ins.operand:
+                continue  # a constant that merely looks like a mid-body address
+            yield caller.name, callee.name
+
+
+def _is_code_address(exe: Executable, value: int | None) -> bool:
+    """Whether a PUSH operand is plausibly a function entry address."""
+    if value is None or value % INSTRUCTION_SIZE:
+        return False
+    if not exe.low_pc <= value < exe.high_pc:
+        return False
+    fn = exe.function_at(value)
+    return fn is not None and fn.entry == value
+
+
+def static_call_graph(exe: Executable) -> set[tuple[str, str]]:
+    """The deduplicated static call graph of an executable."""
+    return set(static_arcs(exe))

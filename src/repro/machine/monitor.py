@@ -1,0 +1,113 @@
+"""The execution-time monitor: histogram driver + arc table + lifecycle.
+
+§3 splits execution monitoring into three parts: initialization before
+the program runs (``monstartup``), the monitoring routine invoked from
+profiled prologues (``mcount``, here :meth:`Monitor.mcount`), and the
+shutdown step that condenses the data (``mcleanup``, here
+:meth:`Monitor.mcleanup`).  The retrospective adds the programmer's
+interface used for kernel profiling: turn the profiler on and off
+(``moncontrol``), extract the data, and reset it — all without stopping
+the program; :meth:`snapshot` and :meth:`reset` provide those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.histogram import DEFAULT_PROFRATE, Histogram
+from repro.core.profiledata import ProfileData
+from repro.machine.mcount import ArcTable, ArcTableStats
+
+
+@dataclass
+class MonitorConfig:
+    """Configuration fixed at ``monstartup`` time.
+
+    Attributes:
+        low_pc, high_pc: address range to sample.
+        scale: histogram buckets per address unit (1.0 = the one-to-one
+            mapping; smaller = coarser histogram in less memory).
+        cycles_per_tick: simulated cycles per profiling clock tick (the
+            1/60th-of-a-second granularity knob).
+        profrate: nominal ticks per second, used to express simulated
+            cycles as seconds in reports.
+    """
+
+    low_pc: int
+    high_pc: int
+    scale: float = 1.0
+    cycles_per_tick: int = 100
+    profrate: int = DEFAULT_PROFRATE
+
+
+class Monitor:
+    """Per-execution profiling state, attached to a CPU.
+
+    The CPU calls :meth:`tick` at every clock tick (histogram sampling
+    costs the program nothing, as in the kernel-maintained original) and
+    :meth:`mcount` from every profiled prologue (which *does* cost
+    cycles — the return value is the simulated cost the CPU charges).
+    """
+
+    def __init__(self, config: MonitorConfig):
+        self.config = config
+        self.histogram = Histogram.for_range(
+            config.low_pc, config.high_pc, config.scale, config.profrate
+        )
+        self.arc_table = ArcTable()
+        self.enabled = True
+        self.ticks_dropped = 0
+
+    # -- the two data-gathering entry points ------------------------------------
+
+    def tick(self, pc: int) -> None:
+        """Record one clock-tick PC sample (no cost to the program)."""
+        if not self.enabled:
+            return
+        if not self.histogram.record(pc):
+            self.ticks_dropped += 1
+
+    def mcount(self, from_pc: int | None, self_pc: int) -> int:
+        """The monitoring routine: record an arc traversal.
+
+        Returns the simulated cycle cost (0 when profiling is off — the
+        prologue still tests the enable flag, which we price at zero for
+        simplicity; unprofiled *builds* have no prologue at all).
+        """
+        if not self.enabled:
+            return 0
+        return self.arc_table.record(from_pc, self_pc)
+
+    # -- the programmer's interface (moncontrol / kgmon) -------------------------
+
+    def moncontrol(self, enabled: bool) -> None:
+        """Turn profiling on or off while the program keeps running."""
+        self.enabled = enabled
+
+    def snapshot(self, comment: str = "") -> ProfileData:
+        """Extract the profiling data gathered so far, without stopping.
+
+        The kernel-profiling workflow: gather a window of activity, pull
+        the data out, analyze offline.
+        """
+        return ProfileData(
+            self.histogram.copy(),
+            self.arc_table.arcs(),
+            comment=comment,
+        )
+
+    def reset(self) -> None:
+        """Zero the histogram and the arc table (kgmon reset)."""
+        self.histogram.reset()
+        self.arc_table.reset()
+
+    # -- shutdown -----------------------------------------------------------------
+
+    def mcleanup(self, comment: str = "") -> ProfileData:
+        """Condense the data structures as the program terminates (§3)."""
+        return self.snapshot(comment)
+
+    @property
+    def stats(self) -> ArcTableStats:
+        """Arc-table operation statistics (for the T-MCOUNT benchmark)."""
+        return self.arc_table.stats

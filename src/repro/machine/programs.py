@@ -1,0 +1,806 @@
+"""A library of VM programs used by tests, examples, and benchmarks.
+
+Each builder returns assembly source (see
+:mod:`repro.machine.assembler`); callers assemble with or without
+profiling.  The programs are chosen to exercise every behaviour the
+paper discusses:
+
+* ``fib`` — self-recursion (the ``called+self`` notation);
+* ``even_odd`` — a two-routine cycle (Figures 2–3);
+* ``abstraction`` — the §6 output-formatting example: several
+  calculation routines funnel through shared format routines into one
+  ``write`` sink, the workload on which flat profiles go diffuse;
+* ``dispatch`` — functional parameters through one ``CALLI`` site, the
+  case that makes the arc hash table probe its secondary key;
+* ``call_heavy`` / ``compute_heavy`` — the two ends of the profiling
+  overhead range (many cheap calls vs few expensive ones);
+* ``skewed`` — one routine whose cost depends on its argument, the
+  documented pitfall of the average-time assumption;
+* ``netcycle`` — subsystem layers forming a big cycle closed by a
+  rarely-traversed loopback arc (the retrospective's kernel story);
+* ``deep`` — a deep linear call chain for propagation checks;
+* ``codegen`` — a miniature table-driven code generator, the program
+  gprof was originally written to improve.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def _require_positive(**values: int) -> None:
+    """Loop counters of the canned programs count down to zero with a
+    JNZ test; zero or negative starting values would spin forever."""
+    for name, value in values.items():
+        if value < 1:
+            raise ValueError(f"{name} must be >= 1, got {value}")
+
+
+# --------------------------------------------------------------------------- fib
+
+
+def fib(n: int = 15) -> str:
+    """Naive Fibonacci: a self-recursive routine under a tiny main."""
+    return f"""
+.func main
+    PUSH {n}
+    CALL fib
+    OUT
+    HALT
+.end
+
+.func fib
+    STORE 0
+    LOAD 0
+    PUSH 2
+    LT
+    JZ recurse
+    LOAD 0
+    RET
+recurse:
+    LOAD 0
+    PUSH 1
+    SUB
+    CALL fib
+    LOAD 0
+    PUSH 2
+    SUB
+    CALL fib
+    ADD
+    RET
+.end
+"""
+
+
+# ----------------------------------------------------------------------- even/odd
+
+
+def even_odd(n: int = 40) -> str:
+    """Mutual recursion: the minimal non-trivial call graph cycle."""
+    return f"""
+.func main
+    PUSH {n}
+    CALL even
+    OUT
+    HALT
+.end
+
+.func even
+    STORE 0
+    LOAD 0
+    JZ yes
+    LOAD 0
+    PUSH 1
+    SUB
+    CALL odd
+    RET
+yes:
+    PUSH 1
+    RET
+.end
+
+.func odd
+    STORE 0
+    LOAD 0
+    JZ no
+    LOAD 0
+    PUSH 1
+    SUB
+    CALL even
+    RET
+no:
+    PUSH 0
+    RET
+.end
+"""
+
+
+# -------------------------------------------------------------------- abstraction
+
+
+def abstraction(
+    iterations: int = 50,
+    calc_work: int = 5,
+    format_work: int = 40,
+    write_work: int = 15,
+) -> str:
+    """The §6 navigation example: CALC1..3 → FORMAT1/2 → WRITE.
+
+    The formatting abstraction's time is spread across two format
+    routines and the write sink; a flat profile shows three middling
+    routines, while the call graph profile charges the cost to the
+    calculations that caused it.
+    """
+    _require_positive(iterations=iterations)
+    return f"""
+.func main
+    PUSH {iterations}
+    STORE 0
+loop:
+    CALL calc1
+    CALL calc2
+    CALL calc3
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    HALT
+.end
+
+.func calc1
+    WORK {calc_work}
+    PUSH 1
+    CALL format1
+    RET
+.end
+
+.func calc2
+    WORK {calc_work}
+    PUSH 2
+    CALL format2
+    RET
+.end
+
+.func calc3
+    WORK {calc_work}
+    PUSH 3
+    CALL format2
+    RET
+.end
+
+.func format1
+    STORE 0
+    WORK {format_work}
+    LOAD 0
+    CALL write
+    RET
+.end
+
+.func format2
+    STORE 0
+    WORK {format_work}
+    LOAD 0
+    CALL write
+    RET
+.end
+
+.func write
+    STORE 0
+    WORK {write_work}
+    LOAD 0
+    OUT
+    RET
+.end
+"""
+
+
+# ----------------------------------------------------------------------- dispatch
+
+
+def dispatch(rounds: int = 30) -> str:
+    """Functional parameters: one CALLI site, three destinations.
+
+    The single indirect call site in ``invoke`` is the case §3.1 calls
+    out: the primary hash (call site) collides, and the secondary key
+    (callee) disambiguates.
+    """
+    _require_positive(rounds=rounds)
+    return f"""
+.func main
+    PUSH {rounds}
+    STORE 0
+loop:
+    PUSH &handler_a
+    CALL invoke
+    PUSH &handler_b
+    CALL invoke
+    PUSH &handler_c
+    CALL invoke
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    HALT
+.end
+
+.func invoke
+    STORE 0
+    LOAD 0
+    CALLI
+    RET
+.end
+
+.func handler_a
+    WORK 10
+    RET
+.end
+
+.func handler_b
+    WORK 20
+    RET
+.end
+
+.func handler_c
+    WORK 30
+    RET
+.end
+"""
+
+
+# ------------------------------------------------------------- overhead workloads
+
+
+def call_heavy(calls: int = 1000) -> str:
+    """Many calls to a nearly-empty leaf: profiling overhead worst case."""
+    _require_positive(calls=calls)
+    return f"""
+.func main
+    PUSH {calls}
+    STORE 0
+loop:
+    CALL leaf
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    HALT
+.end
+
+.func leaf
+    RET
+.end
+"""
+
+
+def compute_heavy(calls: int = 20, work: int = 2000) -> str:
+    """Few calls, lots of computation: profiling overhead best case."""
+    _require_positive(calls=calls)
+    return f"""
+.func main
+    PUSH {calls}
+    STORE 0
+loop:
+    CALL crunch
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    HALT
+.end
+
+.func crunch
+    WORK {work}
+    RET
+.end
+"""
+
+
+# -------------------------------------------------------------------------- skewed
+
+
+def skewed(cheap_calls: int = 99, dear_calls: int = 1, dear_work: int = 99) -> str:
+    """One routine, very different per-call costs from two callers.
+
+    ``work_n`` burns cycles proportional to its argument.  The cheap
+    caller passes 1; the dear caller passes ``dear_work``.  gprof's
+    average-time assumption will misattribute the dear caller's time —
+    the pitfall the retrospective owns up to.
+    """
+    _require_positive(cheap_calls=cheap_calls, dear_calls=dear_calls, dear_work=dear_work)
+    return f"""
+.func main
+    CALL cheap_caller
+    CALL dear_caller
+    HALT
+.end
+
+.func cheap_caller
+    PUSH {cheap_calls}
+    STORE 0
+loop:
+    PUSH 1
+    CALL work_n
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    RET
+.end
+
+.func dear_caller
+    PUSH {dear_calls}
+    STORE 0
+loop:
+    PUSH {dear_work}
+    CALL work_n
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    RET
+.end
+
+.func work_n
+    STORE 0
+inner:
+    WORK 10
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ inner
+    RET
+.end
+"""
+
+
+# ------------------------------------------------------------------------ netcycle
+
+
+def netcycle(packets: int = 40, loopback_every: int = 13) -> str:
+    """Network-stack layers forming a large cycle via rare loopback.
+
+    ``ip_input → tcp_input → app_recv → sock_send → tcp_output →
+    ip_output`` is a pipeline; every ``loopback_every``-th packet,
+    ``ip_output`` feeds back into ``ip_input`` — a low-traversal-count
+    arc that fuses the whole stack into one cycle, exactly the situation
+    that made kernel profiles useless until the arc-removal option was
+    added.  An unrelated ``disk_io`` subsystem shows what clean
+    attribution looks like.
+    """
+    _require_positive(packets=packets)
+    return f"""
+.globals 1
+.func main
+    PUSH {packets}
+    STORE 0
+loop:
+    LOAD 0
+    CALL ip_input
+    CALL disk_io
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    HALT
+.end
+
+.func ip_input
+    STORE 0
+    WORK 8
+    LOAD 0
+    CALL tcp_input
+    RET
+.end
+
+.func tcp_input
+    STORE 0
+    WORK 12
+    LOAD 0
+    CALL app_recv
+    RET
+.end
+
+.func app_recv
+    STORE 0
+    WORK 6
+    LOAD 0
+    CALL sock_send
+    RET
+.end
+
+.func sock_send
+    STORE 0
+    WORK 5
+    LOAD 0
+    CALL tcp_output
+    RET
+.end
+
+.func tcp_output
+    STORE 0
+    WORK 12
+    LOAD 0
+    CALL ip_output
+    RET
+.end
+
+.func ip_output
+    STORE 0
+    WORK 8
+    LOAD 0
+    PUSH {loopback_every}
+    MOD
+    JNZ done
+    PUSH 1
+    CALL ip_input
+done:
+    RET
+.end
+
+.func disk_io
+    WORK 25
+    RET
+.end
+"""
+
+
+# ---------------------------------------------------------------------------- deep
+
+
+def deep(depth_work: int = 30, iterations: int = 25) -> str:
+    """A five-deep linear chain, each level with its own self time."""
+    _require_positive(iterations=iterations)
+    return f"""
+.func main
+    PUSH {iterations}
+    STORE 0
+loop:
+    CALL level1
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    HALT
+.end
+
+.func level1
+    WORK {depth_work}
+    CALL level2
+    RET
+.end
+
+.func level2
+    WORK {depth_work}
+    CALL level3
+    RET
+.end
+
+.func level3
+    WORK {depth_work}
+    CALL level4
+    RET
+.end
+
+.func level4
+    WORK {depth_work}
+    CALL level5
+    RET
+.end
+
+.func level5
+    WORK {depth_work}
+    RET
+.end
+"""
+
+
+# -------------------------------------------------------------------------- codegen
+
+
+def codegen(statements: int = 20) -> str:
+    """A miniature table-driven code generator.
+
+    ``main`` loops over statements; ``gen_stmt`` recursively generates
+    expressions (``gen_expr`` is self-recursive, standing in for tree
+    walks), consulting a symbol-table ``lookup`` (with a ``rehash``
+    helper) and emitting through a shared ``emit`` abstraction — the
+    very structure whose profile motivated building gprof [Graham82].
+    """
+    _require_positive(statements=statements)
+    return f"""
+.func main
+    PUSH {statements}
+    STORE 0
+loop:
+    LOAD 0
+    PUSH 3
+    MOD
+    PUSH 2
+    ADD
+    CALL gen_stmt
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    HALT
+.end
+
+.func gen_stmt
+    STORE 0
+    WORK 4
+    LOAD 0
+    CALL gen_expr
+    CALL emit
+    RET
+.end
+
+.func gen_expr
+    STORE 0
+    WORK 6
+    LOAD 0
+    CALL lookup
+    LOAD 0
+    PUSH 1
+    LE
+    JNZ leaf
+    LOAD 0
+    PUSH 1
+    SUB
+    CALL gen_expr
+    CALL emit
+    RET
+leaf:
+    CALL emit
+    RET
+.end
+
+.func lookup
+    STORE 0
+    WORK 9
+    LOAD 0
+    PUSH 3
+    MOD
+    JNZ found
+    CALL rehash
+found:
+    RET
+.end
+
+.func rehash
+    WORK 30
+    RET
+.end
+
+.func emit
+    WORK 7
+    RET
+.end
+"""
+
+
+# --------------------------------------------------------------------------- hanoi
+
+
+def hanoi(disks: int = 10) -> str:
+    """Towers of Hanoi: a clean exponential recursion tree.
+
+    ``move(n)`` calls itself twice per level; the OUT at the leaves
+    counts the moves (2^n - 1), a cheap correctness check.
+    """
+    return f"""
+.globals 1
+.func main
+    PUSH 0
+    GSTORE 0
+    PUSH {disks}
+    CALL move
+    GLOAD 0
+    OUT
+    HALT
+.end
+
+.func move
+    STORE 0
+    LOAD 0
+    JZ done
+    LOAD 0
+    PUSH 1
+    SUB
+    CALL move
+    WORK 2
+    GLOAD 0
+    PUSH 1
+    ADD
+    GSTORE 0
+    LOAD 0
+    PUSH 1
+    SUB
+    CALL move
+done:
+    RET
+.end
+"""
+
+
+# ----------------------------------------------------------------------------- sort
+
+
+def insertion_sort(n: int = 24, seed: int = 7) -> str:
+    """Insertion sort over the global segment: data-movement heavy.
+
+    ``main`` fills globals with a linear-congruential sequence, sorts
+    them with ``sort``, and OUTs the smallest element and a checksum.
+    The comparisons and element accesses go through little ``compare``
+    and ``load_slot`` abstractions, so the profile shows a data
+    abstraction's cost concentrated by the call graph — the symbol
+    table "lookup/insert/delete" discussion of §6, in array form.
+    """
+    _require_positive(n=n, seed=seed)
+    return f"""
+.globals {n}
+.func main
+    PUSH {seed}
+    STORE 0        ; rng state
+    PUSH 0
+    STORE 1        ; i
+fill:
+    LOAD 0
+    PUSH 1103
+    MUL
+    PUSH 12289
+    ADD
+    PUSH 10007
+    MOD
+    STORE 0
+    LOAD 0         ; value
+    LOAD 1         ; index
+    GSTOREI        ; globals[i] = rng
+    LOAD 1
+    PUSH 1
+    ADD
+    STORE 1
+    LOAD 1
+    PUSH {n}
+    LT
+    JNZ fill
+    CALL sort
+    GLOAD 0
+    OUT
+    CALL checksum
+    OUT
+    HALT
+.end
+
+.func sort
+    PUSH 1
+    STORE 0        ; i
+outer:
+    LOAD 0
+    STORE 1        ; j
+inner:
+    LOAD 1
+    JZ next
+    LOAD 1
+    CALL compare   ; slot[j-1] > slot[j]?
+    JZ next
+    LOAD 1
+    CALL swap
+    LOAD 1
+    PUSH 1
+    SUB
+    STORE 1
+    JMP inner
+next:
+    LOAD 0
+    PUSH 1
+    ADD
+    STORE 0
+    LOAD 0
+    PUSH {n}
+    LT
+    JNZ outer
+    RET
+.end
+
+.func compare
+    ; arg: index j; returns 1 when slot[j-1] > slot[j]
+    STORE 0
+    WORK 2
+    LOAD 0
+    PUSH 1
+    SUB
+    CALL load_slot
+    LOAD 0
+    CALL load_slot
+    GT
+    RET
+.end
+
+.func swap
+    ; arg: index j; swaps slot[j-1] and slot[j]
+    STORE 0
+    WORK 1
+    LOAD 0
+    PUSH 1
+    SUB
+    CALL load_slot ; a = slot[j-1]
+    LOAD 0
+    CALL load_slot ; b = slot[j]
+    LOAD 0
+    PUSH 1
+    SUB
+    GSTOREI        ; globals[j-1] = b
+    LOAD 0
+    GSTOREI        ; globals[j]   = a
+    RET
+.end
+
+.func checksum
+    PUSH 0
+    STORE 0        ; acc
+    PUSH 0
+    STORE 1        ; i
+loop:
+    LOAD 1
+    CALL load_slot
+    LOAD 0
+    ADD
+    STORE 0
+    LOAD 1
+    PUSH 1
+    ADD
+    STORE 1
+    LOAD 1
+    PUSH {n}
+    LT
+    JNZ loop
+    LOAD 0
+    RET
+.end
+
+.func load_slot
+    STORE 0
+    WORK 1
+    LOAD 0
+    GLOADI
+    RET
+.end
+"""
+
+
+#: Registry of every canned program, used by the CLI and by tests that
+#: want to sweep all workloads.
+PROGRAMS: dict[str, Callable[..., str]] = {
+    "fib": fib,
+    "even_odd": even_odd,
+    "abstraction": abstraction,
+    "dispatch": dispatch,
+    "call_heavy": call_heavy,
+    "compute_heavy": compute_heavy,
+    "skewed": skewed,
+    "netcycle": netcycle,
+    "deep": deep,
+    "codegen": codegen,
+    "hanoi": hanoi,
+    "insertion_sort": insertion_sort,
+}

@@ -1,0 +1,120 @@
+"""A time-sharing machine, and why gprof samples instead of timing.
+
+§3.2 gives two ways to gather execution times and rejects the first:
+
+    "One method measures the execution time of a routine by measuring
+    the elapsed time from routine entry to routine exit.  Unfortunately,
+    time measurement is complicated on time-sharing systems by the
+    time-slicing of the program.  A second method samples the value of
+    the program counter at some interval ... particularly suited to
+    time-sharing systems, where the time-slicing can serve as the basis
+    for sampling the program counter."
+
+This module reproduces that argument as an experiment.  A
+:class:`TimeSharedMachine` runs several CPUs round-robin against one
+*wall* clock.  An :class:`ElapsedTimeProfiler` implements the rejected
+method — stamping routine entry and exit with the wall clock — and
+systematically over-reports routines that happen to be live across a
+context switch.  The sampling monitor, ticking on the process's *own*
+cycle clock, is unaffected.  ``benchmarks/bench_timesharing.py``
+quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError
+from repro.machine.cpu import CPU
+
+
+@dataclass
+class ElapsedTimeProfiler:
+    """The paper's rejected method: wall-clock entry-to-exit timing.
+
+    Installed as a CPU's ``tracer``; ``clock`` is a zero-argument
+    callable returning the current *wall* time (the time-shared
+    machine's global cycle count).  Each routine accumulates the wall
+    time between its entry and its exit — including any slices the
+    scheduler gave to other processes in between, which is precisely
+    the method's flaw.
+
+    Attributes:
+        inclusive_wall: routine name → total wall cycles between entry
+            and exit, summed over activations.
+        activations: routine name → number of completed activations.
+    """
+
+    clock: callable
+    inclusive_wall: dict[str, int] = field(default_factory=dict)
+    activations: dict[str, int] = field(default_factory=dict)
+    _stack: list[tuple[str, int]] = field(default_factory=list)
+
+    def on_call(self, cpu: CPU, target: int) -> None:
+        fn = cpu.exe.function_at(target)
+        name = fn.name if fn else f"<0x{target:x}>"
+        self._stack.append((name, self.clock()))
+
+    def on_return(self, cpu: CPU) -> None:
+        if not self._stack:
+            return
+        name, start = self._stack.pop()
+        self.inclusive_wall[name] = (
+            self.inclusive_wall.get(name, 0) + self.clock() - start
+        )
+        self.activations[name] = self.activations.get(name, 0) + 1
+
+    def mean_wall(self, name: str) -> float:
+        """Average wall cycles per activation of ``name``."""
+        n = self.activations.get(name, 0)
+        return self.inclusive_wall.get(name, 0) / n if n else 0.0
+
+
+class TimeSharedMachine:
+    """Several CPUs sharing one machine, scheduled round-robin.
+
+    Arguments:
+        cpus: the processes.  Each keeps its own cycle clock (process
+            time); the machine's :attr:`wall_cycles` advances with
+            whichever process is running.
+        quantum: wall cycles per scheduling slice.
+
+    Each CPU's attached monitor keeps sampling on the CPU's *own*
+    clock, so a process's histogram only ever ticks while it runs —
+    the kernel behaviour that makes sampling time-sharing-proof.
+    """
+
+    def __init__(self, cpus: list[CPU], quantum: int = 500):
+        if not cpus:
+            raise MachineError("a machine needs at least one process")
+        if quantum <= 0:
+            raise MachineError(f"quantum must be positive, got {quantum}")
+        self.cpus = list(cpus)
+        self.quantum = quantum
+        self.wall_cycles = 0
+        self.context_switches = 0
+
+    def wall_clock(self) -> int:
+        """The global wall clock (for :class:`ElapsedTimeProfiler`)."""
+        return self.wall_cycles
+
+    def run(self, max_wall_cycles: int | None = None) -> None:
+        """Run all processes to completion (or a wall-clock budget)."""
+        while True:
+            alive = [cpu for cpu in self.cpus if not cpu.halted]
+            if not alive:
+                return
+            for cpu in alive:
+                if cpu.halted:
+                    continue
+                slice_end = cpu.cycles + self.quantum
+                while not cpu.halted and cpu.cycles < slice_end:
+                    before = cpu.cycles
+                    cpu.step()
+                    self.wall_cycles += cpu.cycles - before
+                    if (
+                        max_wall_cycles is not None
+                        and self.wall_cycles >= max_wall_cycles
+                    ):
+                        return
+                self.context_switches += 1

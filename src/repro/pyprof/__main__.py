@@ -1,0 +1,8 @@
+"""``python -m repro.pyprof`` — profile a script, gprof-style."""
+
+import sys
+
+from repro.pyprof.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Mapping Python code objects into a synthetic address space.
+
+gprof's data model is addresses: call sites, callee entry points, PC
+samples.  Python has none, so we manufacture them: every routine (a
+code object, or a named builtin) is assigned a fixed-size block of
+addresses.  The block base is the routine's "entry point"; call sites
+inside the routine map to ``base + 1 + (bytecode offset mod block)``,
+which keeps every call site inside its caller's block — all the
+symbolizer needs to identify the *caller* — while distinct bytecode
+call sites usually get distinct addresses (they share one only modulo
+the block size, which merely merges their ``sites`` statistics).
+
+The resulting :class:`~repro.core.symbols.SymbolTable` and raw arcs are
+indistinguishable from VM-produced ones, so the entire post-processing
+pipeline — including the gmon file format — works on Python programs
+unchanged.
+"""
+
+from __future__ import annotations
+
+from types import CodeType
+from typing import Hashable
+
+from repro.core.symbols import Symbol, SymbolTable
+
+#: Address units reserved per routine.
+FUNC_SIZE = 1024
+
+
+def describe_code(code: CodeType) -> str:
+    """A stable, human-readable name for a Python code object."""
+    name = code.co_qualname if hasattr(code, "co_qualname") else code.co_name
+    return name
+
+
+def describe_builtin(func) -> str:
+    """A display name for a builtin reached via a ``c_call`` event."""
+    module = getattr(func, "__module__", None)
+    name = getattr(func, "__qualname__", getattr(func, "__name__", repr(func)))
+    if module and module not in ("builtins", None):
+        return f"<{module}.{name}>"
+    return f"<{name}>"
+
+
+class AddressSpace:
+    """Allocates address blocks to routines and remembers the mapping.
+
+    Routines are keyed by an arbitrary hashable identity (a code object,
+    or a builtin's id); blocks are dealt out in first-seen order, so a
+    deterministic program yields a deterministic layout.
+    """
+
+    def __init__(self):
+        self._base_by_key: dict[Hashable, int] = {}
+        self._names: list[str] = []
+        self._modules: list[str] = []
+
+    def entry(self, key: Hashable, name: str, module: str = "") -> int:
+        """The entry address of routine ``key``, allocating on first use.
+
+        Name collisions between distinct routines are disambiguated with
+        a ``#2``-style suffix, since symbol tables require unique names.
+        """
+        base = self._base_by_key.get(key)
+        if base is None:
+            base = len(self._names) * FUNC_SIZE
+            self._base_by_key[key] = base
+            self._names.append(self._unique(name))
+            self._modules.append(module)
+        return base
+
+    def _unique(self, name: str) -> str:
+        if name not in self._names:
+            return name
+        n = 2
+        while f"{name}#{n}" in self._names:
+            n += 1
+        return f"{name}#{n}"
+
+    def call_site(self, key: Hashable, name: str, offset: int, module: str = "") -> int:
+        """The address of the call site at bytecode ``offset`` in routine
+        ``key``; always strictly inside the routine's block."""
+        base = self.entry(key, name, module)
+        return base + 1 + (max(offset, 0) % (FUNC_SIZE - 1))
+
+    def name_of(self, key: Hashable) -> str | None:
+        """The assigned name of a previously-seen routine."""
+        base = self._base_by_key.get(key)
+        if base is None:
+            return None
+        return self._names[base // FUNC_SIZE]
+
+    @property
+    def high_pc(self) -> int:
+        """One past the highest allocated address."""
+        return len(self._names) * FUNC_SIZE
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def symbol_table(self) -> SymbolTable:
+        """A symbol table covering every allocated routine."""
+        return SymbolTable(
+            Symbol(i * FUNC_SIZE, name, (i + 1) * FUNC_SIZE, module)
+            for i, (name, module) in enumerate(zip(self._names, self._modules))
+        )

@@ -1,0 +1,67 @@
+"""Annotated source listings for sampled Python profiles.
+
+Counts "presented in tabular form, often in parallel with a listing of
+the source code" are the §2 presentation style for statement-level
+profiles; gprof itself grew a ``-A`` annotated-source mode.  For
+Python, the sampled line numbers (gathered by
+:class:`~repro.pyprof.sampler.SampleStore` with ``record_lines=True``)
+annotate the actual source text.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: Width of the proportional bar column.
+BAR_WIDTH = 16
+
+
+def format_annotated_source(
+    path: str,
+    line_ticks: Counter,
+    profrate: int = 1000,
+    min_file_ticks: int = 1,
+) -> str:
+    """Render the source file at ``path`` with per-line sample counts.
+
+    Arguments:
+        path: source file whose lines were sampled.
+        line_ticks: ``(filename, lineno) → ticks`` from a sampling run.
+        profrate: ticks per second, for the per-line seconds column.
+        min_file_ticks: return a short notice instead of a full listing
+            when the file collected fewer samples.
+
+    Lines are shown with ticks, seconds, and a bar scaled to the file's
+    hottest line; unsampled lines keep an empty gutter, so the listing
+    reads as the familiar "source with counts in the margin".
+    """
+    per_line = {
+        lineno: ticks
+        for (filename, lineno), ticks in line_ticks.items()
+        if filename == path
+    }
+    total = sum(per_line.values())
+    if total < min_file_ticks:
+        return f"(no samples in {path})\n"
+    with open(path, encoding="utf-8") as f:
+        source_lines = f.read().splitlines()
+    hottest = max(per_line.values())
+    out = [f"annotated source: {path}  ({total} samples)"]
+    for lineno, text in enumerate(source_lines, start=1):
+        ticks = per_line.get(lineno, 0)
+        if ticks:
+            bar = "#" * max(round(BAR_WIDTH * ticks / hottest), 1)
+            gutter = f"{ticks:6d} {ticks / profrate:7.3f}s |{bar:<{BAR_WIDTH}}|"
+        else:
+            gutter = " " * (6 + 1 + 8 + 2 + BAR_WIDTH + 1)
+        out.append(f"{gutter} {lineno:4d}  {text}")
+    return "\n".join(out) + "\n"
+
+
+def hottest_lines(
+    line_ticks: Counter,
+    top: int = 10,
+) -> list[tuple[str, int, int]]:
+    """The ``top`` hottest (filename, lineno, ticks) across all files."""
+    ranked = sorted(line_ticks.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [(f, ln, ticks) for (f, ln), ticks in ranked[:top]]

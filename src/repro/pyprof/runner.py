@@ -1,0 +1,80 @@
+"""Script-level entry point: profile a Python program like gprof would.
+
+``python -m repro.pyprof myscript.py [args...]`` runs the script under
+the profiler and, as the script exits, condenses the data to two files
+(§3's "condense it to a file as the profiled program exits"):
+
+* ``gmon.out`` — the binary profile data;
+* ``gmon.syms`` — the symbol table (Python has no executable image for
+  the analyzer to read symbols from, so we save them alongside).
+
+Analyze with::
+
+    repro-gprof gmon.syms gmon.out
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+
+from repro.gmon import write_gmon
+from repro.pyprof.profiler import Profiler
+
+
+def run_script(
+    path: str,
+    script_args: list[str],
+    mode: str = "exact",
+    interval: float = 0.001,
+    gmon_path: str = "gmon.out",
+    syms_path: str = "gmon.syms",
+) -> None:
+    """Run ``path`` under the profiler and write the data files."""
+    profiler = Profiler(mode=mode, interval=interval, comment=path)
+    saved_argv = sys.argv
+    sys.argv = [path] + list(script_args)
+    try:
+        with profiler:
+            runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+        profiler.disable()
+    write_gmon(profiler.profile_data(), gmon_path)
+    profiler.symbol_table().save(syms_path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro.pyprof``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pyprof",
+        description="Profile a Python script, gprof-style.",
+    )
+    parser.add_argument("script", help="path of the script to run")
+    parser.add_argument(
+        "--mode", choices=("exact", "signal", "thread"), default="exact",
+        help="timing method (default: exact)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.001,
+        help="sampling period in seconds (sampling modes)",
+    )
+    parser.add_argument(
+        "--gmon", default="gmon.out", help="profile data output path"
+    )
+    parser.add_argument(
+        "--syms", default="gmon.syms", help="symbol table output path"
+    )
+    parser.add_argument("args", nargs=argparse.REMAINDER, help="script arguments")
+    opts = parser.parse_args(argv)
+    run_script(
+        opts.script,
+        opts.args,
+        mode=opts.mode,
+        interval=opts.interval,
+        gmon_path=opts.gmon,
+        syms_path=opts.syms,
+    )
+    print(f"profile data written to {opts.gmon}, symbols to {opts.syms}")
+    return 0

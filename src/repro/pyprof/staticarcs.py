@@ -1,0 +1,82 @@
+"""Static call graph extraction from Python bytecode.
+
+The Python analogue of crawling the executable image (§4): inspect
+compiled code objects for apparent calls and report (caller, callee)
+name pairs.  Two sources of evidence:
+
+* global/method name loads (``LOAD_GLOBAL f`` ... ``CALL``) — matched
+  against the set of routine names the profile knows about;
+* nested code objects in ``co_consts`` (comprehensions, lambdas, local
+  ``def``) — the enclosing routine manifestly can invoke them.
+
+Like all binary crawling this is heuristic: it over-approximates
+(loading a name is not calling it) and under-approximates (attribute
+dispatch is invisible) — but that is precisely the nature of the
+original feature, whose arcs exist only "so that we could better
+understand the shape of the call graph"; they carry zero counts and
+never affect time.
+"""
+
+from __future__ import annotations
+
+import dis
+from types import CodeType, FunctionType, ModuleType
+from typing import Iterable, Iterator
+
+from repro.pyprof.addresses import describe_code
+
+#: Opcodes that load a name plausibly about to be called.
+_NAME_LOADS = frozenset({"LOAD_GLOBAL", "LOAD_NAME", "LOAD_METHOD", "LOAD_ATTR"})
+
+
+def code_objects_of(obj) -> Iterator[CodeType]:
+    """Code objects reachable from a function, module, or class."""
+    if isinstance(obj, FunctionType):
+        yield obj.__code__
+    elif isinstance(obj, ModuleType):
+        for value in vars(obj).values():
+            if isinstance(value, FunctionType) and value.__module__ == obj.__name__:
+                yield value.__code__
+    elif isinstance(obj, type):
+        for value in vars(obj).values():
+            if isinstance(value, FunctionType):
+                yield value.__code__
+    elif isinstance(obj, CodeType):
+        yield obj
+
+
+def static_arcs(
+    roots: Iterable,
+    known_names: set[str] | None = None,
+) -> set[tuple[str, str]]:
+    """Apparent (caller, callee) pairs among ``roots``' code objects.
+
+    Arguments:
+        roots: functions, modules, classes, or raw code objects to scan.
+        known_names: restrict reported callees to these names (typically
+            the names in the profile's symbol table); None reports every
+            name-load match among the scanned routines themselves.
+    """
+    codes: dict[str, CodeType] = {}
+    for root in roots:
+        for code in code_objects_of(root):
+            codes.setdefault(describe_code(code), code)
+    names = known_names if known_names is not None else set(codes)
+    pairs: set[tuple[str, str]] = set()
+    for caller_name, code in codes.items():
+        for callee_name in _apparent_callees(code):
+            if callee_name in names and callee_name != caller_name:
+                pairs.add((caller_name, callee_name))
+        for const in code.co_consts:
+            if isinstance(const, CodeType):
+                nested = describe_code(const)
+                if nested in names:
+                    pairs.add((caller_name, nested))
+    return pairs
+
+
+def _apparent_callees(code: CodeType) -> Iterator[str]:
+    """Names loaded by instructions that commonly feed calls."""
+    for ins in dis.get_instructions(code):
+        if ins.opname in _NAME_LOADS and isinstance(ins.argval, str):
+            yield ins.argval

@@ -1,0 +1,7 @@
+"""Presentation of analyzed profiles: flat listing, call-graph listing,
+and a DOT export for modern graph viewers."""
+
+from repro.report.flat import format_flat_profile
+from repro.report.graphprofile import format_entry, format_graph_profile
+
+__all__ = ["format_flat_profile", "format_graph_profile", "format_entry"]

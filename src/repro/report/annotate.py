@@ -1,0 +1,86 @@
+"""Annotated disassembly: per-instruction sample counts.
+
+The companion feature to the listings: since the retrospective's
+authors could afford "a histogram array ... four times the size of the
+text segment, getting a full 32-bit count for each possible program
+counter value", the histogram resolves time to *individual
+instructions*.  This module renders the executable's disassembly with
+each instruction's tick count and a proportional bar — the moral
+equivalent of ``gprof -A``'s annotated source, at the only "source"
+level an executable image has.
+"""
+
+from __future__ import annotations
+
+from repro.core.histogram import Histogram
+from repro.machine.executable import Executable
+from repro.machine.isa import INSTRUCTION_SIZE
+
+#: Width of the proportional bar column.
+BAR_WIDTH = 24
+
+
+def format_annotated_disassembly(
+    exe: Executable,
+    histogram: Histogram,
+    min_function_ticks: float = 0.0,
+) -> str:
+    """Render the text segment with per-instruction sample counts.
+
+    Arguments:
+        exe: the executable image.
+        histogram: the PC-sample histogram of a run of that image.
+        min_function_ticks: skip routines that collected fewer ticks
+            (their bodies are noise at this resolution).
+
+    Each routine gets a header with its total ticks and share of the
+    program; each instruction line shows address, tick count, a bar
+    scaled to the hottest instruction in the routine, and the
+    disassembled instruction.
+    """
+    total = histogram.total_ticks or 1
+    lines: list[str] = [
+        f"annotated disassembly of {exe.name} "
+        f"({histogram.total_ticks} samples):",
+    ]
+    for fn in exe.functions:
+        fn_ticks = histogram.ticks_in_range(fn.entry, fn.end)
+        if fn_ticks < min_function_ticks:
+            continue
+        lines.append("")
+        lines.append(
+            f"{fn.name}:  {fn_ticks:.0f} ticks "
+            f"({100.0 * fn_ticks / total:.1f}% of program)"
+        )
+        per_instruction = []
+        for addr in range(fn.entry, fn.end, INSTRUCTION_SIZE):
+            ticks = histogram.ticks_in_range(addr, addr + INSTRUCTION_SIZE)
+            per_instruction.append((addr, ticks))
+        hottest = max((t for _, t in per_instruction), default=0.0) or 1.0
+        for addr, ticks in per_instruction:
+            bar = "#" * round(BAR_WIDTH * ticks / hottest)
+            lines.append(
+                f"  {addr:#06x} {ticks:8.0f} |{bar:<{BAR_WIDTH}}| "
+                f"{exe.fetch(addr)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def hottest_instructions(
+    exe: Executable,
+    histogram: Histogram,
+    top: int = 10,
+) -> list[tuple[int, str, str, float]]:
+    """The ``top`` hottest instructions: (address, routine, text, ticks).
+
+    The programmatic companion to the listing, for tooling that wants
+    the instruction-level hot spots directly.
+    """
+    rows: list[tuple[int, str, str, float]] = []
+    for fn in exe.functions:
+        for addr in range(fn.entry, fn.end, INSTRUCTION_SIZE):
+            ticks = histogram.ticks_in_range(addr, addr + INSTRUCTION_SIZE)
+            if ticks > 0:
+                rows.append((addr, fn.name, str(exe.fetch(addr)), ticks))
+    rows.sort(key=lambda r: (-r[3], r[0]))
+    return rows[:top]

@@ -1,0 +1,72 @@
+"""DOT (Graphviz) export of an analyzed profile.
+
+The 1982 authors were "limited by the output devices of the time to
+character-based formatting"; a modern release would of course also emit
+the graph itself.  Nodes are routines (cycles drawn as clusters), arcs
+carry counts and propagated time, and node labels show self/total
+seconds and the percentage of program time.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import Profile
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def to_dot(
+    profile: Profile,
+    min_percent: float = 0.0,
+    include_counts: bool = True,
+) -> str:
+    """Render the profile's call graph as DOT text.
+
+    Arguments:
+        profile: an analysis result.
+        min_percent: drop routines below this share of total time
+            (their arcs disappear with them).
+        include_counts: annotate arcs with traversal counts.
+    """
+    keep = {
+        e.name
+        for e in profile.graph_entries
+        if not e.is_cycle and e.percent >= min_percent
+    }
+    lines = [
+        "digraph profile {",
+        "  rankdir=TB;",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    # Cycle clusters first.
+    for cyc in profile.numbered.cycles:
+        members = [m for m in cyc.members if m in keep]
+        if not members:
+            continue
+        lines.append(f"  subgraph cluster_cycle{cyc.number} {{")
+        lines.append(f'    label="cycle {cyc.number}"; color=red;')
+        for m in members:
+            lines.append(f"    {_quote(m)};")
+        lines.append("  }")
+    for entry in profile.graph_entries:
+        if entry.is_cycle or entry.name not in keep:
+            continue
+        label = (
+            f"{entry.name}\\n{entry.percent:.1f}%"
+            f"\\nself {entry.self_seconds:.2f}s"
+            f"  total {entry.total_seconds:.2f}s"
+        )
+        lines.append(f'  {_quote(entry.name)} [label="{label}"];')
+    for arc in profile.graph.arcs():
+        if arc.caller not in keep or arc.callee not in keep:
+            continue
+        attrs = []
+        if include_counts:
+            attrs.append(f'label="{arc.count}"')
+        if arc.static:
+            attrs.append("style=dashed")
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {_quote(arc.caller)} -> {_quote(arc.callee)}{attr_text};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,58 @@
+"""Field-by-field explanations of the listings (gprof's famous blurb).
+
+The real tool prints a long prose explanation of every column after
+each listing (suppressed by ``-b``), because §5.2's dense layout is
+"a rather dense display of the information ... after a while we got
+used to it".  These texts paraphrase §5 of the paper; ``repro-gprof
+--explain`` appends them.
+"""
+
+FLAT_BLURB = """\
+understanding the flat profile (§5.1):
+
+  %time      the percentage of the program's total running time spent
+             in this routine itself (not its descendants).
+  cumulative the running sum of self seconds down the listing.
+  self       seconds accounted to this routine alone, from the
+             program-counter sampling histogram.
+  calls      the number of times the routine was invoked (all callers
+             and self-recursive calls summed); blank when the routine
+             was sampled but carries no monitoring prologue.
+  self/total ms/call: average milliseconds per call, for the routine
+             itself and with its descendants.
+
+  the self seconds column sums to the total execution time.  routines
+  never called during this execution are listed separately, "to verify
+  that nothing important is omitted".
+"""
+
+GRAPH_BLURB = """\
+understanding the call graph profile (§5.2):
+
+  each entry is one routine (its primary line, with the [index]),
+  shown with its parents above and its children below.
+
+  primary line:
+    %time        the share of total time in this routine AND its
+                 descendants.
+    self         seconds in the routine itself.
+    descendants  seconds propagated to it from routines it calls.
+    called       external calls, then '+n' self-recursive calls
+                 (e.g. 10+4).
+
+  parent lines (above): the portion of THIS routine's self and
+  descendant time propagated to that parent, and 'calls/total' — how
+  many of the total external calls that parent made.  '<spontaneous>'
+  marks callers the monitor could not identify.
+
+  child lines (below): the self and descendant time that child passed
+  up through this arc, and 'calls/total' of the child's external
+  calls.  a zero count (0/n) marks an arc found only by crawling the
+  executable: possible, never traversed, never charged.
+
+  cycles: mutually recursive routines are collapsed; the cycle as a
+  whole gets an entry, members are annotated '<cycle n>', and calls
+  among members are listed but propagate no time.
+
+  every name is followed by the [index] locating its own entry.
+"""

@@ -1,0 +1,43 @@
+"""Column formatting helpers shared by the profile listings.
+
+The 1982 output devices were character printers; gprof's listings are
+fixed-width columns.  These helpers render seconds, percentages, and the
+paper's call-count notations (``called/total``, ``called+self``).
+"""
+
+from __future__ import annotations
+
+
+def seconds(value: float) -> str:
+    """Seconds with two decimals, as every figure in the paper shows."""
+    return f"{value:.2f}"
+
+
+def percent(value: float) -> str:
+    """A percentage with one decimal (``41.5``)."""
+    return f"{value:.1f}"
+
+
+def calls_fraction(count: int, total: int) -> str:
+    """The ``called/total`` notation of parent and child lines."""
+    return f"{count}/{total}"
+
+
+def calls_with_self(count: int, self_calls: int) -> str:
+    """The ``called+self`` notation of a primary line (``10+4``).
+
+    The self part is omitted when there is no recursion, as gprof does.
+    """
+    if self_calls:
+        return f"{count}+{self_calls}"
+    return str(count)
+
+
+def rpad(text: str, width: int) -> str:
+    """Left-justify in ``width`` (names column)."""
+    return text.ljust(width)
+
+
+def lpad(text: str, width: int) -> str:
+    """Right-justify in ``width`` (numeric columns)."""
+    return text.rjust(width)

@@ -1,0 +1,74 @@
+"""The flat profile listing (§5.1).
+
+"The flat profile consists of a list of all the routines that are called
+during execution of the program, with the count of the number of times
+they are called and the number of seconds of execution time for which
+they are themselves accountable", in decreasing order of execution time;
+plus, on request, "a list of the routines that are never called during
+execution of the program".
+
+The column layout follows the classic gprof output:
+
+    %  cumulative   self              self     total
+  time   seconds   seconds    calls  ms/call  ms/call  name
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import Profile
+from repro.report import fields
+
+_HEADER = (
+    "  %   cumulative   self              self     total\n"
+    " time   seconds   seconds    calls  ms/call  ms/call  name"
+)
+
+
+def format_flat_profile(
+    profile: Profile,
+    show_never_called: bool = True,
+    min_percent: float = 0.0,
+) -> str:
+    """Render the flat profile as a fixed-width text listing.
+
+    Arguments:
+        profile: an analysis result.
+        show_never_called: append the never-called routine list (the
+            paper's completeness check).
+        min_percent: hide rows whose self-time share is below this
+            percentage (the "show only hot functions" filter).
+
+    Notice the §5.1 invariant: the ``self seconds`` column sums to the
+    total execution time.
+    """
+    lines = [
+        "flat profile:",
+        "",
+        f"total: {fields.seconds(profile.total_seconds)} seconds",
+        "",
+        _HEADER,
+    ]
+    cumulative = 0.0
+    for row in profile.flat_entries:
+        if row.percent < min_percent:
+            continue
+        cumulative += row.self_seconds
+        calls = str(row.calls) if row.calls is not None else ""
+        self_ms = (
+            f"{row.self_ms_per_call:8.2f}" if row.self_ms_per_call is not None else " " * 8
+        )
+        total_ms = (
+            f"{row.total_ms_per_call:8.2f}"
+            if row.total_ms_per_call is not None
+            else " " * 8
+        )
+        lines.append(
+            f"{row.percent:5.1f} {cumulative:10.2f} {row.self_seconds:9.2f} "
+            f"{calls:>8} {self_ms} {total_ms}  {row.name}"
+        )
+    if show_never_called and profile.never_called:
+        lines.append("")
+        lines.append("routines never called:")
+        for name in profile.never_called:
+            lines.append(f"    {name}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""The call graph profile listing (§5.2, Figure 4).
+
+Each major entry is "a window into the call graph": the routine's parent
+lines above, its primary line in the middle, its child lines below.  The
+primary line shows the index, the percentage of total time, self and
+descendant seconds, and the ``called(+self)`` counts; parent and child
+lines show propagated shares and ``called/total`` fractions.  Cycles
+appear "as though [they] were a single routine", with their members
+listed as part of the entry; cycle members are annotated
+``<cycle N>`` wherever they appear.  "Finally each name is followed by
+an index that shows where on the listing to find the entry for that
+routine" — the notation that made the output navigable in the visual
+editors of the time.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import GraphEntry, Profile, RelativeLine
+from repro.report import fields
+
+_RULE = "-" * 72
+
+_HEADER = (
+    "                                  called/total       parents\n"
+    "index  %time    self descendents  called+self    name           index\n"
+    "                                  called/total       children"
+)
+
+
+def format_graph_profile(
+    profile: Profile,
+    min_percent: float = 0.0,
+    only: set[str] | None = None,
+) -> str:
+    """Render the call graph profile as a fixed-width text listing.
+
+    Arguments:
+        profile: an analysis result.
+        min_percent: hide entries whose total-time share is below this
+            percentage (hot-function filtering; percentages remain
+            relative to the whole program).
+        only: when given, show only entries for these routine/cycle
+            names (subgraph filtering — combine with
+            :mod:`repro.core.filters` to compute the set).
+
+    Returns the listing text, ending with a newline.
+    """
+    lines = [
+        "call graph profile:",
+        "",
+        f"total: {fields.seconds(profile.total_seconds)} seconds",
+        "",
+        _HEADER,
+        "",
+    ]
+    shown = 0
+    for entry in profile.graph_entries:
+        if entry.percent < min_percent:
+            continue
+        if only is not None and entry.name not in only:
+            continue
+        shown += 1
+        lines.extend(_format_entry(profile, entry))
+        lines.append(_RULE)
+    if profile.removed_arcs:
+        lines.append("")
+        lines.append("arcs removed from the analysis (traversal counts were lost):")
+        for arc in profile.removed_arcs:
+            lines.append(f"    {arc.caller} -> {arc.callee}  ({arc.count} calls)")
+    if not shown:
+        lines.append("(no entries above threshold)")
+    return "\n".join(lines) + "\n"
+
+
+def format_entry(profile: Profile, name: str) -> str:
+    """Render a single routine's (or ``<cycle N>``'s) entry."""
+    entry = profile.entry(name)
+    if entry is None:
+        return f"(no entry for {name})\n"
+    return "\n".join(_format_entry(profile, entry)) + "\n"
+
+
+def _format_entry(profile: Profile, entry: GraphEntry) -> list[str]:
+    """The block of lines for one major entry."""
+    out: list[str] = []
+    for parent in entry.parents:
+        out.append(_relative_line(profile, parent))
+    out.append(_primary_line(profile, entry))
+    for child in entry.children:
+        out.append(_relative_line(profile, child, is_child=True))
+    if entry.members:
+        out.append(" " * 34 + "cycle members:")
+        for member in entry.members:
+            out.append(_member_line(profile, member))
+    return out
+
+
+def _index_ref(profile: Profile, name: str | None) -> str:
+    """The ``[n]`` cross-reference for a name ('' when unknown)."""
+    if name is None:
+        return ""
+    idx = profile.index_of(name)
+    return f"[{idx}]" if idx else ""
+
+
+def _primary_line(profile: Profile, entry: GraphEntry) -> str:
+    """``[2]  41.5  0.50  3.00  10+4  EXAMPLE  [2]``"""
+    index = f"[{entry.index}]"
+    called = fields.calls_with_self(entry.ncalls, entry.self_calls)
+    name = entry.display_name
+    return (
+        f"{index:<6} {entry.percent:5.1f} "
+        f"{entry.self_seconds:7.2f} {entry.child_seconds:11.2f} "
+        f"{called:>11}     {name} {_index_ref(profile, entry.name)}"
+    )
+
+
+def _relative_line(
+    profile: Profile, line: RelativeLine, is_child: bool = False
+) -> str:
+    """A parent or child line: shares, called/total, annotated name."""
+    if line.name is None:
+        return " " * 49 + "    <spontaneous>"
+    called = fields.calls_fraction(line.count, line.total)
+    if line.intra_cycle:
+        # Calls among cycle members: listed, but no time propagates and
+        # the 'total' denominator does not apply.
+        called = str(line.count)
+    return (
+        f"{'':6} {'':5} "
+        f"{line.self_share:7.2f} {line.child_share:11.2f} "
+        f"{called:>11}         {line.display_name} "
+        f"{_index_ref(profile, line.name)}"
+    )
+
+
+def _member_line(profile: Profile, line: RelativeLine) -> str:
+    """One cycle-member line: member self/child time and call count."""
+    return (
+        f"{'':6} {'':5} "
+        f"{line.self_share:7.2f} {line.child_share:11.2f} "
+        f"{line.count:>11}         {line.name} "
+        f"{_index_ref(profile, line.name)}"
+    )

@@ -1,0 +1,141 @@
+"""Self-contained HTML rendering of the call graph profile.
+
+The retrospective: "We did add notations to help us navigate the
+output in the visual editors becoming popular at that time."  The
+``[n]`` indices were hyperlinks before hyperlinks existed; this module
+renders the profile with real ones — every index reference is an
+anchor link, every parent/child name jumps to its entry — in a single
+dependency-free HTML file.
+
+The numeric content is exactly the text listing's; only navigation is
+added.  (Styling is deliberately austere: it is a profile, not a
+dashboard.)
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.core.analysis import GraphEntry, Profile, RelativeLine
+from repro.report import fields
+
+
+def _esc(text: str) -> str:
+    return html.escape(text, quote=True)
+
+
+def _link(profile: Profile, name: str | None, label: str | None = None) -> str:
+    """An anchor link to a routine's entry, or plain text if unknown."""
+    if name is None:
+        return "&lt;spontaneous&gt;"
+    idx = profile.index_of(name)
+    text = _esc(label if label is not None else name)
+    if idx is None:
+        return text
+    return f'<a href="#entry-{idx}">{text}</a> <span class="idx">[{idx}]</span>'
+
+
+_STYLE = """
+body { font-family: monospace; margin: 2em; }
+table.entry { border-collapse: collapse; margin-bottom: 0.4em; }
+table.entry td { padding: 0.1em 0.8em; text-align: right; white-space: nowrap; }
+table.entry td.name { text-align: left; }
+tr.primary { background: #eee; font-weight: bold; }
+tr.member { color: #555; }
+.idx { color: #888; }
+hr { border: none; border-top: 1px solid #ccc; }
+h2 { font-size: 1em; }
+a { text-decoration: none; }
+a:hover { text-decoration: underline; }
+"""
+
+
+def to_html(profile: Profile, title: str = "call graph profile", min_percent: float = 0.0) -> str:
+    """Render the call-graph profile as one self-contained HTML page."""
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p>total: {fields.seconds(profile.total_seconds)} seconds</p>",
+        _index_table(profile, min_percent),
+    ]
+    for entry in profile.graph_entries:
+        if entry.percent < min_percent:
+            continue
+        parts.append(_entry_table(profile, entry))
+        parts.append("<hr>")
+    if profile.never_called:
+        parts.append("<h2>routines never called</h2><ul>")
+        parts.extend(f"<li>{_esc(n)}</li>" for n in profile.never_called)
+        parts.append("</ul>")
+    if profile.removed_arcs:
+        parts.append("<h2>arcs removed from the analysis</h2><ul>")
+        parts.extend(
+            f"<li>{_esc(r.caller)} &rarr; {_esc(r.callee)} ({r.count} calls)</li>"
+            for r in profile.removed_arcs
+        )
+        parts.append("</ul>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def _index_table(profile: Profile, min_percent: float) -> str:
+    rows = ["<h2>index</h2><table class='entry'>"]
+    rows.append(
+        "<tr><td>index</td><td>%time</td><td>self</td>"
+        "<td>descendants</td><td class='name'>name</td></tr>"
+    )
+    for entry in profile.graph_entries:
+        if entry.percent < min_percent:
+            continue
+        rows.append(
+            f"<tr><td>[{entry.index}]</td>"
+            f"<td>{entry.percent:.1f}</td>"
+            f"<td>{entry.self_seconds:.2f}</td>"
+            f"<td>{entry.child_seconds:.2f}</td>"
+            f"<td class='name'>{_link(profile, entry.name, entry.display_name)}</td></tr>"
+        )
+    rows.append("</table>")
+    return "\n".join(rows)
+
+
+def _relative_row(profile: Profile, line: RelativeLine, cls: str = "") -> str:
+    called = (
+        str(line.count)
+        if line.intra_cycle
+        else fields.calls_fraction(line.count, line.total)
+    )
+    return (
+        f"<tr class='{cls}'><td></td><td></td>"
+        f"<td>{line.self_share:.2f}</td><td>{line.child_share:.2f}</td>"
+        f"<td>{called}</td>"
+        f"<td class='name'>{_link(profile, line.name, line.display_name)}</td></tr>"
+    )
+
+
+def _entry_table(profile: Profile, entry: GraphEntry) -> str:
+    rows = [
+        f"<table class='entry' id='entry-{entry.index}'>",
+        "<tr><td>index</td><td>%time</td><td>self</td>"
+        "<td>descendants</td><td>called</td><td class='name'>name</td></tr>",
+    ]
+    for parent in entry.parents:
+        rows.append(_relative_row(profile, parent))
+    called = fields.calls_with_self(entry.ncalls, entry.self_calls)
+    rows.append(
+        f"<tr class='primary'><td>[{entry.index}]</td>"
+        f"<td>{entry.percent:.1f}</td>"
+        f"<td>{entry.self_seconds:.2f}</td>"
+        f"<td>{entry.child_seconds:.2f}</td>"
+        f"<td>{called}</td>"
+        f"<td class='name'>{_esc(entry.display_name)}</td></tr>"
+    )
+    for child in entry.children:
+        rows.append(_relative_row(profile, child))
+    for member in entry.members:
+        rows.append(_relative_row(profile, member, cls="member"))
+    rows.append("</table>")
+    return "\n".join(rows)

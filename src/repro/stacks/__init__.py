@@ -1,0 +1,42 @@
+"""Call-stack sampling: the retrospective's "modern profiler", built.
+
+"Modern profilers solve both these problems [average-time attribution
+and cycles] by periodically gathering not just isolated program counter
+samples and isolated call graph arcs, but complete call stacks.  The
+additional overhead of gathering the call stack can be hidden by
+backing off the frequency with which the call stacks are sampled."
+
+This package implements that successor design against both substrates —
+the VM (walking the interpreter's frame chain at each profiling tick)
+and Python (walking ``frame.f_back`` from SIGPROF or a sampler thread) —
+plus the analysis it enables:
+
+* exact *inclusive* time per routine (counted once per stack, so
+  recursion and cycles need no special treatment);
+* per-caller attribution from observed stacks rather than call-count
+  averaging, eliminating gprof's documented skew pitfall;
+* top-down call-tree and folded ("flame graph") renderings.
+
+The comparison benchmarks (``benchmarks/bench_stacks.py``) measure both
+claims against classic gprof on the same workloads.
+"""
+
+from repro.stacks.profile import StackProfile, read_folded, write_folded
+from repro.stacks.analysis import StackAnalysis, analyze_stacks
+from repro.stacks.convert import as_profile_data
+from repro.stacks.pysampler import PyStackSampler
+from repro.stacks.report import format_call_tree, format_hot_paths
+from repro.stacks.vm import VMStackMonitor
+
+__all__ = [
+    "PyStackSampler",
+    "StackAnalysis",
+    "StackProfile",
+    "VMStackMonitor",
+    "analyze_stacks",
+    "as_profile_data",
+    "format_call_tree",
+    "format_hot_paths",
+    "read_folded",
+    "write_folded",
+]

@@ -1,0 +1,111 @@
+"""Analysis of complete-stack samples.
+
+With whole stacks, the two weaknesses the retrospective concedes in
+classic gprof disappear structurally:
+
+* **Inclusive time is exact per sample.**  A routine's inclusive ticks
+  are the samples in which it appears *at least once* — recursion and
+  cycles need no collapsing, no average-time assumption, no sharing by
+  call counts.
+* **Caller attribution is observed, not inferred.**  The time a callee
+  (and its subtree) costs each caller is read directly off the sampled
+  stacks, so two callers with equal call counts but wildly different
+  per-call costs are billed correctly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.stacks.profile import Stack, StackProfile
+
+
+@dataclass
+class StackAnalysis:
+    """Aggregates derived from a :class:`StackProfile`.
+
+    Attributes:
+        profile: the analyzed samples.
+        exclusive: ticks per routine while it was the executing leaf
+            (the flat profile's "self time").
+        inclusive: ticks per routine while it was anywhere on the stack
+            (self + descendants, exact even under recursion).
+        edge_inclusive: ticks per (caller, callee) pair while that edge
+            was live on the stack (each distinct edge counted once per
+            sample).
+    """
+
+    profile: StackProfile
+    exclusive: Counter = field(default_factory=Counter)
+    inclusive: Counter = field(default_factory=Counter)
+    edge_inclusive: Counter = field(default_factory=Counter)
+
+    # -- seconds/percent helpers ----------------------------------------------------
+
+    def exclusive_seconds(self, name: str) -> float:
+        """Self time of ``name`` in seconds."""
+        return self.profile.seconds(self.exclusive.get(name, 0))
+
+    def inclusive_seconds(self, name: str) -> float:
+        """Self+descendants time of ``name`` in seconds (exact)."""
+        return self.profile.seconds(self.inclusive.get(name, 0))
+
+    def inclusive_percent(self, name: str) -> float:
+        """Share of total time during which ``name`` was on the stack."""
+        total = self.profile.total_ticks
+        if not total:
+            return 0.0
+        return 100.0 * self.inclusive.get(name, 0) / total
+
+    def caller_shares(self, name: str) -> dict[str, float]:
+        """How ``name``'s inclusive time divides among its callers.
+
+        Returns caller → fraction (summing to 1 over observed callers).
+        This is the stack-based answer to the question gprof answers
+        with the C^r_e/C_e approximation.
+        """
+        totals = {
+            caller: ticks
+            for (caller, callee), ticks in self.edge_inclusive.items()
+            if callee == name
+        }
+        denom = sum(totals.values())
+        if not denom:
+            return {}
+        return {caller: ticks / denom for caller, ticks in totals.items()}
+
+    def flat_rows(self) -> list[tuple[str, float, float]]:
+        """(name, exclusive s, inclusive s), sorted by exclusive time."""
+        rows = [
+            (
+                name,
+                self.exclusive_seconds(name),
+                self.inclusive_seconds(name),
+            )
+            for name in self.profile.routines()
+        ]
+        rows.sort(key=lambda r: (-r[1], -r[2], r[0]))
+        return rows
+
+
+def analyze_stacks(profile: StackProfile) -> StackAnalysis:
+    """Aggregate a stack profile into the exact attributions above."""
+    analysis = StackAnalysis(profile)
+    for stack, ticks in profile.samples.items():
+        analysis.exclusive[stack[-1]] += ticks
+        for name in set(stack):
+            analysis.inclusive[name] += ticks
+        for edge in _distinct_edges(stack):
+            analysis.edge_inclusive[edge] += ticks
+    return analysis
+
+
+def _distinct_edges(stack: Stack) -> set[tuple[str, str]]:
+    """Adjacent (caller, callee) pairs of a stack, deduplicated.
+
+    Deduplication makes recursion safe: ``a;b;a;b`` contributes the
+    edges (a,b) and (b,a) once each per sample, never double-charging a
+    tick to the same edge.
+    """
+    return {(stack[i], stack[i + 1]) for i in range(len(stack) - 1)}

@@ -1,0 +1,118 @@
+"""Stack sample storage and the folded on-disk format.
+
+A stack sample is the full chain of routine names from the program's
+root to the routine executing at the tick, e.g. ``("main", "calc2",
+"format2", "write")``.  A :class:`StackProfile` is a multiset of such
+chains plus the sampling rate — everything the stack-based analysis
+needs.
+
+The on-disk format is the de-facto standard *folded stacks* text:
+one ``root;frame;...;leaf count`` line per distinct stack, which makes
+the data directly consumable by flame-graph tooling.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+
+Stack = tuple[str, ...]
+
+
+class StackProfile:
+    """A multiset of complete call-stack samples.
+
+    Attributes:
+        samples: stack → number of ticks observed with that stack live.
+        profrate: ticks per second (converts counts to seconds).
+    """
+
+    def __init__(self, profrate: int = 100):
+        if profrate <= 0:
+            raise ReproError(f"profrate must be positive, got {profrate}")
+        self.samples: Counter[Stack] = Counter()
+        self.profrate = profrate
+
+    def record(self, stack: Sequence[str]) -> None:
+        """Record one tick with ``stack`` live (root first, leaf last)."""
+        if stack:
+            self.samples[tuple(stack)] += 1
+
+    @property
+    def total_ticks(self) -> int:
+        """Total samples recorded."""
+        return sum(self.samples.values())
+
+    @property
+    def total_seconds(self) -> float:
+        """Total sampled time."""
+        return self.total_ticks / self.profrate
+
+    def seconds(self, ticks: int) -> float:
+        """Convert a tick count to seconds."""
+        return ticks / self.profrate
+
+    def merge(self, other: "StackProfile") -> "StackProfile":
+        """Sum two stack profiles (multi-run accumulation)."""
+        if other.profrate != self.profrate:
+            raise ReproError(
+                f"cannot merge profiles at {self.profrate} and "
+                f"{other.profrate} ticks/second"
+            )
+        merged = StackProfile(self.profrate)
+        merged.samples = self.samples + other.samples
+        return merged
+
+    def routines(self) -> set[str]:
+        """Every routine appearing in any sampled stack."""
+        return {frame for stack in self.samples for frame in stack}
+
+    def __len__(self) -> int:
+        """Number of *distinct* stacks."""
+        return len(self.samples)
+
+
+def write_folded(profile: StackProfile, path) -> None:
+    """Write the profile in folded-stacks format (plus a header line)."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(f"# repro-folded-1 profrate={profile.profrate}\n")
+        for stack, count in sorted(profile.samples.items()):
+            f.write(";".join(stack) + f" {count}\n")
+
+
+def read_folded(path) -> StackProfile:
+    """Read a profile written by :func:`write_folded`.
+
+    Plain folded files without our header are accepted too (profrate
+    defaults to 100) — they are what flame-graph tools exchange.
+    """
+    profile = StackProfile()
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "profrate=" in line:
+                    try:
+                        profile.profrate = int(line.split("profrate=")[1].split()[0])
+                    except (ValueError, IndexError) as exc:
+                        raise ReproError(
+                            f"{path}:{lineno}: bad profrate header"
+                        ) from exc
+                continue
+            stack_text, _, count_text = line.rpartition(" ")
+            if not stack_text:
+                raise ReproError(f"{path}:{lineno}: malformed folded line")
+            try:
+                count = int(count_text)
+            except ValueError as exc:
+                raise ReproError(
+                    f"{path}:{lineno}: bad sample count {count_text!r}"
+                ) from exc
+            if count < 0:
+                raise ReproError(f"{path}:{lineno}: negative sample count")
+            profile.samples[tuple(stack_text.split(";"))] += count
+    return profile

@@ -1,0 +1,117 @@
+"""Presentation of stack-sample profiles.
+
+Two renderings the 1982 output devices could not offer:
+
+* a **top-down call tree** — the call graph unrolled into the actual
+  contexts observed, with inclusive time and percentage per node (a
+  textual flame graph);
+* **hot paths** — the most frequently observed complete stacks.
+"""
+
+from __future__ import annotations
+
+from repro.stacks.analysis import analyze_stacks
+from repro.stacks.profile import StackProfile
+
+
+class _TreeNode:
+    """One context (a stack prefix) in the call tree."""
+
+    __slots__ = ("name", "ticks", "leaf_ticks", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ticks = 0
+        self.leaf_ticks = 0
+        self.children: dict[str, "_TreeNode"] = {}
+
+
+def _build_tree(profile: StackProfile) -> _TreeNode:
+    root = _TreeNode("<root>")
+    for stack, ticks in profile.samples.items():
+        node = root
+        node.ticks += ticks
+        for name in stack:
+            child = node.children.get(name)
+            if child is None:
+                child = _TreeNode(name)
+                node.children[name] = child
+            child.ticks += ticks
+            node = child
+        node.leaf_ticks += ticks
+    return root
+
+
+def format_call_tree(
+    profile: StackProfile,
+    min_percent: float = 1.0,
+    max_depth: int = 25,
+) -> str:
+    """Render the sampled call tree, inclusive time per context.
+
+    Arguments:
+        profile: the stack samples.
+        min_percent: prune contexts below this share of total time.
+        max_depth: prune deeper contexts (recursion can be arbitrarily
+            deep; the tail is rarely informative).
+    """
+    total = profile.total_ticks
+    if not total:
+        return "(no stack samples)\n"
+    root = _build_tree(profile)
+    lines = [f"call tree ({total} samples, {profile.total_seconds:.2f}s):"]
+
+    def walk(node: _TreeNode, depth: int) -> None:
+        for child in sorted(
+            node.children.values(), key=lambda c: (-c.ticks, c.name)
+        ):
+            pct = 100.0 * child.ticks / total
+            if pct < min_percent or depth > max_depth:
+                continue
+            self_note = (
+                f"  (self {100.0 * child.leaf_ticks / total:.1f}%)"
+                if child.leaf_ticks
+                else ""
+            )
+            lines.append(
+                f"{'  ' * depth}{pct:5.1f}% "
+                f"{profile.seconds(child.ticks):8.2f}s  "
+                f"{child.name}{self_note}"
+            )
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines) + "\n"
+
+
+def format_hot_paths(profile: StackProfile, top: int = 5) -> str:
+    """The ``top`` most frequently sampled complete stacks."""
+    total = profile.total_ticks
+    if not total:
+        return "(no stack samples)\n"
+    lines = [f"hot paths (top {top} of {len(profile)} distinct stacks):"]
+    ranked = sorted(profile.samples.items(), key=lambda kv: (-kv[1], kv[0]))
+    for stack, ticks in ranked[:top]:
+        lines.append(
+            f"{100.0 * ticks / total:5.1f}%  {' -> '.join(stack)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def format_stack_flat(profile: StackProfile, min_percent: float = 0.0) -> str:
+    """A flat listing with *exact* inclusive time next to self time.
+
+    The column classic gprof could only estimate is measured here.
+    """
+    analysis = analyze_stacks(profile)
+    lines = ["  self%   incl%     self      incl  name"]
+    total = profile.total_ticks or 1
+    for name, excl, incl in analysis.flat_rows():
+        self_pct = 100.0 * analysis.exclusive.get(name, 0) / total
+        incl_pct = analysis.inclusive_percent(name)
+        if max(self_pct, incl_pct) < min_percent:
+            continue
+        lines.append(
+            f"{self_pct:6.1f}  {incl_pct:6.1f}  {excl:7.2f}s {incl:7.2f}s  {name}"
+        )
+    return "\n".join(lines) + "\n"

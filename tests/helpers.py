@@ -1,0 +1,71 @@
+"""Shared builders for the test suite."""
+
+from __future__ import annotations
+
+from repro.core import (
+    Arc,
+    CallGraph,
+    Histogram,
+    ProfileData,
+    RawArc,
+    Symbol,
+    SymbolTable,
+)
+
+#: Width given to each routine in synthetic symbol tables.
+SYM_SIZE = 100
+
+
+def make_symbols(*names: str) -> SymbolTable:
+    """A symbol table with each routine occupying SYM_SIZE addresses."""
+    return SymbolTable(
+        Symbol(i * SYM_SIZE, name, (i + 1) * SYM_SIZE)
+        for i, name in enumerate(names)
+    )
+
+
+def addr_of(symbols: SymbolTable, name: str, offset: int = 0) -> int:
+    """An address inside routine ``name``."""
+    return symbols.by_name(name).address + offset
+
+
+def graph_from_edges(*edges: tuple[str, str] | tuple[str, str, int]) -> CallGraph:
+    """A call graph from (caller, callee[, count]) tuples (default count 1)."""
+    graph = CallGraph()
+    for edge in edges:
+        caller, callee = edge[0], edge[1]
+        count = edge[2] if len(edge) > 2 else 1
+        graph.add_arc(Arc(caller, callee, count))
+    return graph
+
+
+def profile_data(
+    symbols: SymbolTable,
+    arc_list: list[tuple[str, str, int]],
+    ticks: dict[str, int] | None = None,
+    profrate: int = 60,
+) -> ProfileData:
+    """ProfileData with symbolic arcs and per-routine tick counts.
+
+    Arcs are laid out so that each (caller, callee) pair gets its own
+    call-site address inside the caller.  ``ticks`` maps routine name to
+    the number of PC samples to place at the routine's entry.
+    """
+    hist = Histogram.for_range(symbols.low_pc, symbols.high_pc, 1.0, profrate)
+    for name, n in (ticks or {}).items():
+        addr = symbols.by_name(name).address
+        for _ in range(n):
+            assert hist.record(addr)
+    raw: list[RawArc] = []
+    site_counter: dict[str, int] = {}
+    for caller, callee, count in arc_list:
+        self_pc = symbols.by_name(callee).address
+        if caller == "<spontaneous>":
+            raw.append(RawArc(0, self_pc, count))
+            continue
+        slot = site_counter.get(caller, 0)
+        site_counter[caller] = slot + 1
+        from_pc = symbols.by_name(caller).address + 4 + 4 * slot
+        assert from_pc < symbols.by_name(caller).end
+        raw.append(RawArc(from_pc, self_pc, count))
+    return ProfileData(hist, raw)

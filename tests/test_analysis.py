@@ -1,0 +1,150 @@
+"""Integration tests for the analysis pipeline (repro.core.analysis)."""
+
+import pytest
+
+from repro.core import AnalysisOptions, analyze
+
+from tests.helpers import make_symbols, profile_data
+
+
+def simple_profile(**opts):
+    symbols = make_symbols("main", "worker", "helper", "unused")
+    data = profile_data(
+        symbols,
+        [
+            ("<spontaneous>", "main", 1),
+            ("main", "worker", 10),
+            ("worker", "helper", 30),
+        ],
+        ticks={"main": 6, "worker": 30, "helper": 24},
+    )
+    return analyze(data, symbols, AnalysisOptions(**opts) if opts else None)
+
+
+class TestBasics:
+    def test_total_time(self):
+        profile = simple_profile()
+        assert profile.total_seconds == pytest.approx(1.0)
+
+    def test_entries_sorted_by_total_time(self):
+        profile = simple_profile()
+        totals = [e.total_seconds for e in profile.graph_entries]
+        assert totals == sorted(totals, reverse=True)
+        assert profile.graph_entries[0].name == "main"
+
+    def test_indices_are_one_based_positions(self):
+        profile = simple_profile()
+        for i, entry in enumerate(profile.graph_entries, start=1):
+            assert entry.index == i
+            assert profile.index_of(entry.name) == i
+
+    def test_flat_profile_sorted_by_self_time(self):
+        profile = simple_profile()
+        selfs = [f.self_seconds for f in profile.flat_entries]
+        assert selfs == sorted(selfs, reverse=True)
+        assert profile.flat_entries[0].name == "worker"
+
+    def test_flat_self_times_sum_to_total(self):
+        # §5.1: "for this profile, the individual times sum to the total
+        # execution time."
+        profile = simple_profile()
+        assert sum(f.self_seconds for f in profile.flat_entries) == pytest.approx(
+            profile.total_seconds
+        )
+
+    def test_never_called_listed(self):
+        profile = simple_profile()
+        assert profile.never_called == ["unused"]
+
+    def test_spontaneous_main(self):
+        profile = simple_profile()
+        entry = profile.entry("main")
+        assert entry.ncalls == 1
+        assert entry.parents[0].name is None  # <spontaneous>
+
+    def test_percent_of(self):
+        profile = simple_profile()
+        assert profile.percent_of("main") == pytest.approx(100.0)
+        assert profile.percent_of("missing") == 0.0
+
+    def test_ms_per_call(self):
+        profile = simple_profile()
+        helper = next(f for f in profile.flat_entries if f.name == "helper")
+        # helper: 0.4s over 30 calls.
+        assert helper.self_ms_per_call == pytest.approx(400 / 30)
+        assert helper.total_ms_per_call == pytest.approx(400 / 30)
+
+
+class TestOptions:
+    def test_exclusion_removes_routine_and_time(self):
+        profile = simple_profile(excluded=["helper"])
+        assert profile.entry("helper") is None
+        # helper's 0.4s vanish from the analysis entirely.
+        assert profile.total_seconds == pytest.approx(0.6)
+        assert profile.entry("worker").child_seconds == pytest.approx(0.0)
+
+    def test_deleted_arc_stops_propagation(self):
+        profile = simple_profile(deleted_arcs=[("worker", "helper")])
+        assert profile.entry("worker").child_seconds == pytest.approx(0.0)
+        # helper keeps its own time; the program total is unchanged.
+        assert profile.total_seconds == pytest.approx(1.0)
+        assert [
+            (r.caller, r.callee) for r in profile.removed_arcs
+        ] == [("worker", "helper")]
+
+    def test_static_arcs_added_with_zero_counts(self):
+        profile = simple_profile(static_arcs=[("main", "helper")])
+        children = profile.entry("main").children
+        helper_line = next(c for c in children if c.name == "helper")
+        assert helper_line.count == 0
+        assert helper_line.self_share == 0.0
+
+    def test_static_arc_can_change_cycle_membership(self):
+        # A dynamic a→b plus a static b→a completes a cycle (§4: done
+        # before topological ordering).
+        symbols = make_symbols("a", "b")
+        data = profile_data(symbols, [("a", "b", 5)], ticks={"a": 6, "b": 6})
+        profile = analyze(
+            data, symbols, AnalysisOptions(static_arcs=[("b", "a")])
+        )
+        assert len(profile.numbered.cycles) == 1
+
+    def test_auto_break_cycles(self):
+        symbols = make_symbols("m", "x", "y")
+        data = profile_data(
+            symbols,
+            [("m", "x", 50), ("x", "y", 50), ("y", "x", 2)],
+            ticks={"x": 30, "y": 30},
+        )
+        profile = analyze(data, symbols, AnalysisOptions(auto_break_cycles=True))
+        assert profile.numbered.cycles == []
+        assert [(r.caller, r.callee) for r in profile.removed_arcs] == [("y", "x")]
+        # with the cycle broken, x inherits y's time again
+        assert profile.entry("x").child_seconds == pytest.approx(0.5)
+
+
+class TestSampledOnlyRoutines:
+    def test_sampled_but_never_called_routine_appears(self):
+        # A routine compiled without the monitoring prologue: histogram
+        # ticks but no arcs (§3.1's partial-profiling case).
+        symbols = make_symbols("main", "library_fn")
+        data = profile_data(
+            symbols,
+            [("<spontaneous>", "main", 1)],
+            ticks={"main": 6, "library_fn": 12},
+        )
+        profile = analyze(data, symbols)
+        entry = profile.entry("library_fn")
+        assert entry is not None
+        assert entry.self_seconds == pytest.approx(0.2)
+        assert entry.ncalls == 0
+        flat = next(f for f in profile.flat_entries if f.name == "library_fn")
+        assert flat.calls is None
+
+    def test_empty_profile(self):
+        symbols = make_symbols("main")
+        data = profile_data(symbols, [])
+        profile = analyze(data, symbols)
+        assert profile.total_seconds == 0.0
+        assert profile.graph_entries == []
+        assert profile.never_called == ["main"]

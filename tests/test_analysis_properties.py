@@ -1,0 +1,117 @@
+"""Property-based tests over the whole analysis pipeline.
+
+Random profiles (random call graphs + random histograms) must always
+satisfy the structural invariants the listings rely on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnalysisOptions, analyze
+
+from tests.helpers import make_symbols, profile_data
+
+
+@st.composite
+def random_profile_inputs(draw):
+    """(symbols, arcs, ticks) for a random but well-formed profile."""
+    n = draw(st.integers(2, 8))
+    names = [f"r{i}" for i in range(n)]
+    symbols = make_symbols(*names)
+    n_arcs = draw(st.integers(1, 15))
+    arcs = []
+    for _ in range(n_arcs):
+        caller = draw(st.sampled_from(names + ["<spontaneous>"]))
+        callee = draw(st.sampled_from(names))
+        count = draw(st.integers(0, 30))
+        if caller == "<spontaneous>" and count == 0:
+            count = 1
+        arcs.append((caller, callee, count))
+    ticks = {
+        name: draw(st.integers(0, 50))
+        for name in draw(st.sets(st.sampled_from(names), max_size=n))
+    }
+    return symbols, arcs, ticks
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_profile_inputs())
+def test_pipeline_invariants(inputs):
+    symbols, arcs, ticks = inputs
+    data = profile_data(symbols, arcs, ticks)
+    profile = analyze(data, symbols)
+
+    total = profile.total_seconds
+    assert total == pytest.approx(sum(ticks.values()) / 60)
+
+    index_seen = set()
+    for entry in profile.graph_entries:
+        # indices are 1..N positions and resolve back to the entry
+        assert entry.index not in index_seen
+        index_seen.add(entry.index)
+        assert profile.entry(entry.name) is entry
+        # percent and seconds are sane
+        assert -1e-9 <= entry.percent <= 100.0 + 1e-9
+        assert entry.self_seconds >= -1e-9
+        assert entry.child_seconds >= -1e-9
+        assert entry.ncalls >= 0 and entry.self_calls >= 0
+        # parent call counts sum to the entry's external call count
+        if not entry.is_cycle and entry.cycle is None:
+            identified = sum(
+                p.count for p in entry.parents
+                if p.name is not None and not p.intra_cycle
+            )
+            spontaneous = sum(
+                p.count for p in entry.parents if p.name is None
+            )
+            assert identified + spontaneous == entry.ncalls
+        # every referenced relative resolves to an entry (or is
+        # spontaneous)
+        for line in entry.parents + entry.children:
+            if line.name is not None:
+                assert profile.entry(line.name) is not None
+
+    # flat self seconds sum to the program total
+    flat_sum = sum(f.self_seconds for f in profile.flat_entries)
+    assert flat_sum == pytest.approx(total, abs=1e-9)
+
+    # arc shares never exceed the child's own total
+    prop = profile.propagation
+    for (caller, callee), share in prop.arc_shares.items():
+        rep = prop.representative_of(callee)
+        assert share.total <= prop.total_time[rep] + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_profile_inputs(), st.integers(1, 5))
+def test_auto_break_always_acyclic(inputs, budget):
+    """Property: with a big enough budget the pipeline ends acyclic;
+    the removed arcs are reported exactly."""
+    symbols, arcs, ticks = inputs
+    data = profile_data(symbols, arcs, ticks)
+    profile = analyze(
+        data,
+        symbols,
+        AnalysisOptions(auto_break_cycles=True, max_removed_arcs=100),
+    )
+    assert profile.numbered.cycles == []
+    for removed in profile.removed_arcs:
+        assert profile.graph.arc(removed.caller, removed.callee) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_profile_inputs())
+def test_exclusion_is_subtractive(inputs):
+    """Property: excluding a routine never increases total time and
+    removes the routine from every view."""
+    symbols, arcs, ticks = inputs
+    data = profile_data(symbols, arcs, ticks)
+    full = analyze(data, symbols)
+    victim = next(iter(symbols)).name
+    reduced = analyze(data, symbols, AnalysisOptions(excluded=[victim]))
+    assert reduced.total_seconds <= full.total_seconds + 1e-9
+    assert reduced.entry(victim) is None
+    for entry in reduced.graph_entries:
+        for line in entry.parents + entry.children:
+            assert line.name != victim

@@ -1,0 +1,103 @@
+"""Tests for Python annotated-source listings and the mcount ablation
+table (the §3.1 alternative organization)."""
+
+import textwrap
+from collections import Counter
+
+import pytest
+
+from repro.errors import ProfilerError
+from repro.machine.mcount import ArcTable, CalleeKeyedArcTable
+from repro.pyprof import Profiler, format_annotated_source, hottest_lines
+
+
+class TestAnnotatedSource:
+    def _listing(self, tmp_path, ticks):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            textwrap.dedent(
+                """\
+                def hot():
+                    x = 1
+                    return x
+
+                def cold():
+                    return 0
+                """
+            )
+        )
+        counts = Counter(
+            {(str(src), line): n for line, n in ticks.items()}
+        )
+        return src, format_annotated_source(str(src), counts, profrate=100)
+
+    def test_counts_in_margin(self, tmp_path):
+        _, text = self._listing(tmp_path, {2: 80, 3: 20})
+        hot_line = next(l for l in text.splitlines() if "x = 1" in l)
+        assert "80" in hot_line
+        assert "|################" in hot_line
+        cold_line = next(l for l in text.splitlines() if "return 0" in l)
+        assert cold_line.strip().startswith("6")  # empty gutter
+
+    def test_seconds_column(self, tmp_path):
+        _, text = self._listing(tmp_path, {2: 50})
+        assert "0.500s" in text
+
+    def test_no_samples_notice(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text("pass\n")
+        assert "no samples" in format_annotated_source(str(src), Counter())
+
+    def test_hottest_lines(self):
+        counts = Counter({("a.py", 3): 9, ("b.py", 1): 5, ("a.py", 7): 1})
+        assert hottest_lines(counts, top=2) == [("a.py", 3, 9), ("b.py", 1, 5)]
+
+    def test_end_to_end_sampled_lines(self, tmp_path):
+        import time
+
+        def spin():
+            deadline = time.process_time() + 0.05
+            total = 0
+            while time.process_time() < deadline:
+                total += 1  # the hot line
+            return total
+
+        profiler = Profiler(mode="thread", interval=0.002, record_lines=True)
+        with profiler:
+            spin()
+        assert profiler.line_ticks
+        (filename, lineno, ticks) = hottest_lines(profiler.line_ticks, top=1)[0]
+        assert filename == __file__
+        text = format_annotated_source(__file__, profiler.line_ticks)
+        assert "annotated source" in text
+
+    def test_record_lines_requires_sampling(self):
+        with pytest.raises(ProfilerError, match="sampling"):
+            Profiler(mode="exact", record_lines=True)
+
+
+class TestCalleeKeyedTable:
+    def test_same_arcs_either_organization(self):
+        events = [(4 * s, 100 * (s % 3)) for s in range(30)] * 3
+        a, b = ArcTable(), CalleeKeyedArcTable()
+        for from_pc, self_pc in events:
+            a.record(from_pc, self_pc)
+            b.record(from_pc, self_pc)
+        assert a.arcs() == b.arcs()
+        assert len(a) == len(b)
+
+    def test_fan_in_probes_grow(self):
+        t = CalleeKeyedArcTable()
+        for site in range(20):
+            t.record(1000 + 4 * site, 8)
+        # the 20th site probed the whole chain
+        assert t.stats.probes > 20
+        assert t.stats.collisions > 0
+
+    def test_spontaneous_and_reset(self):
+        t = CalleeKeyedArcTable()
+        t.record(None, 8)
+        assert t.stats.spontaneous == 1
+        t.reset()
+        assert t.arcs() == []
+        assert t.stats.lookups == 1

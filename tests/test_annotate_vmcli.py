@@ -1,0 +1,166 @@
+"""Tests for annotated disassembly and the repro-vm CLI."""
+
+import pytest
+
+from repro.cli.vm_cli import main as vm_main
+from repro.core.histogram import Histogram
+from repro.machine import assemble, run_profiled
+from repro.machine.programs import compute_heavy
+from repro.report.annotate import (
+    format_annotated_disassembly,
+    hottest_instructions,
+)
+
+
+@pytest.fixture()
+def profiled_run():
+    src = compute_heavy(calls=10, work=500)
+    cpu, data = run_profiled(src, name="crunchy")
+    exe = assemble(src, name="crunchy", profile=True)
+    return exe, data
+
+
+class TestTicksInRange:
+    def test_exact_with_unit_buckets(self):
+        h = Histogram.for_range(0, 8, scale=1.0)
+        h.record(2)
+        h.record(2)
+        h.record(5)
+        assert h.ticks_in_range(0, 4) == pytest.approx(2.0)
+        assert h.ticks_in_range(4, 8) == pytest.approx(1.0)
+        assert h.ticks_in_range(0, 8) == pytest.approx(3.0)
+
+    def test_fractional_with_coarse_buckets(self):
+        h = Histogram(0, 8, [4])  # one bucket over 8 addresses
+        assert h.ticks_in_range(0, 4) == pytest.approx(2.0)
+        assert h.ticks_in_range(2, 4) == pytest.approx(1.0)
+
+    def test_empty_range(self):
+        h = Histogram.for_range(0, 8)
+        assert h.ticks_in_range(5, 5) == 0.0
+        assert h.ticks_in_range(6, 2) == 0.0
+
+    def test_range_sums_partition_total(self):
+        h = Histogram.for_range(0, 100, scale=0.3)
+        for pc in range(0, 100, 3):
+            h.record(pc)
+        parts = sum(
+            h.ticks_in_range(lo, lo + 10) for lo in range(0, 100, 10)
+        )
+        assert parts == pytest.approx(h.total_ticks)
+
+
+class TestAnnotatedDisassembly:
+    def test_work_instruction_is_hottest(self, profiled_run):
+        exe, data = profiled_run
+        rows = hottest_instructions(exe, data.histogram, top=3)
+        addr, routine, text, ticks = rows[0]
+        assert routine == "crunch"
+        assert text.startswith("WORK")
+        assert ticks > 0
+
+    def test_listing_contains_functions_and_bars(self, profiled_run):
+        exe, data = profiled_run
+        text = format_annotated_disassembly(exe, data.histogram)
+        assert "crunch:" in text
+        assert "main:" in text
+        assert "|#" in text  # at least one bar
+        assert "WORK 500" in text
+
+    def test_min_function_ticks_filter(self, profiled_run):
+        exe, data = profiled_run
+        text = format_annotated_disassembly(
+            exe, data.histogram, min_function_ticks=data.total_ticks / 2
+        )
+        assert "crunch:" in text
+        assert "main:" not in text
+
+    def test_function_ticks_sum_to_program(self, profiled_run):
+        exe, data = profiled_run
+        total = sum(
+            data.histogram.ticks_in_range(f.entry, f.end)
+            for f in exe.functions
+        )
+        assert total == pytest.approx(data.total_ticks)
+
+
+class TestVmCli:
+    def test_list(self, capsys):
+        assert vm_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fib" in out
+        assert "netcycle" in out
+
+    def test_asm_then_run_image(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = tmp_path / "prog.s"
+        src.write_text(".func main\n PUSH 7\n OUT\n HALT\n.end\n")
+        assert vm_main(["asm", str(src), "-o", "prog.vmexe", "--profile"]) == 0
+        assert vm_main(["run", "prog.vmexe", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "output [7]" in out
+        assert (tmp_path / "gmon.out").exists()
+
+    def test_run_canned_program_with_annotation(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert vm_main(
+            ["run", "compute_heavy", "--profile", "--annotate",
+             "--gmon", "ch.gmon"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "annotated disassembly" in out
+        assert "crunch:" in out
+        assert (tmp_path / "ch.gmon").exists()
+
+    def test_run_source_file_directly(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = tmp_path / "p.s"
+        src.write_text(".func main\n PUSH 1\n OUT\n HALT\n.end\n")
+        assert vm_main(["run", str(src)]) == 0
+        assert "output [1]" in capsys.readouterr().out
+
+    def test_run_unprofiled_image_with_profile_errors(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        src = tmp_path / "p.s"
+        src.write_text(".func main\n HALT\n.end\n")
+        vm_main(["asm", str(src), "-o", "plain.vmexe"])
+        capsys.readouterr()
+        assert vm_main(["run", "plain.vmexe", "--profile"]) == 1
+        assert "re-assemble" in capsys.readouterr().err
+
+    def test_unknown_program(self, capsys):
+        assert vm_main(["run", "no_such_thing"]) == 1
+        assert "neither" in capsys.readouterr().err
+
+    def test_count_flag(self, capsys):
+        assert vm_main(["run", "fib", "--count"]) == 0
+        out = capsys.readouterr().out
+        assert "block execution counts:" in out
+        assert "fib.recurse" in out
+
+    def test_count_flag_on_plain_image(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = tmp_path / "p.s"
+        src.write_text(".func main\n HALT\n.end\n")
+        vm_main(["asm", str(src), "-o", "p.vmexe"])
+        capsys.readouterr()
+        assert vm_main(["run", "p.vmexe", "--count"]) == 1
+        assert "no block counters" in capsys.readouterr().err
+
+    def test_cli_output_feeds_gprof(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = tmp_path / "p.s"
+        src.write_text(
+            ".func main\n CALL f\n HALT\n.end\n"
+            ".func f\n WORK 200\n RET\n.end\n"
+        )
+        vm_main(["asm", str(src), "-o", "p.vmexe", "--profile"])
+        vm_main(["run", "p.vmexe", "--profile", "--gmon", "p.gmon",
+                 "--ticks", "10"])
+        capsys.readouterr()
+        from repro.cli.gprof_cli import main as gprof_main
+
+        assert gprof_main(["p.vmexe", "p.gmon"]) == 0
+        assert "f [" in capsys.readouterr().out

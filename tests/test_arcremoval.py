@@ -1,0 +1,171 @@
+"""Tests for cycle breaking by arc removal (the retrospective's option)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arcremoval import (
+    break_cycles_exact,
+    break_cycles_heuristic,
+    information_lost,
+    remove_arcs,
+)
+from repro.core.cycles import strongly_connected_components
+
+from tests.helpers import graph_from_edges
+
+
+def _has_cycle(graph):
+    return any(len(c) > 1 for c in strongly_connected_components(graph))
+
+
+class TestRemoveArcs:
+    def test_removes_named_arcs(self):
+        g = graph_from_edges(("a", "b", 3), ("b", "a", 1))
+        removed = remove_arcs(g, [("b", "a")])
+        assert [(r.caller, r.callee, r.count) for r in removed] == [("b", "a", 1)]
+        assert not _has_cycle(g)
+
+    def test_unknown_pairs_ignored(self):
+        g = graph_from_edges(("a", "b"))
+        assert remove_arcs(g, [("x", "y")]) == []
+
+
+class TestHeuristic:
+    def test_prefers_low_count_arc(self):
+        # The kernel story: the cycle is closed by one rare arc.
+        g = graph_from_edges(
+            ("a", "b", 1000), ("b", "c", 1000), ("c", "a", 3)
+        )
+        removed = break_cycles_heuristic(g)
+        assert [(r.caller, r.callee) for r in removed] == [("c", "a")]
+        assert not _has_cycle(g)
+
+    def test_respects_bound(self):
+        # Two independent 2-cycles; bound of 1 leaves one intact.
+        g = graph_from_edges(
+            ("a", "b", 1), ("b", "a", 1), ("c", "d", 1), ("d", "c", 1)
+        )
+        removed = break_cycles_heuristic(g, max_arcs=1)
+        assert len(removed) == 1
+        assert _has_cycle(g)
+
+    def test_self_loops_ignored(self):
+        g = graph_from_edges(("a", "a", 5))
+        assert break_cycles_heuristic(g) == []
+        assert g.arc("a", "a") is not None
+
+    def test_acyclic_graph_untouched(self):
+        g = graph_from_edges(("a", "b"), ("b", "c"))
+        assert break_cycles_heuristic(g) == []
+        assert g.num_arcs() == 2
+
+    def test_netstack_shape(self):
+        # A six-node pipeline closed by one loopback arc, plus an
+        # unrelated subsystem; removal isolates the pipeline without
+        # touching anything else.
+        g = graph_from_edges(
+            ("main", "ip_in", 40), ("ip_in", "tcp_in", 43),
+            ("tcp_in", "app", 43), ("app", "sock", 43),
+            ("sock", "tcp_out", 43), ("tcp_out", "ip_out", 43),
+            ("ip_out", "ip_in", 3), ("main", "disk", 40),
+        )
+        removed = break_cycles_heuristic(g)
+        assert [(r.caller, r.callee, r.count) for r in removed] == [
+            ("ip_out", "ip_in", 3)
+        ]
+        assert g.arc("main", "disk").count == 40
+
+
+class TestExact:
+    def test_matches_heuristic_on_simple_case(self):
+        g = graph_from_edges(("a", "b", 9), ("b", "a", 2))
+        exact = break_cycles_exact(g)
+        assert [(r.caller, r.callee) for r in exact] == [("b", "a")]
+        # exact does not mutate
+        assert g.arc("b", "a") is not None
+
+    def test_exact_beats_greedy_when_greedy_is_myopic(self):
+        # Two cycles sharing an arc: removing the shared arc (count 5)
+        # breaks both; greedy first removes the cheapest arc (count 1)
+        # and then still needs another.
+        g = graph_from_edges(
+            ("a", "b", 5),          # shared arc
+            ("b", "a", 1),          # cycle 1 closer (cheapest)
+            ("b", "c", 9), ("c", "a", 9),  # cycle 2 via c
+        )
+        exact = break_cycles_exact(g)
+        assert len(exact) == 1
+        assert (exact[0].caller, exact[0].callee) == ("a", "b")
+        g2 = g.copy()
+        greedy = break_cycles_heuristic(g2)
+        assert len(greedy) == 2  # myopic: removed b→a, then needed more
+
+    def test_exact_returns_empty_for_acyclic(self):
+        g = graph_from_edges(("a", "b"))
+        assert break_cycles_exact(g) == []
+
+    def test_exact_none_when_bound_too_small(self):
+        # Three disjoint 2-cycles need 3 removals; bound of 2 fails.
+        g = graph_from_edges(
+            ("a", "b", 1), ("b", "a", 1),
+            ("c", "d", 1), ("d", "c", 1),
+            ("e", "f", 1), ("f", "e", 1),
+        )
+        assert break_cycles_exact(g, max_arcs=2) is None
+
+
+class TestInformationLost:
+    def test_fraction(self):
+        g = graph_from_edges(("a", "b", 97), ("b", "a", 3))
+        removed = break_cycles_heuristic(g)
+        assert information_lost(removed, total_calls=100) == pytest.approx(0.03)
+
+    def test_zero_total(self):
+        assert information_lost([], 0) == 0.0
+
+
+@settings(max_examples=40)
+@given(st.data())
+def test_heuristic_always_breaks_all_cycles_given_budget(data):
+    """Property: with a budget of all arcs, the heuristic always
+    produces an acyclic graph."""
+    n = data.draw(st.integers(2, 8))
+    m = data.draw(st.integers(1, 20))
+    edges = [
+        (
+            f"n{data.draw(st.integers(0, n - 1))}",
+            f"n{data.draw(st.integers(0, n - 1))}",
+            data.draw(st.integers(1, 100)),
+        )
+        for _ in range(m)
+    ]
+    g = graph_from_edges(*edges)
+    break_cycles_heuristic(g, max_arcs=m + 1)
+    assert not _has_cycle(g)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_exact_never_worse_than_heuristic(data):
+    """Property: the exhaustive solver (which minimizes the number of
+    removed arcs first, then the call traffic discarded) never needs
+    more arcs than greedy, and at equal size never discards more
+    traffic."""
+    n = data.draw(st.integers(2, 5))
+    m = data.draw(st.integers(1, 8))
+    edges = [
+        (
+            f"n{data.draw(st.integers(0, n - 1))}",
+            f"n{data.draw(st.integers(0, n - 1))}",
+            data.draw(st.integers(1, 50)),
+        )
+        for _ in range(m)
+    ]
+    g = graph_from_edges(*edges)
+    exact = break_cycles_exact(g.copy(), max_arcs=m + 1)
+    greedy = break_cycles_heuristic(g.copy(), max_arcs=m + 1)
+    assert exact is not None
+    assert len(exact) <= len(greedy)
+    if len(exact) == len(greedy):
+        assert sum(r.count for r in exact) <= sum(r.count for r in greedy)

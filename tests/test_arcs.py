@@ -1,0 +1,110 @@
+"""Unit tests for repro.core.arcs."""
+
+import pytest
+
+from repro.core.arcs import Arc, ArcSet, RawArc, symbolize_arcs
+from repro.core.symbols import SPONTANEOUS, Symbol, SymbolTable
+
+from tests.helpers import make_symbols
+
+
+class TestRawArc:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            RawArc(0, 4, -1)
+
+    def test_zero_count_marks_static(self):
+        assert RawArc(0, 4, 0).count == 0
+
+
+class TestSymbolize:
+    def test_basic_resolution(self):
+        syms = make_symbols("a", "b")
+        arcs = symbolize_arcs([RawArc(10, 100, 7)], syms)
+        assert arcs == [Arc("a", "b", 7, 1, False)]
+
+    def test_multiple_sites_same_pair_merge(self):
+        syms = make_symbols("a", "b")
+        arcs = symbolize_arcs(
+            [RawArc(10, 100, 3), RawArc(20, 100, 4)], syms
+        )
+        assert len(arcs) == 1
+        assert arcs[0].count == 7
+        assert arcs[0].sites == 2
+
+    def test_zero_from_pc_is_spontaneous(self):
+        syms = make_symbols("a", "b")
+        (arc,) = symbolize_arcs([RawArc(0, 100, 2)], syms)
+        assert arc.caller == SPONTANEOUS
+        assert arc.spontaneous
+
+    def test_from_pc_outside_symbols_is_spontaneous(self):
+        # Non-standard calling sequences: callee known, caller not (§3.1).
+        syms = make_symbols("a", "b")
+        (arc,) = symbolize_arcs([RawArc(99_999, 100, 2)], syms)
+        assert arc.caller == SPONTANEOUS
+        assert arc.count == 2
+
+    def test_unknown_callee_dropped_by_default(self):
+        syms = make_symbols("a")
+        assert symbolize_arcs([RawArc(10, 99_999, 2)], syms) == []
+
+    def test_unknown_callee_kept_on_request(self):
+        syms = make_symbols("a")
+        (arc,) = symbolize_arcs([RawArc(10, 99_999, 2)], syms, keep_unknown=True)
+        assert arc.callee.startswith("<unknown:0x")
+        assert arc.caller == "a"
+
+    def test_static_flag_survives_merge_only_if_all_static(self):
+        syms = make_symbols("a", "b")
+        arcs = symbolize_arcs([RawArc(10, 100, 0), RawArc(20, 100, 5)], syms)
+        assert arcs[0].static is False
+        arcs = symbolize_arcs([RawArc(10, 100, 0), RawArc(20, 100, 0)], syms)
+        assert arcs[0].static is True
+
+    def test_call_site_identifies_caller_not_callee_entry(self):
+        # A call site near the end of 'a' still belongs to 'a'.
+        syms = SymbolTable([Symbol(0, "a", 100), Symbol(100, "b", 200)])
+        (arc,) = symbolize_arcs([RawArc(96, 100, 1)], syms)
+        assert arc.caller == "a"
+        assert arc.callee == "b"
+
+
+class TestArcSet:
+    def test_add_merges_counts(self):
+        s = ArcSet([Arc("a", "b", 3)])
+        s.add(Arc("a", "b", 4))
+        assert s.get("a", "b").count == 7
+        assert len(s) == 1
+
+    def test_add_static_noop_when_dynamic_exists(self):
+        s = ArcSet([Arc("a", "b", 3)])
+        assert s.add_static("a", "b") is False
+        assert s.get("a", "b").count == 3
+
+    def test_add_static_adds_zero_count(self):
+        s = ArcSet()
+        assert s.add_static("a", "b") is True
+        arc = s.get("a", "b")
+        assert arc.count == 0
+        assert arc.static
+
+    def test_remove(self):
+        s = ArcSet([Arc("a", "b", 1)])
+        assert s.remove("a", "b") is True
+        assert s.remove("a", "b") is False
+        assert len(s) == 0
+
+    def test_routines_excludes_spontaneous(self):
+        s = ArcSet([Arc(SPONTANEOUS, "main", 1), Arc("main", "f", 2)])
+        assert s.routines() == {"main", "f"}
+
+    def test_incoming_count(self):
+        s = ArcSet([Arc("a", "c", 2), Arc("b", "c", 5), Arc("c", "a", 9)])
+        assert s.incoming_count("c") == 7
+
+    def test_contains_and_iter(self):
+        s = ArcSet([Arc("a", "b", 1)])
+        assert ("a", "b") in s
+        assert ("b", "a") not in s
+        assert [a.caller for a in s] == ["a"]

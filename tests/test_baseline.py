@@ -1,0 +1,87 @@
+"""Tests for the prof(1) baseline and its comparison with gprof."""
+
+import pytest
+
+from repro.baseline import format_prof, prof_analyze
+from repro.core import analyze
+from repro.machine import assemble, run_profiled
+from repro.machine.programs import abstraction
+
+from tests.helpers import make_symbols, profile_data
+
+
+class TestProfTable:
+    def test_rows_sorted_by_self_time(self):
+        symbols = make_symbols("main", "hot", "cold")
+        data = profile_data(
+            symbols,
+            [("main", "hot", 2), ("main", "cold", 2)],
+            ticks={"hot": 60, "cold": 6, "main": 12},
+        )
+        rows = prof_analyze(data, symbols)
+        assert [r.name for r in rows] == ["hot", "main", "cold"]
+
+    def test_percent_and_ms_per_call(self):
+        symbols = make_symbols("main", "f")
+        data = profile_data(
+            symbols, [("main", "f", 4)], ticks={"f": 30, "main": 30}
+        )
+        rows = prof_analyze(data, symbols)
+        f = next(r for r in rows if r.name == "f")
+        assert f.percent == pytest.approx(50.0)
+        assert f.seconds == pytest.approx(0.5)
+        assert f.calls == 4
+        assert f.ms_per_call == pytest.approx(125.0)
+
+    def test_routine_with_samples_but_no_calls(self):
+        symbols = make_symbols("main")
+        data = profile_data(symbols, [], ticks={"main": 6})
+        (row,) = prof_analyze(data, symbols)
+        assert row.calls is None
+        assert row.ms_per_call is None
+
+    def test_format(self):
+        symbols = make_symbols("main", "f")
+        data = profile_data(symbols, [("main", "f", 4)], ticks={"f": 30})
+        text = format_prof(prof_analyze(data, symbols))
+        assert "%time" in text
+        assert "f" in text
+
+
+class TestMotivation:
+    """The paper's §1-2 story, measured."""
+
+    def test_flat_profile_diffuses_abstraction_cost(self):
+        src = abstraction(iterations=60)
+        cpu, data = run_profiled(src, name="abstraction")
+        symbols = assemble(src, profile=True).symbol_table()
+        rows = {r.name: r for r in prof_analyze(data, symbols)}
+        # prof: each calc looks cheap (self time only)…
+        for calc in ("calc1", "calc2", "calc3"):
+            assert rows[calc].percent < 15.0
+        # …and the formatting cost is split across several routines,
+        # none individually dominant.
+        fmt_like = [rows[n].percent for n in ("format1", "format2", "write")]
+        assert all(p < 60.0 for p in fmt_like)
+        assert sum(fmt_like) > 60.0
+
+    def test_gprof_reattributes_to_the_abstraction_users(self):
+        src = abstraction(iterations=60)
+        cpu, data = run_profiled(src, name="abstraction")
+        symbols = assemble(src, profile=True).symbol_table()
+        profile = analyze(data, symbols)
+        # gprof: each calc's entry carries the cost it causes.
+        for calc in ("calc1", "calc2", "calc3"):
+            entry = profile.entry(calc)
+            assert entry.percent > 20.0
+
+    def test_same_time_basis(self):
+        # prof and gprof disagree only about attribution, not about the
+        # total or per-routine self time.
+        src = abstraction(iterations=60)
+        cpu, data = run_profiled(src, name="abstraction")
+        symbols = assemble(src, profile=True).symbol_table()
+        rows = {r.name: r for r in prof_analyze(data, symbols)}
+        profile = analyze(data, symbols)
+        for flat in profile.flat_entries:
+            assert rows[flat.name].seconds == pytest.approx(flat.self_seconds)

@@ -1,0 +1,109 @@
+"""Tests for inline basic-block counters (§2/§3 statement counting)."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.machine import (
+    CPU,
+    Executable,
+    Op,
+    assemble,
+    block_counts,
+    format_block_counts,
+)
+from repro.machine.programs import even_odd, fib
+
+
+def run_counted(src, **kw):
+    cpu = CPU(assemble(src, count_blocks=True, **kw))
+    cpu.run()
+    return cpu
+
+
+class TestPlanting:
+    def test_entry_and_labels_get_counters(self):
+        src = """
+.func main
+    PUSH 3
+    STORE 0
+loop:
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    HALT
+.end
+"""
+        exe = assemble(src, count_blocks=True)
+        assert exe.counter_names == ["main.entry", "main.loop"]
+        counts = [i for i in exe.instructions if i.op is Op.COUNT]
+        assert len(counts) == 2
+
+    def test_labels_still_resolve_through_counters(self):
+        # the loop label must point at its COUNT so back-edges hit it
+        cpu = run_counted(
+            ".func main\n PUSH 3\n STORE 0\n"
+            "loop:\n LOAD 0\n PUSH 1\n SUB\n STORE 0\n LOAD 0\n JNZ loop\n"
+            " HALT\n.end\n"
+        )
+        counts = {c.name: c.count for c in block_counts(cpu)}
+        assert counts["main.loop"] == 3
+
+    def test_handwritten_count_rejected(self):
+        with pytest.raises(AssemblerError, match="COUNT"):
+            assemble(".func main\n COUNT 0\n HALT\n.end\n")
+
+    def test_plain_build_has_no_counters(self):
+        exe = assemble(fib(5))
+        assert exe.counter_names == []
+        assert all(i.op is not Op.COUNT for i in exe.instructions)
+
+    def test_combines_with_profiling(self):
+        exe = assemble(fib(5), profile=True, count_blocks=True)
+        assert exe.instructions[0].op is Op.MCOUNT
+        assert exe.instructions[1].op is Op.COUNT
+
+
+class TestCounts:
+    def test_fib_counts_match_theory(self):
+        cpu = run_counted(fib(10))
+        counts = {c.name: c.count for c in block_counts(cpu)}
+        assert counts["fib.entry"] == 177  # 2*F(11) - 1
+        assert counts["fib.recurse"] == 177 - 89  # internal nodes
+        assert cpu.output == [55]
+
+    def test_even_odd_counts(self):
+        cpu = run_counted(even_odd(9))
+        counts = {c.name: c.count for c in block_counts(cpu)}
+        assert counts["even.entry"] == 5
+        assert counts["odd.entry"] == 5
+
+    def test_untaken_branch_counts_zero(self):
+        cpu = run_counted(
+            ".func main\n PUSH 1\n JNZ skip\n WORK 5\n"
+            "skip:\n HALT\n.end\n"
+        )
+        counts = {c.name: c.count for c in block_counts(cpu)}
+        assert counts["main.skip"] == 1
+        assert counts["main.entry"] == 1
+
+    def test_format_lists_never_executed(self):
+        cpu = run_counted(
+            ".func main\n PUSH 0\n JNZ ghost\n HALT\nghost:\n HALT\n.end\n"
+        )
+        text = format_block_counts(cpu)
+        assert "never executed" in text
+        assert "main.ghost" in text
+        brief = format_block_counts(cpu, zero_blocks=False)
+        assert "main.ghost" not in brief
+
+    def test_image_roundtrip_keeps_counters(self):
+        exe = assemble(fib(5), count_blocks=True)
+        again = Executable.from_dict(exe.to_dict())
+        assert again.counter_names == exe.counter_names
+        a, b = CPU(exe), CPU(again)
+        a.run()
+        b.run()
+        assert a.counters == b.counters

@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.callgraph."""
+
+import pytest
+
+from repro.core.arcs import Arc
+from repro.core.callgraph import CallGraph
+from repro.core.symbols import SPONTANEOUS
+from repro.errors import CallGraphError
+
+from tests.helpers import graph_from_edges
+
+
+class TestConstruction:
+    def test_nodes_created_for_both_endpoints(self):
+        g = graph_from_edges(("a", "b"))
+        assert "a" in g
+        assert "b" in g
+        assert len(g) == 2
+
+    def test_extra_nodes(self):
+        g = CallGraph(extra_nodes=["lonely"])
+        assert "lonely" in g
+        assert g.num_arcs() == 0
+
+    def test_parallel_arcs_merge(self):
+        g = CallGraph()
+        g.add_arc(Arc("a", "b", 3, sites=1))
+        g.add_arc(Arc("a", "b", 4, sites=2))
+        arc = g.arc("a", "b")
+        assert arc.count == 7
+        assert arc.sites == 3
+
+    def test_spontaneous_arcs_create_no_edge(self):
+        g = CallGraph([Arc(SPONTANEOUS, "main", 2)])
+        assert g.spontaneous_calls("main") == 2
+        assert g.num_arcs() == 0
+        assert list(g.parents("main")) == []
+
+    def test_spontaneous_not_a_node(self):
+        g = CallGraph([Arc(SPONTANEOUS, "main", 1)])
+        with pytest.raises(CallGraphError):
+            g.add_node(SPONTANEOUS)
+
+
+class TestQueries:
+    def test_children_and_parents(self):
+        g = graph_from_edges(("a", "b", 2), ("a", "c", 3), ("b", "c", 5))
+        assert set(g.children("a")) == {"b", "c"}
+        assert set(g.parents("c")) == {"a", "b"}
+        assert g.arc("b", "c").count == 5
+        assert g.arc("c", "b") is None
+
+    def test_unknown_node_raises(self):
+        g = graph_from_edges(("a", "b"))
+        with pytest.raises(CallGraphError):
+            g.children("zzz")
+        with pytest.raises(CallGraphError):
+            g.parents("zzz")
+
+    def test_call_counting_excludes_self_calls(self):
+        g = graph_from_edges(("a", "b", 10), ("b", "b", 4))
+        assert g.incoming_calls("b") == 10
+        assert g.self_calls("b") == 4
+        assert g.total_calls("b") == 14
+
+    def test_spontaneous_counts_in_incoming(self):
+        g = CallGraph([Arc(SPONTANEOUS, "main", 1), Arc("x", "main", 2)])
+        assert g.incoming_calls("main") == 3
+
+    def test_roots(self):
+        g = graph_from_edges(("main", "a"), ("a", "b"), ("main", "main"))
+        assert g.roots() == ["main"]
+
+    def test_num_arcs(self):
+        g = graph_from_edges(("a", "b"), ("b", "c"), ("a", "c"))
+        assert g.num_arcs() == 3
+
+
+class TestMutation:
+    def test_remove_arc(self):
+        g = graph_from_edges(("a", "b", 2), ("b", "a", 1))
+        assert g.remove_arc("b", "a") is True
+        assert g.arc("b", "a") is None
+        assert "a" not in g.parents("a")
+        assert g.remove_arc("b", "a") is False
+
+    def test_copy_is_deep(self):
+        g = graph_from_edges(("a", "b", 2))
+        c = g.copy()
+        g.remove_arc("a", "b")
+        assert c.arc("a", "b").count == 2
+
+    def test_copy_preserves_spontaneous(self):
+        g = CallGraph([Arc(SPONTANEOUS, "main", 3)])
+        assert g.copy().spontaneous_calls("main") == 3

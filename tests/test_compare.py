@@ -1,0 +1,99 @@
+"""Tests for profile comparison (the §6 iterative workflow)."""
+
+import pytest
+
+from repro.core import analyze
+from repro.core.compare import compare_profiles, format_delta
+from repro.machine import assemble, run_profiled
+from repro.machine.programs import codegen
+
+from tests.helpers import make_symbols, profile_data
+
+
+def _profile(symbols, arcs, ticks):
+    return analyze(profile_data(symbols, arcs, ticks), symbols)
+
+
+@pytest.fixture()
+def before_after():
+    symbols = make_symbols("main", "slow", "helper")
+    before = _profile(
+        symbols,
+        [("<spontaneous>", "main", 1), ("main", "slow", 10), ("slow", "helper", 10)],
+        {"main": 6, "slow": 120, "helper": 54},
+    )
+    after = _profile(
+        symbols,
+        [("<spontaneous>", "main", 1), ("main", "slow", 10), ("slow", "helper", 10)],
+        {"main": 6, "slow": 30, "helper": 54},
+    )
+    return before, after
+
+
+class TestDelta:
+    def test_speedup(self, before_after):
+        delta = compare_profiles(*before_after)
+        assert delta.total_before == pytest.approx(3.0)
+        assert delta.total_after == pytest.approx(1.5)
+        assert delta.speedup == pytest.approx(2.0)
+
+    def test_biggest_movement_first(self, before_after):
+        delta = compare_profiles(*before_after)
+        # main's total also shrinks by 1.5s (it inherits slow), so the
+        # top movers are main and slow, ahead of helper (unchanged).
+        assert {delta.routines[0].name, delta.routines[1].name} == {
+            "main",
+            "slow",
+        }
+        assert delta.routines[-1].name == "helper"
+
+    def test_routine_lookup(self, before_after):
+        delta = compare_profiles(*before_after)
+        slow = delta.routine("slow")
+        assert slow.self_delta == pytest.approx(-1.5)
+        assert slow.calls_before == slow.calls_after == 10
+        assert delta.routine("missing") is None
+
+    def test_dominating_after(self, before_after):
+        delta = compare_profiles(*before_after)
+        assert delta.dominating_after(2) == ["main", "slow"]
+
+    def test_added_and_removed_routines(self):
+        symbols_b = make_symbols("main", "old_impl")
+        symbols_a = make_symbols("main", "new_impl")
+        before = _profile(
+            symbols_b, [("main", "old_impl", 5)], {"old_impl": 60}
+        )
+        after = _profile(
+            symbols_a, [("main", "new_impl", 5)], {"new_impl": 30}
+        )
+        delta = compare_profiles(before, after)
+        assert delta.routine("old_impl").removed
+        assert delta.routine("new_impl").added
+        text = format_delta(delta)
+        assert "(gone)" in text
+        assert "(new)" in text
+
+    def test_format(self, before_after):
+        delta = compare_profiles(*before_after)
+        text = format_delta(delta)
+        assert "speedup 2.00x" in text
+        assert "2.00->0.50" in text  # slow's self seconds
+        assert "dominating now:" in text
+
+
+class TestOnRealWorkload:
+    def test_parameter_change_shows_up(self):
+        # The §6 loop on the codegen program: the 'rehash' cost depends
+        # on workload shape; compare two runs and see the movement.
+        def run(statements):
+            src = codegen(statements=statements)
+            _, data = run_profiled(src, name="cg")
+            return analyze(data, assemble(src, profile=True).symbol_table())
+
+        small, big = run(10), run(40)
+        delta = compare_profiles(small, big)
+        assert delta.total_after > delta.total_before
+        assert delta.routine("gen_expr").calls_after > delta.routine(
+            "gen_expr"
+        ).calls_before

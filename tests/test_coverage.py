@@ -1,0 +1,97 @@
+"""Tests for coverage reporting (§2's boolean view of counters)."""
+
+import pytest
+
+from repro.core import AnalysisOptions, analyze
+from repro.core.coverage import coverage, format_coverage
+from repro.machine import assemble, run_profiled, static_call_graph
+
+from tests.helpers import make_symbols, profile_data
+
+PARTIAL = """
+.func main
+    PUSH 1
+    JNZ taken
+    CALL cold_path
+taken:
+    CALL hot_path
+    HALT
+.end
+
+.func hot_path
+    WORK 20
+    CALL shared
+    RET
+.end
+
+.func cold_path
+    WORK 20
+    CALL shared
+    RET
+.end
+
+.func shared
+    WORK 5
+    RET
+.end
+"""
+
+
+@pytest.fixture()
+def report():
+    cpu, data = run_profiled(PARTIAL, name="partial")
+    exe = assemble(PARTIAL, name="partial", profile=True)
+    profile = analyze(
+        data,
+        exe.symbol_table(),
+        AnalysisOptions(static_arcs=sorted(static_call_graph(exe))),
+    )
+    return coverage(profile)
+
+
+class TestCoverage:
+    def test_called_and_never_called(self, report):
+        assert {"main", "hot_path", "shared"} <= report.called
+        assert "cold_path" in report.never_called
+
+    def test_arc_coverage(self, report):
+        assert report.traversed_arcs == {
+            ("main", "hot_path"),
+            ("hot_path", "shared"),
+        }
+        assert report.untraversed_arcs == {
+            ("main", "cold_path"),
+            ("cold_path", "shared"),
+        }
+        assert report.arc_coverage == pytest.approx(0.5)
+
+    def test_routine_coverage_fraction(self, report):
+        assert report.routine_coverage == pytest.approx(3 / 4)
+
+    def test_replacement_check(self, report):
+        # §2: "to check that one implementation of an abstraction
+        # completely replaces a previous one."
+        assert report.replaced_completely("cold_path", "hot_path")
+        assert not report.replaced_completely("hot_path", "cold_path")
+        assert not report.replaced_completely("ghost", "hot_path")
+
+    def test_format(self, report):
+        text = format_coverage(report)
+        assert "never called:" in text
+        assert "cold_path" in text
+        assert "cold_path -> shared" in text
+
+    def test_full_coverage_without_static_arcs(self):
+        # With no static augmentation, only traversed arcs are known,
+        # so arc coverage degenerates to 100% — documented behaviour.
+        symbols = make_symbols("main", "f")
+        data = profile_data(symbols, [("main", "f", 1)], ticks={"f": 6})
+        rep = coverage(analyze(data, symbols))
+        assert rep.arc_coverage == 1.0
+
+    def test_empty_profile(self):
+        symbols = make_symbols("main")
+        rep = coverage(analyze(profile_data(symbols, []), symbols))
+        assert rep.called == frozenset()
+        assert rep.never_called == frozenset({"main"})
+        assert rep.routine_coverage == 0.0

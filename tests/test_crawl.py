@@ -1,0 +1,105 @@
+"""Tests for static call graph extraction from executables (§4)."""
+
+from repro.machine import assemble, static_call_graph
+from repro.machine.programs import abstraction, dispatch
+
+
+class TestDirectCalls:
+    def test_every_call_instruction_found(self):
+        src = """
+.func main
+    CALL a
+    CALL b
+    HALT
+.end
+.func a
+    CALL b
+    RET
+.end
+.func b
+    RET
+.end
+"""
+        exe = assemble(src)
+        assert static_call_graph(exe) == {
+            ("main", "a"),
+            ("main", "b"),
+            ("a", "b"),
+        }
+
+    def test_untraversed_branch_still_found(self):
+        # §6: "the static call information is particularly useful here
+        # since the test case you run probably will not exercise the
+        # entire program."
+        src = """
+.func main
+    PUSH 0
+    JZ skip
+    CALL never
+skip:
+    HALT
+.end
+.func never
+    RET
+.end
+"""
+        exe = assemble(src)
+        assert ("main", "never") in static_call_graph(exe)
+
+    def test_profiled_build_same_graph(self):
+        src = ".func main\n CALL f\n HALT\n.end\n.func f\n RET\n.end\n"
+        plain = static_call_graph(assemble(src, profile=False))
+        prof = static_call_graph(assemble(src, profile=True))
+        assert plain == prof == {("main", "f")}
+
+
+class TestAddressTaken:
+    def test_push_of_function_address_is_potential_arc(self):
+        exe = assemble(dispatch())
+        graph = static_call_graph(exe)
+        for handler in ("handler_a", "handler_b", "handler_c"):
+            assert ("main", handler) in graph
+
+    def test_plain_constants_not_arcs(self):
+        # PUSH 4 would alias function f's entry only if 4 were an entry;
+        # here f starts at 4, so guard that mid-body constants do not
+        # count while genuine entries only count as PUSH &f.
+        src = """
+.func main
+    PUSH 3
+    POP
+    HALT
+.end
+.func f
+    RET
+.end
+"""
+        exe = assemble(src)
+        # 3 is misaligned, so no arc.
+        assert static_call_graph(exe) == set()
+
+    def test_indirect_target_not_inferred_from_calli(self):
+        # CALLI itself carries no target; only the PUSH is evidence.
+        src = """
+.func main
+    PUSH &f
+    CALLI
+    HALT
+.end
+.func f
+    RET
+.end
+"""
+        exe = assemble(src)
+        assert static_call_graph(exe) == {("main", "f")}
+
+
+class TestAgainstPrograms:
+    def test_abstraction_program_static_graph(self):
+        exe = assemble(abstraction())
+        graph = static_call_graph(exe)
+        assert ("calc1", "format1") in graph
+        assert ("calc2", "format2") in graph
+        assert ("format1", "write") in graph
+        assert ("format2", "write") in graph
+        assert ("calc1", "format2") not in graph

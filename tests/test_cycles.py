@@ -1,0 +1,182 @@
+"""Tests for cycle discovery and topological numbering (§4, Figures 1-3)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cycles import (
+    condensation_arcs,
+    number_graph,
+    paper_numbering,
+    strongly_connected_components,
+    verify_topological,
+)
+
+from tests.helpers import graph_from_edges
+
+
+class TestSCC:
+    def test_acyclic_graph_all_trivial(self):
+        g = graph_from_edges(("a", "b"), ("b", "c"), ("a", "c"))
+        comps = strongly_connected_components(g)
+        assert sorted(map(tuple, comps)) == [("a",), ("b",), ("c",)]
+
+    def test_two_node_cycle(self):
+        g = graph_from_edges(("a", "b"), ("b", "a"))
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert set(comps[0]) == {"a", "b"}
+
+    def test_self_loop_is_trivial_component(self):
+        g = graph_from_edges(("a", "a"))
+        comps = strongly_connected_components(g)
+        assert comps == [["a"]]
+
+    def test_emission_order_is_reverse_topological(self):
+        # Callees' components must be emitted before callers'.
+        g = graph_from_edges(("root", "x"), ("x", "y"), ("y", "x"), ("x", "leaf"))
+        comps = strongly_connected_components(g)
+        pos = {frozenset(c): i for i, c in enumerate(map(frozenset, comps))}
+        assert pos[frozenset(["leaf"])] < pos[frozenset(["x", "y"])]
+        assert pos[frozenset(["x", "y"])] < pos[frozenset(["root"])]
+
+    def test_deep_chain_does_not_recurse(self):
+        # The iterative implementation must survive graphs deeper than
+        # Python's recursion limit.
+        edges = [(f"f{i}", f"f{i+1}") for i in range(5000)]
+        g = graph_from_edges(*edges)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 5001
+
+
+class TestNumbering:
+    def test_self_recursion_not_collapsed(self):
+        # §5.2: self-recursive routines are handled by the 10+4 call
+        # notation, not by cycle collapsing.
+        g = graph_from_edges(("main", "f"), ("f", "f"))
+        numbered = number_graph(g)
+        assert numbered.cycles == []
+        assert numbered.representative["f"] == "f"
+
+    def test_mutual_recursion_collapsed(self):
+        g = graph_from_edges(("main", "even"), ("even", "odd"), ("odd", "even"))
+        numbered = number_graph(g)
+        assert len(numbered.cycles) == 1
+        cycle = numbered.cycles[0]
+        assert set(cycle.members) == {"even", "odd"}
+        assert numbered.representative["even"] == cycle.name
+        assert numbered.representative["odd"] == cycle.name
+        assert numbered.is_cycle(cycle.name)
+
+    def test_cycle_lookup_helpers(self):
+        g = graph_from_edges(("a", "b"), ("b", "a"))
+        numbered = number_graph(g)
+        cyc = numbered.cycle_of("a")
+        assert cyc is not None
+        assert "b" in cyc
+        assert numbered.members_of(cyc.name) == cyc.members
+        assert numbered.members_of("nonmember") == ("nonmember",)
+
+    def test_arcs_descend_in_number(self):
+        g = graph_from_edges(
+            ("main", "a"), ("main", "b"), ("a", "c"), ("b", "c"), ("c", "d")
+        )
+        numbered = number_graph(g)
+        verify_topological(numbered)  # must not raise
+        num = numbered.topo_number
+        assert num["main"] > num["a"] > num["c"] > num["d"]
+
+    def test_paper_numbering_is_topo_number(self):
+        g = graph_from_edges(("main", "a"), ("a", "b"))
+        numbered = number_graph(g)
+        assert paper_numbering(numbered) == numbered.topo_number
+
+    def test_condensation_drops_intra_cycle_arcs(self):
+        g = graph_from_edges(
+            ("main", "x", 5), ("x", "y", 9), ("y", "x", 9), ("x", "leaf", 2)
+        )
+        numbered = number_graph(g)
+        arcs = condensation_arcs(numbered)
+        cyc = numbered.cycles[0].name
+        assert arcs == {("main", cyc): 5, (cyc, "leaf"): 2}
+
+    def test_condensation_sums_counts_into_cycle(self):
+        g = graph_from_edges(
+            ("p", "x", 3), ("p", "y", 4), ("x", "y", 1), ("y", "x", 1)
+        )
+        numbered = number_graph(g)
+        cyc = numbered.cycles[0].name
+        assert condensation_arcs(numbered)[("p", cyc)] == 7
+
+
+def _random_digraph(edge_list, n):
+    edges = [(f"n{a % n}", f"n{b % n}") for a, b in edge_list]
+    return graph_from_edges(*edges) if edges else graph_from_edges()
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)),
+        min_size=1,
+        max_size=50,
+    ),
+)
+def test_scc_matches_networkx(n, edge_list):
+    """Property: our Tarjan agrees with networkx on random digraphs."""
+    g = _random_digraph(edge_list, n)
+    ours = {frozenset(c) for c in strongly_connected_components(g)}
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(g.nodes())
+    nxg.add_edges_from((a.caller, a.callee) for a in g.arcs())
+    theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+    assert ours == theirs
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)),
+        min_size=1,
+        max_size=50,
+    ),
+)
+def test_numbering_invariant_on_random_graphs(n, edge_list):
+    """Property: after collapsing, every arc descends in topo number,
+    and every node has exactly one representative."""
+    g = _random_digraph(edge_list, n)
+    numbered = number_graph(g)
+    verify_topological(numbered)
+    assert set(numbered.representative) == set(g.nodes())
+    reps = set(numbered.topo_order)
+    for node, rep in numbered.representative.items():
+        assert rep in reps
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_cycle_members_partition_nodes(edge_list):
+    """Property: cycles are disjoint and cover exactly the nodes whose
+    representative is a cycle."""
+    g = _random_digraph(edge_list, 10)
+    numbered = number_graph(g)
+    seen = set()
+    for cyc in numbered.cycles:
+        assert len(cyc.members) > 1
+        assert not seen & set(cyc.members)
+        seen |= set(cyc.members)
+    in_cycles = {
+        node
+        for node, rep in numbered.representative.items()
+        if rep != node
+    }
+    assert in_cycles == seen

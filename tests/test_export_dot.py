@@ -1,0 +1,82 @@
+"""Tests for the JSON export and the DOT rendering."""
+
+import json
+
+import pytest
+
+from repro.core.export import FORMAT, profile_to_dict, save_profile_json
+from repro.report.dot import to_dot
+
+from tests.test_figure4 import figure4_profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return figure4_profile()
+
+
+class TestJsonExport:
+    def test_envelope_and_totals(self, profile):
+        data = profile_to_dict(profile)
+        assert data["format"] == FORMAT
+        assert data["total_seconds"] == pytest.approx(506 / 60)
+
+    def test_entries_complete(self, profile):
+        data = profile_to_dict(profile)
+        by_name = {e["name"]: e for e in data["entries"]}
+        example = by_name["EXAMPLE"]
+        assert example["percent"] == pytest.approx(41.5, abs=0.05)
+        assert example["ncalls"] == 10
+        assert example["self_calls"] == 4
+        parents = {p["name"]: p for p in example["parents"]}
+        assert parents["CALLER1"]["count"] == 4
+        children = {c["name"]: c for c in example["children"]}
+        assert children["SUB1"]["cycle"] == 1
+
+    def test_cycles_and_flat(self, profile):
+        data = profile_to_dict(profile)
+        assert data["cycles"] == [
+            {"number": 1, "members": ["SUB1", "SUB4"]}
+        ]
+        flat_names = [f["name"] for f in data["flat"]]
+        assert "EXAMPLE" in flat_names
+
+    def test_json_serializable_roundtrip(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        save_profile_json(profile, path)
+        back = json.loads(path.read_text())
+        assert back == profile_to_dict(profile)
+
+
+class TestDot:
+    def test_structure(self, profile):
+        text = to_dot(profile)
+        assert text.startswith("digraph profile {")
+        assert text.rstrip().endswith("}")
+        assert '"EXAMPLE"' in text
+        assert '"CALLER1" -> "EXAMPLE"' in text
+
+    def test_cycle_cluster(self, profile):
+        text = to_dot(profile)
+        assert "subgraph cluster_cycle1" in text
+        assert '"SUB1";' in text
+
+    def test_static_arcs_dashed(self, profile):
+        text = to_dot(profile)
+        dashed = [l for l in text.splitlines() if "style=dashed" in l]
+        assert any("SUB3" in l for l in dashed)
+
+    def test_counts_toggle(self, profile):
+        with_counts = to_dot(profile, include_counts=True)
+        without = to_dot(profile, include_counts=False)
+        assert 'label="20"' in with_counts
+        assert 'label="20"' not in without
+
+    def test_min_percent_prunes_nodes_and_arcs(self, profile):
+        text = to_dot(profile, min_percent=30.0)
+        assert '"SUB2"' not in text
+        assert '"EXAMPLE"' in text
+
+    def test_node_labels_have_times(self, profile):
+        text = to_dot(profile)
+        assert "self 0.50s" in text  # EXAMPLE's label

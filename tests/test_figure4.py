@@ -1,0 +1,206 @@
+"""Reproduction of Figure 4: the profile entry for EXAMPLE.
+
+§5.2 gives every number in the entry; we reconstruct a program whose
+profile data yields exactly those numbers and assert the analysis
+reproduces the figure:
+
+* EXAMPLE: self 0.50s, descendants 3.00s, %time 41.5, called 10+4;
+* parents: CALLER1 0.20/1.20 at 4/10, CALLER2 0.30/1.80 at 6/10;
+* children: SUB1 <cycle1> 1.50/1.00 at 20/40 (cycle totals!),
+  SUB2 0.00/0.50 at 1/5, SUB3 0.00/0.00 at 0/5.
+
+The workload behind those numbers: EXAMPLE is called 4 and 6 times by
+the two callers and 4 times by itself; it calls into cycle 1 (SUB1↔SUB4)
+20 of the cycle's 40 external calls, calls SUB2 1 of its 5 calls, and
+has a static-only arc to SUB3.  The program's total sampled time is
+506 ticks at 60 Hz = 8.433s, making EXAMPLE's 3.50s exactly 41.5%.
+"""
+
+import pytest
+
+from repro.core import AnalysisOptions, analyze
+from repro.report import format_entry, format_graph_profile
+
+from tests.helpers import make_symbols, profile_data
+
+NAMES = (
+    "MAIN",
+    "CALLER1",
+    "CALLER2",
+    "EXAMPLE",
+    "SUB1",
+    "SUB2",
+    "SUB3",
+    "SUB4",
+    "SUBLEAF",
+    "SUB2LEAF",
+    "OTHER",
+)
+
+
+def figure4_profile():
+    symbols = make_symbols(*NAMES)
+    arcs = [
+        ("<spontaneous>", "MAIN", 1),
+        ("MAIN", "CALLER1", 1),
+        ("MAIN", "CALLER2", 1),
+        ("MAIN", "OTHER", 1),
+        ("CALLER1", "EXAMPLE", 4),
+        ("CALLER2", "EXAMPLE", 6),
+        ("EXAMPLE", "EXAMPLE", 4),       # the "+4" self-recursion
+        ("EXAMPLE", "SUB1", 20),         # 20 of the cycle's 40 calls
+        ("OTHER", "SUB1", 20),           # the other 20
+        ("SUB1", "SUB4", 7),             # cycle 1: SUB1 <-> SUB4
+        ("SUB4", "SUB1", 7),
+        ("SUB1", "SUBLEAF", 40),         # the cycle's descendant
+        ("EXAMPLE", "SUB2", 1),          # 1 of SUB2's 5 calls
+        ("OTHER", "SUB2", 4),
+        ("SUB2", "SUB2LEAF", 5),
+        ("OTHER", "SUB3", 5),            # SUB3's dynamic calls
+    ]
+    ticks = {
+        "EXAMPLE": 30,    # 0.50s
+        "SUB1": 180,      # 3.00s → the cycle's self time
+        "SUBLEAF": 120,   # 2.00s → the cycle's descendants time
+        "SUB2LEAF": 150,  # 2.50s → SUB2's descendants time
+        "MAIN": 6,        # 0.10s of filler so totals hit 506 ticks
+        "OTHER": 20,      # 0.33s
+    }
+    assert sum(ticks.values()) == 506
+    data = profile_data(symbols, arcs, ticks)
+    options = AnalysisOptions(static_arcs=[("EXAMPLE", "SUB3")])
+    return analyze(data, symbols, options)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return figure4_profile()
+
+
+class TestPrimaryLine:
+    def test_self_seconds(self, profile):
+        entry = profile.entry("EXAMPLE")
+        assert entry.self_seconds == pytest.approx(0.50)
+
+    def test_descendants_seconds(self, profile):
+        assert profile.entry("EXAMPLE").child_seconds == pytest.approx(3.00)
+
+    def test_percent_time(self, profile):
+        assert profile.entry("EXAMPLE").percent == pytest.approx(41.5, abs=0.05)
+
+    def test_called_plus_self(self, profile):
+        entry = profile.entry("EXAMPLE")
+        assert entry.ncalls == 10
+        assert entry.self_calls == 4
+
+
+class TestParents:
+    def test_two_parents_sorted_by_propagated_time(self, profile):
+        parents = profile.entry("EXAMPLE").parents
+        assert [p.name for p in parents] == ["CALLER2", "CALLER1"]
+
+    def test_caller1_shares(self, profile):
+        p = next(
+            p for p in profile.entry("EXAMPLE").parents if p.name == "CALLER1"
+        )
+        assert p.self_share == pytest.approx(0.20)
+        assert p.child_share == pytest.approx(1.20)
+        assert (p.count, p.total) == (4, 10)
+
+    def test_caller2_shares(self, profile):
+        p = next(
+            p for p in profile.entry("EXAMPLE").parents if p.name == "CALLER2"
+        )
+        assert p.self_share == pytest.approx(0.30)
+        assert p.child_share == pytest.approx(1.80)
+        assert (p.count, p.total) == (6, 10)
+
+    def test_percentage_split_forty_sixty(self, profile):
+        # "40% of EXAMPLE's time is propagated to CALLER1, and 60% ... to
+        # CALLER2."
+        entry = profile.entry("EXAMPLE")
+        total = entry.total_seconds
+        c1, c2 = (
+            next(p for p in entry.parents if p.name == n)
+            for n in ("CALLER1", "CALLER2")
+        )
+        assert (c1.self_share + c1.child_share) / total == pytest.approx(0.4)
+        assert (c2.self_share + c2.child_share) / total == pytest.approx(0.6)
+
+
+class TestChildren:
+    def test_children_order_and_names(self, profile):
+        children = profile.entry("EXAMPLE").children
+        assert [c.name for c in children] == ["SUB1", "SUB2", "SUB3"]
+
+    def test_sub1_uses_cycle_totals(self, profile):
+        # "Because SUB1 is a member of cycle 1, the self and descendant
+        # times and call count fraction are those for the cycle as a
+        # whole.  Since cycle 1 is called a total of forty times ... it
+        # propagates 50% of the cycle's self and descendant time."
+        c = profile.entry("EXAMPLE").children[0]
+        assert c.cycle == 1
+        assert c.self_share == pytest.approx(1.50)
+        assert c.child_share == pytest.approx(1.00)
+        assert (c.count, c.total) == (20, 40)
+        assert c.display_name == "SUB1 <cycle 1>"
+
+    def test_sub2_one_fifth(self, profile):
+        # "Since SUB2 is called a total of five times, 20% of its self
+        # and descendant time is propagated to EXAMPLE."
+        c = profile.entry("EXAMPLE").children[1]
+        assert c.self_share == pytest.approx(0.00)
+        assert c.child_share == pytest.approx(0.50)
+        assert (c.count, c.total) == (1, 5)
+
+    def test_sub3_static_arc_no_time(self, profile):
+        # "... and never calls SUB3": the static arc shows 0/5 and
+        # propagates nothing.
+        c = profile.entry("EXAMPLE").children[2]
+        assert c.self_share == 0.0
+        assert c.child_share == 0.0
+        assert (c.count, c.total) == (0, 5)
+
+
+class TestCycleEntry:
+    def test_cycle_discovered(self, profile):
+        assert len(profile.numbered.cycles) == 1
+        assert set(profile.numbered.cycles[0].members) == {"SUB1", "SUB4"}
+
+    def test_cycle_totals(self, profile):
+        entry = profile.entry("<cycle 1>")
+        assert entry.is_cycle
+        assert entry.self_seconds == pytest.approx(3.00)
+        assert entry.child_seconds == pytest.approx(2.00)
+        assert entry.ncalls == 40
+        assert entry.self_calls == 14  # 7 + 7 intra-cycle calls
+
+    def test_cycle_members_listed(self, profile):
+        entry = profile.entry("<cycle 1>")
+        assert [m.name for m in entry.members] == ["SUB1", "SUB4"]
+
+
+class TestListing:
+    def test_listing_mentions_figure_fields(self, profile):
+        text = format_entry(profile, "EXAMPLE")
+        assert "EXAMPLE" in text
+        assert "4/10" in text
+        assert "6/10" in text
+        assert "10+4" in text
+        assert "20/40" in text
+        assert "1/5" in text
+        assert "0/5" in text
+        assert "SUB1 <cycle 1>" in text
+
+    def test_full_listing_renders(self, profile):
+        text = format_graph_profile(profile)
+        assert "41.5" in text
+        assert "<cycle 1 as a whole>" in text
+
+    def test_index_cross_references(self, profile):
+        # "each name is followed by an index that shows where on the
+        # listing to find the entry for that routine."
+        idx = profile.index_of("EXAMPLE")
+        assert idx is not None
+        text = format_entry(profile, "CALLER1")
+        assert f"EXAMPLE [{idx}]" in text

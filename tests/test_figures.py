@@ -1,0 +1,96 @@
+"""Reproduction of Figures 1-3: topological numbering and cycle collapse.
+
+Figure 1 shows a topological numbering of an acyclic call graph with the
+property stated in §4: "The topological numbering ensures that all edges
+in the graph go from higher numbered nodes to lower numbered nodes."
+Figure 2 makes two of the nodes mutually recursive, and Figure 3 shows
+the numbering after the cycle is collapsed.  The printed figures are
+images we cannot quote, so these tests verify the *stated properties*
+on a ten-node graph of the same shape and size.
+"""
+
+from repro.core.cycles import (
+    condensation_arcs,
+    number_graph,
+    paper_numbering,
+    verify_topological,
+)
+
+from tests.helpers import graph_from_edges
+
+#: A ten-node acyclic call graph standing in for Figure 1.
+FIG1_EDGES = [
+    ("n1", "n2"), ("n1", "n3"),
+    ("n2", "n4"), ("n2", "n5"),
+    ("n3", "n6"), ("n3", "n7"),
+    ("n4", "n8"), ("n6", "n8"),
+    ("n7", "n9"), ("n7", "n10"),
+    ("n5", "n9"),
+]
+
+#: Figure 2: the same graph with nodes 3 and 7 mutually recursive.
+FIG2_EDGES = FIG1_EDGES + [("n7", "n3")]
+
+
+class TestFigure1:
+    def test_every_edge_descends(self):
+        numbered = number_graph(graph_from_edges(*FIG1_EDGES))
+        verify_topological(numbered)
+        num = paper_numbering(numbered)
+        for src, dst in FIG1_EDGES:
+            assert num[src] > num[dst], (src, dst)
+
+    def test_numbers_are_a_permutation(self):
+        numbered = number_graph(graph_from_edges(*FIG1_EDGES))
+        nums = sorted(numbered.topo_number.values())
+        assert nums == list(range(1, 11))
+
+    def test_root_gets_highest_number_leaves_lowest(self):
+        numbered = number_graph(graph_from_edges(*FIG1_EDGES))
+        num = numbered.topo_number
+        assert num["n1"] == 10
+        # Every leaf is numbered below every internal node it's called by.
+        for leaf in ("n8", "n9", "n10"):
+            assert num[leaf] < num["n1"]
+
+    def test_no_cycles_in_figure_1(self):
+        numbered = number_graph(graph_from_edges(*FIG1_EDGES))
+        assert numbered.cycles == []
+
+
+class TestFigures2And3:
+    def test_nodes_3_and_7_collapse(self):
+        numbered = number_graph(graph_from_edges(*FIG2_EDGES))
+        assert len(numbered.cycles) == 1
+        assert set(numbered.cycles[0].members) == {"n3", "n7"}
+
+    def test_collapsed_graph_has_nine_nodes(self):
+        # Figure 3: ten nodes minus a two-member cycle plus its
+        # representative = nine numbered positions.
+        numbered = number_graph(graph_from_edges(*FIG2_EDGES))
+        assert len(numbered.topo_order) == 9
+        assert sorted(numbered.topo_number.values()) == list(range(1, 10))
+
+    def test_collapsed_numbering_still_descends(self):
+        numbered = number_graph(graph_from_edges(*FIG2_EDGES))
+        verify_topological(numbered)
+        num = numbered.topo_number
+        rep = numbered.representative
+        for src, dst in FIG2_EDGES:
+            if rep[src] == rep[dst]:
+                continue  # the collapsed intra-cycle arc
+            assert num[rep[src]] > num[rep[dst]], (src, dst)
+
+    def test_cycle_inherits_parents_and_children_of_members(self):
+        # §4: "children of one member of a cycle must be considered
+        # children of all members of the cycle.  Similarly, parents of
+        # one member of the cycle must inherit all members of the cycle
+        # as descendants."  After collapsing, the cycle node has n1 as
+        # parent and the children of both n3 and n7.
+        numbered = number_graph(graph_from_edges(*FIG2_EDGES))
+        cyc = numbered.cycles[0].name
+        arcs = condensation_arcs(numbered)
+        parents = {src for (src, dst) in arcs if dst == cyc}
+        children = {dst for (src, dst) in arcs if src == cyc}
+        assert parents == {"n1"}
+        assert children == {"n6", "n9", "n10"}

@@ -1,0 +1,86 @@
+"""Tests for analysis-side filtering (retrospective features)."""
+
+from repro.core.filters import (
+    containing,
+    exclude,
+    hot_routines,
+    reachable_from,
+    reaching,
+)
+
+from tests.helpers import graph_from_edges
+
+
+def _graph():
+    #        main
+    #       /    \
+    #   calc1    calc2
+    #      \      /
+    #      format       io  (separate root)
+    #         \        /
+    #          write --
+    return graph_from_edges(
+        ("main", "calc1"),
+        ("main", "calc2"),
+        ("calc1", "format"),
+        ("calc2", "format"),
+        ("format", "write"),
+        ("io", "write"),
+    )
+
+
+class TestHot:
+    def test_threshold(self):
+        percents = {"a": 50.0, "b": 10.0, "c": 9.9}
+        hot = hot_routines(percents.get, percents, threshold=10.0)
+        assert hot == {"a", "b"}
+
+    def test_zero_threshold_keeps_all(self):
+        percents = {"a": 0.0, "b": 1.0}
+        assert hot_routines(percents.get, percents, 0.0) == {"a", "b"}
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        assert reachable_from(_graph(), ["calc1"]) == {
+            "calc1",
+            "format",
+            "write",
+        }
+
+    def test_reaching(self):
+        # The §6 navigation example: who is above 'write'?
+        assert reaching(_graph(), ["write"]) == {
+            "write",
+            "format",
+            "calc1",
+            "calc2",
+            "main",
+            "io",
+        }
+
+    def test_containing(self):
+        assert containing(_graph(), ["format"]) == {
+            "main",
+            "calc1",
+            "calc2",
+            "format",
+            "write",
+        }
+
+    def test_unknown_names_ignored(self):
+        assert reachable_from(_graph(), ["zzz"]) == set()
+
+    def test_multiple_sources(self):
+        got = reachable_from(_graph(), ["io", "calc2"])
+        assert got == {"io", "calc2", "format", "write"}
+
+    def test_cycle_safe(self):
+        g = graph_from_edges(("a", "b"), ("b", "a"), ("b", "c"))
+        assert reachable_from(g, ["a"]) == {"a", "b", "c"}
+        assert reaching(g, ["a"]) == {"a", "b"}
+
+
+class TestExclude:
+    def test_exclude(self):
+        assert exclude(["a", "b", "c"], ["b"]) == {"a", "c"}

@@ -1,0 +1,112 @@
+"""Fuzz-style robustness: hostile inputs fail cleanly, never crash.
+
+A profiler reads files written by crashed programs, truncated disks,
+and other tools' formats; the failure mode must be a clean
+:class:`~repro.errors.ReproError` (or a valid parse), never an
+arbitrary exception from the guts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analyze
+from repro.core.arcs import RawArc
+from repro.core.histogram import Histogram
+from repro.core.profiledata import ProfileData
+from repro.core.symbols import Symbol, SymbolTable
+from repro.errors import GmonFormatError, ReproError
+from repro.gmon import read_gmon, write_gmon
+from repro.gmon.format import MAGIC
+from repro.stacks import read_folded
+
+
+@settings(max_examples=60)
+@given(st.binary(max_size=300))
+def test_gmon_reader_survives_random_bytes(tmp_path_factory, blob):
+    path = tmp_path_factory.mktemp("fuzz") / "blob"
+    path.write_bytes(blob)
+    try:
+        data = read_gmon(path)
+    except GmonFormatError:
+        return  # the only acceptable failure
+    # a parse that *succeeds* must uphold the data invariants
+    assert data.histogram.total_ticks >= 0
+    assert all(a.count >= 0 for a in data.arcs)
+
+
+@settings(max_examples=40)
+@given(st.data())
+def test_gmon_reader_survives_bit_flips(tmp_path_factory, data):
+    """Flipping any one byte of a valid file never escapes the error
+    hierarchy (and usually still parses: counts are just numbers)."""
+    tmp = tmp_path_factory.mktemp("fuzz")
+    valid = ProfileData(
+        Histogram(0, 40, [1, 2, 3, 4, 5, 0, 0, 0, 0, 9]),
+        [RawArc(4, 20, 7), RawArc(12, 8, 1)],
+        comment="victim",
+    )
+    path = tmp / "gmon"
+    write_gmon(valid, path)
+    blob = bytearray(path.read_bytes())
+    pos = data.draw(st.integers(0, len(blob) - 1))
+    bit = data.draw(st.integers(0, 7))
+    blob[pos] ^= 1 << bit
+    path.write_bytes(bytes(blob))
+    try:
+        read_gmon(path)
+    except ReproError:
+        pass  # clean rejection
+
+
+@settings(max_examples=40)
+@given(st.text(max_size=120))
+def test_folded_reader_survives_random_text(tmp_path_factory, text):
+    path = tmp_path_factory.mktemp("fuzz") / "folded"
+    path.write_text(text, encoding="utf-8")
+    try:
+        profile = read_folded(path)
+    except ReproError:
+        return
+    assert profile.total_ticks >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_analysis_survives_arbitrary_addresses(data):
+    """analyze() must digest raw arcs with arbitrary addresses against
+    a symbol table that covers only part of the address space."""
+    n_syms = data.draw(st.integers(1, 6))
+    symbols = SymbolTable(
+        Symbol(i * 100, f"s{i}", i * 100 + data.draw(st.integers(1, 100)))
+        for i in range(n_syms)
+    )
+    hist = Histogram.for_range(0, 1000, scale=0.05, profrate=60)
+    for _ in range(data.draw(st.integers(0, 30))):
+        hist.record(data.draw(st.integers(0, 999)))
+    arcs = [
+        RawArc(
+            data.draw(st.integers(0, 2000)),
+            data.draw(st.integers(0, 2000)),
+            data.draw(st.integers(0, 100)),
+        )
+        for _ in range(data.draw(st.integers(0, 25)))
+    ]
+    profile = analyze(ProfileData(hist, arcs), symbols)
+    assert profile.total_seconds >= 0
+    for entry in profile.graph_entries:
+        assert entry.percent <= 100.0 + 1e-9
+        assert entry.self_seconds >= 0
+
+    # same data with keep_unknown: still clean
+    from repro.core import AnalysisOptions
+
+    profile2 = analyze(
+        ProfileData(hist, arcs), symbols, AnalysisOptions(keep_unknown=True)
+    )
+    assert profile2.total_seconds == pytest.approx(profile.total_seconds)
+
+
+def test_magic_is_versioned():
+    # future format revisions must change the magic, not reinterpret it
+    assert MAGIC.endswith(b"\x01\x00")

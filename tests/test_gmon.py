@@ -1,0 +1,158 @@
+"""Tests for the on-disk profile data format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arcs import RawArc
+from repro.core.histogram import Histogram
+from repro.core.profiledata import ProfileData, merge_profiles
+from repro.errors import GmonFormatError, MergeError
+from repro.gmon import read_gmon, write_gmon
+from repro.gmon.format import MAGIC
+
+
+def _sample_data(comment="test run"):
+    hist = Histogram(0, 40, [0, 5, 0, 2, 0, 0, 0, 1, 0, 0], profrate=60)
+    arcs = [RawArc(4, 20, 17), RawArc(0, 8, 1), RawArc(24, 20, 0)]
+    return ProfileData(hist, arcs, comment=comment)
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "gmon.out"
+        data = _sample_data()
+        write_gmon(data, path)
+        back = read_gmon(path)
+        assert back.histogram.counts == data.histogram.counts
+        assert back.histogram.low_pc == 0
+        assert back.histogram.high_pc == 40
+        assert back.histogram.profrate == 60
+        assert back.comment == "test run"
+        assert back.runs == 1
+        assert sorted(back.arcs, key=lambda a: (a.from_pc, a.self_pc)) == sorted(
+            data.arcs, key=lambda a: (a.from_pc, a.self_pc)
+        )
+
+    def test_roundtrip_empty(self, tmp_path):
+        path = tmp_path / "gmon.out"
+        write_gmon(ProfileData(Histogram(0, 0, [])), path)
+        back = read_gmon(path)
+        assert back.arcs == []
+        assert back.histogram.num_buckets == 0
+
+    def test_duplicate_arcs_condensed_on_write(self, tmp_path):
+        hist = Histogram(0, 8, [0, 0])
+        data = ProfileData(hist, [RawArc(0, 4, 2), RawArc(0, 4, 3)])
+        path = tmp_path / "gmon.out"
+        write_gmon(data, path)
+        back = read_gmon(path)
+        assert back.arcs == [RawArc(0, 4, 5)]
+
+    def test_deterministic_output(self, tmp_path):
+        p1, p2 = tmp_path / "a", tmp_path / "b"
+        write_gmon(_sample_data(), p1)
+        write_gmon(_sample_data(), p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_bytes(b"not a profile")
+        with pytest.raises(GmonFormatError, match="magic"):
+            read_gmon(path)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "gmon.out"
+        write_gmon(_sample_data(), path)
+        blob = path.read_bytes()
+        for cut in (len(MAGIC), len(blob) // 2, len(blob) - 1):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(GmonFormatError):
+                read_gmon(path)
+
+    def test_trailing_garbage(self, tmp_path):
+        path = tmp_path / "gmon.out"
+        write_gmon(_sample_data(), path)
+        path.write_bytes(path.read_bytes() + b"x")
+        with pytest.raises(GmonFormatError, match="trailing"):
+            read_gmon(path)
+
+    def test_count_overflow_rejected(self, tmp_path):
+        hist = Histogram(0, 4, [0])
+        data = ProfileData(hist, [RawArc(0, 0, 2**32)])
+        with pytest.raises(GmonFormatError, match="32 bits"):
+            write_gmon(data, tmp_path / "gmon.out")
+
+    def test_histogram_count_overflow_rejected(self, tmp_path):
+        data = ProfileData(Histogram(0, 4, [2**32]), [])
+        with pytest.raises(GmonFormatError, match="32 bits"):
+            write_gmon(data, tmp_path / "gmon.out")
+
+    def test_comment_too_long_rejected(self, tmp_path):
+        data = ProfileData(Histogram(0, 4, [0]), [], comment="x" * 70_000)
+        with pytest.raises(GmonFormatError, match="comment"):
+            write_gmon(data, tmp_path / "gmon.out")
+
+
+class TestMerge:
+    def test_merge_sums_everything(self):
+        a, b = _sample_data("a"), _sample_data("b")
+        merged = merge_profiles([a, b])
+        assert merged.total_ticks == a.total_ticks * 2
+        assert merged.runs == 2
+        assert merged.comment == "a; b"
+        arc = next(x for x in merged.arcs if x.from_pc == 4)
+        assert arc.count == 34
+
+    def test_merge_static_arcs_stay_zero(self):
+        merged = merge_profiles([_sample_data(), _sample_data()])
+        static = next(x for x in merged.arcs if x.from_pc == 24)
+        assert static.count == 0
+
+    def test_merge_incompatible_raises(self):
+        a = _sample_data()
+        b = ProfileData(Histogram(0, 80, [0] * 10), [])
+        with pytest.raises(MergeError):
+            merge_profiles([a, b])
+
+    def test_merge_roundtrips(self, tmp_path):
+        merged = merge_profiles([_sample_data(), _sample_data()])
+        path = tmp_path / "gmon.sum"
+        write_gmon(merged, path)
+        back = read_gmon(path)
+        assert back.runs == 2
+        assert back.total_ticks == merged.total_ticks
+
+    def test_merge_empty_list(self):
+        with pytest.raises(MergeError):
+            merge_profiles([])
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(st.integers(0, 1000), min_size=0, max_size=30),
+    st.lists(
+        st.tuples(
+            st.integers(0, 2**40), st.integers(0, 2**40), st.integers(0, 10**6)
+        ),
+        max_size=20,
+    ),
+    st.text(max_size=40),
+)
+def test_roundtrip_property(tmp_path_factory, counts, arc_tuples, comment):
+    """Property: write → read is the identity on condensed data."""
+    tmp = tmp_path_factory.mktemp("gmon")
+    hist = Histogram(0, max(len(counts), 1) * 4, counts or [0])
+    data = ProfileData(
+        hist,
+        [RawArc(f, s, c) for f, s, c in arc_tuples],
+        comment=comment,
+    )
+    path = tmp / "gmon.out"
+    write_gmon(data, path)
+    back = read_gmon(path)
+    assert back.histogram.counts == data.histogram.counts
+    assert back.comment == comment
+    assert back.condensed_arcs() == data.condensed_arcs()

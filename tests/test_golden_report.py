@@ -1,0 +1,49 @@
+"""Golden-output tests: the listings' exact text is part of the contract.
+
+gprof's output format *is* its interface — the retrospective jokes
+that "after a while we got used to it" — so the formatted Figure 4
+entry is frozen here character for character.  A deliberate format
+change must update these strings consciously.
+"""
+
+
+from repro.report import format_entry, format_flat_profile
+
+from tests.test_figure4 import figure4_profile
+
+GOLDEN_EXAMPLE_ENTRY = (
+    "                0.30        1.80        6/10         CALLER2 [8]\n"
+    "                0.20        1.20        4/10         CALLER1 [10]\n"
+    "[5]     41.5    0.50        3.00        10+4     EXAMPLE [5]\n"
+    "                1.50        1.00       20/40         SUB1 <cycle 1> [3]\n"
+    "                0.00        0.50         1/5         SUB2 [6]\n"
+    "                0.00        0.00         0/5         SUB3 [11]\n"
+)
+
+
+def _normalize(text: str) -> list[str]:
+    return [line.rstrip() for line in text.strip("\n").splitlines()]
+
+
+class TestGoldenFigure4:
+    def test_example_entry_text_frozen(self):
+        profile = figure4_profile()
+        got = _normalize(format_entry(profile, "EXAMPLE"))
+        want = _normalize(GOLDEN_EXAMPLE_ENTRY)
+        assert got == want
+
+    def test_flat_header_frozen(self):
+        profile = figure4_profile()
+        text = format_flat_profile(profile)
+        assert (
+            "  %   cumulative   self              self     total" in text
+        )
+        assert (
+            " time   seconds   seconds    calls  ms/call  ms/call  name" in text
+        )
+
+    def test_listing_is_ascii(self):
+        # 1982 output devices: the listings must stay plain ASCII.
+        profile = figure4_profile()
+        format_entry(profile, "EXAMPLE").encode("ascii")
+        format_flat_profile(profile).encode("ascii")

@@ -1,0 +1,114 @@
+"""Tests for the HTML rendering of the call graph profile."""
+
+import pytest
+
+from repro.report.html import to_html
+
+from tests.test_figure4 import figure4_profile
+
+
+@pytest.fixture(scope="module")
+def page():
+    return to_html(figure4_profile(), title="figure 4")
+
+
+class TestHtml:
+    def test_is_a_complete_document(self, page):
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.endswith("</html>")
+        assert "<title>figure 4</title>" in page
+
+    def test_every_entry_has_anchor(self, page):
+        profile = figure4_profile()
+        for entry in profile.graph_entries:
+            assert f"id='entry-{entry.index}'" in page
+
+    def test_index_references_are_links(self, page):
+        profile = figure4_profile()
+        idx = profile.index_of("EXAMPLE")
+        # CALLER1's entry links to EXAMPLE's anchor.
+        assert f'<a href="#entry-{idx}">EXAMPLE</a>' in page
+
+    def test_figure4_numbers_present(self, page):
+        for token in ("41.5", "10+4", "4/10", "6/10", "20/40", "0/5"):
+            assert token in page
+
+    def test_cycle_annotation_escaped(self, page):
+        # '<cycle 1>' must render literally, not as a tag.
+        assert "SUB1 &lt;cycle 1&gt;" in page
+        assert "<cycle 1>" not in page
+
+    def test_min_percent_prunes(self):
+        full = to_html(figure4_profile())
+        pruned = to_html(figure4_profile(), min_percent=30.0)
+        assert len(pruned) < len(full)
+        assert "EXAMPLE" in pruned
+
+    def test_never_called_section(self, page):
+        # figure-4 workload uses every symbol, so build a case with one.
+        from tests.helpers import make_symbols, profile_data
+        from repro.core import analyze
+
+        symbols = make_symbols("main", "ghost")
+        profile = analyze(
+            profile_data(symbols, [("<spontaneous>", "main", 1)],
+                         ticks={"main": 6}),
+            symbols,
+        )
+        text = to_html(profile)
+        assert "routines never called" in text
+        assert "ghost" in text
+
+
+class TestCliHtml:
+    def test_gprof_cli_writes_html(self, tmp_path, capsys):
+        from repro.cli.gprof_cli import main as gprof_main
+        from repro.gmon import write_gmon
+        from repro.machine import assemble, run_profiled
+        from repro.machine.programs import deep
+
+        src = deep()
+        exe = assemble(src, name="deep", profile=True)
+        image = tmp_path / "deep.vmexe"
+        exe.save(image)
+        _, data = run_profiled(src, name="deep")
+        gmon = tmp_path / "deep.gmon"
+        write_gmon(data, gmon)
+        html_path = tmp_path / "report.html"
+        assert gprof_main(
+            [str(image), str(gmon), "--html", str(html_path)]
+        ) == 0
+        content = html_path.read_text()
+        assert "level3" in content
+        assert "entry-1" in content
+
+    def test_gprof_cli_coverage_flag(self, tmp_path, capsys):
+        from repro.cli.gprof_cli import main as gprof_main
+        from repro.gmon import write_gmon
+        from repro.machine import assemble, run_profiled
+
+        src = """
+.func main
+    PUSH 1
+    JNZ skip
+    CALL never
+skip:
+    WORK 60
+    HALT
+.end
+.func never
+    RET
+.end
+"""
+        exe = assemble(src, name="p", profile=True)
+        image = tmp_path / "p.vmexe"
+        exe.save(image)
+        _, data = run_profiled(src, name="p")
+        gmon = tmp_path / "p.gmon"
+        write_gmon(data, gmon)
+        assert gprof_main(
+            [str(image), str(gmon), "--static", "--coverage", "--flat-only"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "coverage:" in out
+        assert "main -> never" in out

@@ -1,0 +1,139 @@
+"""Tests for asynchronous interrupts and their spontaneous arcs (§3.1)."""
+
+import pytest
+
+from repro.core import analyze
+from repro.errors import MachineError
+from repro.machine import (
+    CPU,
+    InterruptSource,
+    Monitor,
+    MonitorConfig,
+    assemble,
+)
+
+PROGRAM = """
+.func main
+    PUSH 40
+    STORE 0
+loop:
+    CALL worker
+    LOAD 0
+    PUSH 1
+    SUB
+    STORE 0
+    LOAD 0
+    JNZ loop
+    HALT
+.end
+
+.func worker
+    WORK 30
+    RET
+.end
+
+.func irq_handler
+    WORK 12
+    RET
+.end
+"""
+
+
+def run_with_irq(period=150, profile=True, cycles_per_tick=10):
+    exe = assemble(PROGRAM, name="irq", profile=profile)
+    monitor = (
+        Monitor(MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=cycles_per_tick))
+        if profile
+        else None
+    )
+    cpu = CPU(exe, monitor, interrupts=[InterruptSource("irq_handler", period)])
+    cpu.run()
+    return exe, cpu, monitor
+
+
+class TestDelivery:
+    def test_interrupts_fire_periodically(self):
+        exe, cpu, _ = run_with_irq(period=100)
+        # roughly one delivery per 100 cycles (handlers do not nest)
+        assert cpu.interrupts_delivered >= cpu.cycles // 200
+        assert cpu.halted
+
+    def test_program_output_unaffected(self):
+        exe, cpu, _ = run_with_irq()
+        plain = CPU(assemble(PROGRAM, profile=False))
+        plain.run()
+        assert cpu.output == plain.output
+
+    def test_handlers_do_not_nest(self):
+        # A period shorter than the handler body must not stack frames.
+        exe = assemble(PROGRAM, profile=False)
+        cpu = CPU(exe, interrupts=[InterruptSource("irq_handler", 5)])
+        cpu.run(max_instructions=2000)
+        assert sum(1 for f in cpu.frames if f.interrupted) <= 1
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(MachineError):
+            InterruptSource("irq_handler", 0)
+
+    def test_unknown_handler_rejected(self):
+        exe = assemble(PROGRAM, profile=False)
+        with pytest.raises(MachineError):
+            CPU(exe, interrupts=[InterruptSource("ghost", 100)])
+
+    def test_phase_controls_first_delivery(self):
+        exe = assemble(PROGRAM, profile=False)
+        early = CPU(exe, interrupts=[InterruptSource("irq_handler", 10_000, phase=5)])
+        early.run(max_instructions=50)
+        assert early.interrupts_delivered == 1
+
+
+class TestSpontaneousArcs:
+    def test_handler_arcs_are_spontaneous(self):
+        # "the monitoring routine may know the destination of an arc
+        # (the callee), but find it difficult or impossible to determine
+        # the source... Such anomalous invocations are declared
+        # 'spontaneous'."
+        exe, cpu, monitor = run_with_irq()
+        data = monitor.mcleanup()
+        handler_entry = exe.function_named("irq_handler").entry
+        handler_arcs = [a for a in data.arcs if a.self_pc == handler_entry]
+        assert len(handler_arcs) == 1
+        assert handler_arcs[0].from_pc == 0  # spontaneous
+        assert handler_arcs[0].count == cpu.interrupts_delivered
+
+    def test_analysis_shows_spontaneous_parent(self):
+        exe, cpu, monitor = run_with_irq()
+        profile = analyze(monitor.mcleanup(), exe.symbol_table())
+        entry = profile.entry("irq_handler")
+        assert entry.ncalls == cpu.interrupts_delivered
+        assert entry.parents[0].name is None  # <spontaneous>
+
+    def test_handler_time_not_charged_to_interrupted_code(self):
+        # The handler keeps its own time: no arc means no propagation.
+        exe, cpu, monitor = run_with_irq(period=80)
+        profile = analyze(monitor.mcleanup(), exe.symbol_table())
+        handler = profile.entry("irq_handler")
+        assert handler.self_seconds > 0
+        # worker's entry must not list irq_handler as a child
+        worker_children = {c.name for c in profile.entry("worker").children}
+        assert "irq_handler" not in worker_children
+
+
+class TestStackSamplesDuringInterrupts:
+    def test_stack_walk_spans_interrupt_frames(self):
+        from repro.stacks.vm import VMStackMonitor
+
+        exe = assemble(PROGRAM, name="irq", profile=False)
+        mon = VMStackMonitor(
+            MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=7)
+        )
+        cpu = CPU(exe, mon, interrupts=[InterruptSource("irq_handler", 90)])
+        mon.bind(cpu)
+        cpu.run()
+        stacks_with_handler = [
+            s for s in mon.stack_profile.samples if s[-1] == "irq_handler"
+        ]
+        assert stacks_with_handler
+        # the interrupted routine appears beneath the handler
+        assert any(len(s) >= 2 and s[-2] in ("main", "worker")
+                   for s in stacks_with_handler)

@@ -1,0 +1,87 @@
+"""Tests for the Rel pretty-printer and its round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.programs import REL_PROGRAMS
+from repro.lang import compile_source
+from repro.machine import CPU
+
+
+def roundtrip(src: str) -> str:
+    return pretty(parse(src))
+
+
+class TestPretty:
+    def test_canonical_form(self):
+        src = "func main(){print 1+2*3;}"
+        assert roundtrip(src) == (
+            "func main() {\n    print 1 + 2 * 3;\n}\n"
+        )
+
+    def test_minimal_parentheses(self):
+        out = roundtrip("func main() { print (1 + 2) * (3 - 4); }")
+        assert "(1 + 2) * (3 - 4)" in out
+        out = roundtrip("func main() { print 1 + (2 * 3); }")
+        assert "1 + 2 * 3" in out  # redundant parens dropped
+
+    def test_left_associativity_preserved(self):
+        # 10 - (3 - 2) must keep its parens; (10 - 3) - 2 must not.
+        out = roundtrip("func main() { print 10 - (3 - 2); }")
+        assert "10 - (3 - 2)" in out
+        out = roundtrip("func main() { print (10 - 3) - 2; }")
+        assert "10 - 3 - 2" in out
+
+    def test_declarations_and_control_flow(self):
+        src = """
+var g; array a[4];
+func f(x, y) { if (x < y) { return x; } else { return y; } }
+func main() { i = 0; while (i < 4) { a[i] = f(i, g); i = i + 1; } }
+"""
+        out = roundtrip(src)
+        assert "var g;" in out
+        assert "array a[4];" in out
+        assert "func f(x, y) {" in out
+        assert "} else {" in out
+        assert "while (i < 4) {" in out
+
+    def test_printing_is_a_fixed_point(self):
+        for name, builder in REL_PROGRAMS.items():
+            once = roundtrip(builder())
+            twice = roundtrip(once)
+            assert once == twice, name
+
+    def test_printed_program_behaves_identically(self):
+        for name, builder in REL_PROGRAMS.items():
+            src = builder()
+            a = CPU(compile_source(src))
+            b = CPU(compile_source(roundtrip(src)))
+            a.run()
+            b.run()
+            assert a.output == b.output, name
+
+
+@st.composite
+def rel_expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return str(draw(st.integers(0, 99)))
+    op = draw(st.sampled_from(["+", "-", "*", "<", "==", "&&", "||"]))
+    return f"({draw(rel_expressions(depth + 1))} {op} {draw(rel_expressions(depth + 1))})"
+
+
+@settings(max_examples=80)
+@given(rel_expressions())
+def test_roundtrip_preserves_value_property(expr_text):
+    """Property: pretty-printing never changes what an expression
+    evaluates to (parenthesization is value-preserving)."""
+    src = f"func main() {{ print {expr_text}; }}"
+    a = CPU(compile_source(src))
+    a.run()
+    b = CPU(compile_source(roundtrip(src)))
+    b.run()
+    assert a.output == b.output
+    # and printing the printed form is a fixed point
+    assert roundtrip(roundtrip(src)) == roundtrip(src)

@@ -1,0 +1,78 @@
+"""Cross-validation of the Rel program library against the assembly one."""
+
+import pytest
+
+from repro.core import analyze
+from repro.lang import compile_source
+from repro.lang.programs import REL_PROGRAMS, abstraction, even_odd, fib, gcd_chain, sieve
+from repro.machine import CPU, Monitor, MonitorConfig, run_unprofiled
+from repro.machine import programs as asm_programs
+
+
+def run_rel(source, name="p.rl", profile=False):
+    exe = compile_source(source, name=name, profile=profile)
+    monitor = (
+        Monitor(MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=25))
+        if profile
+        else None
+    )
+    cpu = CPU(exe, monitor)
+    cpu.run()
+    return cpu, monitor, exe
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("n", [0, 1, 10, 14])
+    def test_fib_matches_assembly(self, n):
+        rel, _, _ = run_rel(fib(n))
+        asm = run_unprofiled(asm_programs.fib(n))
+        assert rel.output == asm.output
+
+    @pytest.mark.parametrize("n", [0, 7, 8, 25])
+    def test_even_odd_matches_assembly(self, n):
+        rel, _, _ = run_rel(even_odd(n))
+        asm = run_unprofiled(asm_programs.even_odd(n))
+        assert rel.output == asm.output
+
+    def test_abstraction_output_pattern(self):
+        rel, _, _ = run_rel(abstraction(iterations=4))
+        assert rel.output == [1, 2, 3] * 4
+
+
+class TestNewWorkloads:
+    def test_sieve_counts_primes(self):
+        rel, _, _ = run_rel(sieve(limit=100))
+        assert rel.output == [25]  # primes below 100
+
+    def test_gcd_chain_value(self):
+        import math
+
+        rel, _, _ = run_rel(gcd_chain(rounds=20))
+        expected = sum(math.gcd(i * 91, i + 133) for i in range(1, 21))
+        assert rel.output == [expected]
+
+
+class TestProfiledCompiledPrograms:
+    @pytest.mark.parametrize("name", sorted(REL_PROGRAMS))
+    def test_every_program_profiles_cleanly(self, name):
+        src = REL_PROGRAMS[name]()
+        plain, _, _ = run_rel(src, name=name)
+        cpu, monitor, exe = run_rel(src, name=name, profile=True)
+        assert cpu.output == plain.output
+        profile = analyze(monitor.mcleanup(), exe.symbol_table())
+        assert profile.graph_entries
+        assert profile.entry("main").percent == pytest.approx(100.0, abs=1.0)
+
+    def test_compiled_cycle_detected(self):
+        cpu, monitor, exe = run_rel(even_odd(30), profile=True)
+        profile = analyze(monitor.mcleanup(), exe.symbol_table())
+        assert len(profile.numbered.cycles) == 1
+        assert set(profile.numbered.cycles[0].members) == {"even", "odd"}
+
+    def test_compiler_overhead_in_band(self):
+        # The §7 claim must hold for compiled code, not just hand asm.
+        src = abstraction(iterations=60)
+        plain, _, _ = run_rel(src)
+        profiled, _, _ = run_rel(src, profile=True)
+        overhead = (profiled.cycles - plain.cycles) / plain.cycles
+        assert 0.02 <= overhead <= 0.30

@@ -1,0 +1,92 @@
+"""Tests for the monitoring routine's arc table (§3.1)."""
+
+import pytest
+
+from repro.core.arcs import RawArc
+from repro.machine.mcount import (
+    MCOUNT_BASE_COST,
+    MCOUNT_PROBE_COST,
+    ArcTable,
+)
+
+
+class TestRecording:
+    def test_first_traversal_creates_arc(self):
+        t = ArcTable()
+        t.record(100, 200)
+        assert t.arcs() == [RawArc(100, 200, 1)]
+
+    def test_repeat_traversals_increment(self):
+        t = ArcTable()
+        for _ in range(5):
+            t.record(100, 200)
+        assert t.arcs() == [RawArc(100, 200, 5)]
+        assert len(t) == 1
+
+    def test_distinct_call_sites_distinct_arcs(self):
+        t = ArcTable()
+        t.record(100, 200)
+        t.record(104, 200)
+        assert len(t) == 2
+
+    def test_spontaneous_recorded_at_zero(self):
+        t = ArcTable()
+        t.record(None, 200)
+        assert t.arcs() == [RawArc(0, 200, 1)]
+        assert t.stats.spontaneous == 1
+
+    def test_reset_clears_arcs_keeps_stats(self):
+        t = ArcTable()
+        t.record(100, 200)
+        t.reset()
+        assert t.arcs() == []
+        assert t.stats.lookups == 1
+
+
+class TestHashBehaviour:
+    def test_ordinary_call_site_single_probe(self):
+        # "Since each call site typically calls only one callee, we can
+        # reduce (usually to one) the number of minor lookups."
+        t = ArcTable()
+        for _ in range(100):
+            t.record(100, 200)
+        assert t.stats.lookups == 100
+        assert t.stats.probes == 100
+        assert t.stats.collisions == 0
+        assert t.stats.mean_probes == 1.0
+
+    def test_functional_parameter_site_collides(self):
+        # One CALLI site reaching three callees: the secondary key works.
+        t = ArcTable()
+        for callee in (200, 300, 400):
+            for _ in range(10):
+                t.record(100, callee)
+        assert len(t) == 3
+        assert t.stats.collisions > 0
+        # first callee: 1 probe; second: 2; third: 3 — still bounded by
+        # the number of distinct destinations of this one site.
+        assert t.stats.mean_probes <= 3.0
+
+    def test_cost_model(self):
+        t = ArcTable()
+        assert t.record(100, 200) == MCOUNT_BASE_COST + MCOUNT_PROBE_COST
+        # A colliding site pays more per probe.
+        t.record(100, 300)
+        cost = t.record(100, 300)
+        assert cost == MCOUNT_BASE_COST + 2 * MCOUNT_PROBE_COST
+
+    def test_mean_probes_empty_table(self):
+        assert ArcTable().stats.mean_probes == 0.0
+
+
+class TestCondensation:
+    def test_arcs_sorted_and_stable(self):
+        t = ArcTable()
+        t.record(200, 50)
+        t.record(100, 70)
+        t.record(100, 60)
+        assert t.arcs() == [
+            RawArc(100, 60, 1),
+            RawArc(100, 70, 1),
+            RawArc(200, 50, 1),
+        ]

@@ -1,0 +1,82 @@
+"""Behavioural tests for the canned program library."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.machine import CPU, assemble, run_unprofiled
+from repro.machine.programs import (
+    even_odd,
+    fib,
+    hanoi,
+    insertion_sort,
+    netcycle,
+    skewed,
+)
+
+
+class TestIndexedGlobals:
+    def test_gloadi_gstorei(self):
+        src = """
+.globals 3
+.func main
+    PUSH 42
+    PUSH 2
+    GSTOREI
+    PUSH 2
+    GLOADI
+    OUT
+    HALT
+.end
+"""
+        cpu = CPU(assemble(src))
+        cpu.run()
+        assert cpu.output == [42]
+        assert cpu.globals == [0, 0, 42]
+
+    def test_negative_index_faults(self):
+        src = ".globals 2\n.func main\n PUSH -1\n GLOADI\n HALT\n.end\n"
+        with pytest.raises(MachineError, match="out of range"):
+            CPU(assemble(src)).run()
+
+    def test_index_past_end_faults(self):
+        src = ".globals 2\n.func main\n PUSH 1\n PUSH 2\n GSTOREI\n HALT\n.end\n"
+        with pytest.raises(MachineError, match="out of range"):
+            CPU(assemble(src)).run()
+
+
+class TestHanoi:
+    @pytest.mark.parametrize("disks", [1, 4, 9])
+    def test_move_count_is_mersenne(self, disks):
+        cpu = run_unprofiled(hanoi(disks))
+        assert cpu.output == [2**disks - 1]
+
+
+class TestInsertionSort:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 30), st.integers(1, 10_000))
+    def test_sorts_any_seed(self, n, seed):
+        cpu = run_unprofiled(insertion_sort(n=n, seed=seed))
+        assert cpu.globals == sorted(cpu.globals)
+        assert cpu.output[0] == min(cpu.globals)
+        assert cpu.output[1] == sum(cpu.globals)
+
+
+class TestOracles:
+    @pytest.mark.parametrize("n, expected", [(0, 0), (1, 1), (10, 55), (15, 610)])
+    def test_fib_values(self, n, expected):
+        assert run_unprofiled(fib(n)).output == [expected]
+
+    @pytest.mark.parametrize("n, expected", [(0, 1), (7, 0), (8, 1)])
+    def test_even_odd_values(self, n, expected):
+        assert run_unprofiled(even_odd(n)).output == [expected]
+
+    def test_netcycle_emits_nothing_but_terminates(self):
+        cpu = run_unprofiled(netcycle(packets=20))
+        assert cpu.halted
+
+    def test_skewed_work_scales_with_argument(self):
+        a = run_unprofiled(skewed(cheap_calls=10, dear_calls=1, dear_work=1))
+        b = run_unprofiled(skewed(cheap_calls=10, dear_calls=1, dear_work=50))
+        assert b.cycles > a.cycles

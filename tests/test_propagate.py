@@ -1,0 +1,214 @@
+"""Tests for the time-propagation recurrence (§4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arcs import Arc
+from repro.core.callgraph import CallGraph
+from repro.core.cycles import number_graph
+from repro.core.propagate import propagate
+from repro.core.symbols import SPONTANEOUS
+
+from tests.helpers import graph_from_edges
+
+
+def run(graph, self_times):
+    return propagate(number_graph(graph), self_times)
+
+
+class TestLinearChains:
+    def test_single_node(self):
+        g = CallGraph(extra_nodes=["main"])
+        p = run(g, {"main": 2.0})
+        assert p.total_time["main"] == 2.0
+        assert p.total_program_time == 2.0
+
+    def test_child_time_flows_to_parent(self):
+        g = graph_from_edges(("main", "f", 1))
+        p = run(g, {"main": 1.0, "f": 3.0})
+        assert p.total_time["f"] == 3.0
+        assert p.child_time["main"] == 3.0
+        assert p.total_time["main"] == 4.0
+
+    def test_three_level_chain(self):
+        g = graph_from_edges(("a", "b", 1), ("b", "c", 1))
+        p = run(g, {"a": 1.0, "b": 2.0, "c": 4.0})
+        assert p.total_time["c"] == 4.0
+        assert p.total_time["b"] == 6.0
+        assert p.total_time["a"] == 7.0
+
+    def test_arc_share_components(self):
+        g = graph_from_edges(("main", "f", 1), ("f", "g", 1))
+        p = run(g, {"f": 2.0, "g": 6.0})
+        share = p.arc_shares[("main", "f")]
+        assert share.self_share == pytest.approx(2.0)
+        assert share.child_share == pytest.approx(6.0)
+        assert share.total == pytest.approx(8.0)
+
+
+class TestProportionalSharing:
+    def test_callers_share_by_call_count(self):
+        # The Figure 4 arithmetic: 4/10 and 6/10 of EXAMPLE's time.
+        g = graph_from_edges(("c1", "e", 4), ("c2", "e", 6))
+        p = run(g, {"e": 5.0})
+        assert p.arc_shares[("c1", "e")].self_share == pytest.approx(2.0)
+        assert p.arc_shares[("c2", "e")].self_share == pytest.approx(3.0)
+        assert p.total_time["c1"] == pytest.approx(2.0)
+        assert p.total_time["c2"] == pytest.approx(3.0)
+
+    def test_diamond_conserves_time(self):
+        g = graph_from_edges(
+            ("main", "l", 1), ("main", "r", 3), ("l", "leaf", 2), ("r", "leaf", 2)
+        )
+        p = run(g, {"leaf": 8.0, "l": 1.0, "r": 1.0})
+        assert p.total_time["main"] == pytest.approx(10.0)
+        # leaf's time split half and half between l and r.
+        assert p.arc_shares[("l", "leaf")].self_share == pytest.approx(4.0)
+        assert p.arc_shares[("r", "leaf")].self_share == pytest.approx(4.0)
+
+    def test_spontaneous_calls_dilute_shares(self):
+        # 3 identified calls + 1 spontaneous: parent gets 3/4.
+        g = CallGraph([Arc("a", "f", 3), Arc(SPONTANEOUS, "f", 1)])
+        p = run(g, {"f": 4.0})
+        assert p.arc_shares[("a", "f")].self_share == pytest.approx(3.0)
+        assert p.total_time["a"] == pytest.approx(3.0)
+
+    def test_static_arcs_propagate_nothing(self):
+        g = CallGraph([Arc("a", "f", 0, static=True), Arc("b", "f", 2)])
+        p = run(g, {"f": 4.0})
+        assert ("a", "f") not in p.arc_shares
+        assert p.total_time["a"] == 0.0
+        assert p.total_time["b"] == pytest.approx(4.0)
+
+    def test_never_called_node_keeps_time(self):
+        g = CallGraph(extra_nodes=["main"])
+        g.add_arc(Arc("main", "f", 1))
+        p = run(g, {"main": 5.0, "f": 1.0})
+        assert p.ncalls["main"] == 0
+        assert p.total_time["main"] == pytest.approx(6.0)
+
+
+class TestSelfRecursion:
+    def test_self_arc_propagates_nothing(self):
+        # §4: "The arcs from a routine to itself are of interest, but do
+        # not participate in time propagation."
+        g = graph_from_edges(("main", "f", 10), ("f", "f", 4))
+        p = run(g, {"f": 5.0})
+        assert p.ncalls["f"] == 10
+        assert p.self_calls["f"] == 4
+        assert ("f", "f") not in p.arc_shares
+        # main gets all of f's time: 10/10.
+        assert p.total_time["main"] == pytest.approx(5.0)
+
+
+class TestCycles:
+    def test_cycle_time_shared_by_external_callers(self):
+        # a and b form a cycle; two external callers split its total.
+        g = graph_from_edges(
+            ("p1", "a", 1), ("p2", "a", 3), ("a", "b", 7), ("b", "a", 7)
+        )
+        p = run(g, {"a": 2.0, "b": 6.0})
+        numbered = p.numbered
+        cyc = numbered.cycles[0].name
+        assert p.self_time[cyc] == pytest.approx(8.0)
+        assert p.ncalls[cyc] == 4
+        assert p.self_calls[cyc] == 14
+        assert p.arc_shares[("p1", "a")].self_share == pytest.approx(2.0)
+        assert p.arc_shares[("p2", "a")].self_share == pytest.approx(6.0)
+
+    def test_intra_cycle_arcs_propagate_nothing(self):
+        g = graph_from_edges(("m", "a", 1), ("a", "b", 5), ("b", "a", 5))
+        p = run(g, {"a": 1.0, "b": 1.0})
+        assert ("a", "b") not in p.arc_shares
+        assert ("b", "a") not in p.arc_shares
+        assert p.total_time["m"] == pytest.approx(2.0)
+
+    def test_cycle_children_propagate_into_cycle(self):
+        # A leaf called from inside the cycle passes time to the cycle,
+        # which passes it on to external callers.
+        g = graph_from_edges(
+            ("m", "a", 2), ("a", "b", 3), ("b", "a", 3), ("b", "leaf", 4)
+        )
+        p = run(g, {"a": 1.0, "b": 1.0, "leaf": 6.0})
+        cyc = p.numbered.cycles[0].name
+        assert p.child_time[cyc] == pytest.approx(6.0)
+        assert p.total_time["m"] == pytest.approx(8.0)
+        # member-level attribution: b called leaf, so b's routine_child
+        # holds leaf's contribution.
+        assert p.routine_child["b"] == pytest.approx(6.0)
+        assert p.routine_child["a"] == pytest.approx(0.0)
+
+    def test_figure_2_3_structure(self):
+        # The Figure 2 graph: 1→{2,3}, 2→{4,5}, 3→{6,7} plus the mutual
+        # recursion 3↔7 added in Figure 2; 7→9, 6→8, 4→8 (a plausible
+        # reading of the figures; what matters is the collapse).
+        g = graph_from_edges(
+            ("n1", "n2"), ("n1", "n3"), ("n2", "n4"), ("n2", "n5"),
+            ("n3", "n6"), ("n3", "n7"), ("n7", "n3"), ("n6", "n8"),
+            ("n7", "n9"), ("n4", "n8"),
+        )
+        numbered = number_graph(g)
+        assert len(numbered.cycles) == 1
+        assert set(numbered.cycles[0].members) == {"n3", "n7"}
+        p = propagate(numbered, {f"n{i}": 1.0 for i in range(1, 10)})
+        assert p.total_time["n1"] == pytest.approx(9.0)
+
+
+class TestConservation:
+    def test_root_collects_everything_in_a_tree(self):
+        g = graph_from_edges(
+            ("main", "a", 2), ("main", "b", 1), ("a", "c", 4), ("b", "c", 4)
+        )
+        times = {"main": 1.0, "a": 2.0, "b": 3.0, "c": 8.0}
+        p = run(g, times)
+        assert p.total_time["main"] == pytest.approx(sum(times.values()))
+        assert p.total_program_time == pytest.approx(sum(times.values()))
+
+
+@settings(max_examples=50)
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.data(),
+)
+def test_random_dag_root_conservation(n, data):
+    """Property: on a random single-root DAG where every node is
+    reachable from the root, the root's total equals the sum of all
+    self times (nothing leaks, nothing is double-counted)."""
+    edges = []
+    for child in range(1, n):
+        parents = data.draw(
+            st.lists(
+                st.integers(0, child - 1), min_size=1, max_size=3, unique=True
+            )
+        )
+        for parent in parents:
+            count = data.draw(st.integers(1, 5))
+            edges.append((f"n{parent}", f"n{child}", count))
+    g = graph_from_edges(*edges)
+    times = {f"n{i}": float(i + 1) for i in range(n)}
+    p = run(g, times)
+    assert p.total_time["n0"] == pytest.approx(sum(times.values()))
+
+
+@settings(max_examples=50)
+@given(st.data())
+def test_random_graph_no_time_inflation(data):
+    """Property: on arbitrary graphs (cycles included), no node's total
+    exceeds the program total, and totals are non-negative."""
+    n = data.draw(st.integers(2, 9))
+    m = data.draw(st.integers(1, 25))
+    edges = [
+        (
+            f"n{data.draw(st.integers(0, n - 1))}",
+            f"n{data.draw(st.integers(0, n - 1))}",
+            data.draw(st.integers(0, 4)),
+        )
+        for _ in range(m)
+    ]
+    g = graph_from_edges(*edges)
+    times = {node: float(data.draw(st.integers(0, 10))) for node in g.nodes()}
+    p = run(g, times)
+    total = p.total_program_time
+    for rep in p.numbered.topo_order:
+        assert -1e-9 <= p.total_time[rep] <= total + 1e-9

@@ -1,0 +1,122 @@
+"""Demonstrations of the paper's documented pitfalls (kept on purpose).
+
+DESIGN.md §5 lists the semantics the reproduction *preserves* because
+the paper documents them as limitations; each test here demonstrates
+one, so a change that silently "fixes" them (and diverges from gprof)
+fails loudly.
+"""
+
+import pytest
+
+from repro.core import analyze
+from repro.core.arcs import Arc
+from repro.core.callgraph import CallGraph
+from repro.core.cycles import number_graph
+from repro.core.propagate import propagate
+from repro.machine import assemble, run_profiled
+from repro.machine.programs import skewed
+
+from tests.helpers import make_symbols, profile_data
+
+
+class TestAverageTimeAssumption:
+    """§3.2: "We make the simplifying assumption that all calls to a
+    specific routine require the same amount of time to execute.  This
+    assumption may disguise that some calls ... always invoke a routine
+    such that its execution is faster (or slower) than the average."""
+
+    def test_per_call_skew_is_invisible(self):
+        src = skewed(cheap_calls=99, dear_calls=1, dear_work=99)
+        cpu, data = run_profiled(src, name="skewed")
+        profile = analyze(data, assemble(src, profile=True).symbol_table())
+        work = profile.entry("work_n")
+        flat = next(f for f in profile.flat_entries if f.name == "work_n")
+        # one ms/call figure is reported, though real calls differ ~99x.
+        assert flat.self_ms_per_call is not None
+        shares = {
+            p.name: p.self_share + p.child_share for p in work.parents
+        }
+        # ...and attribution follows call counts, not true cost.
+        assert shares["cheap_caller"] > 50 * shares["dear_caller"]
+
+
+class TestPerArcAttribution:
+    """§4: callers receive C^r_e/C_e of a callee's time — single arcs,
+    not call stacks, so context beyond one level is averaged away."""
+
+    def test_grandparent_context_is_lost(self):
+        # ctx_a always reaches leaf through mid with expensive requests,
+        # ctx_b with cheap ones; gprof cannot tell — mid's inherited
+        # time is split between ctx_a and ctx_b by call count (1:1).
+        g = CallGraph(
+            [
+                Arc("ctx_a", "mid", 5),
+                Arc("ctx_b", "mid", 5),
+                Arc("mid", "leaf", 10),
+            ]
+        )
+        prop = propagate(number_graph(g), {"leaf": 10.0, "mid": 2.0})
+        a = prop.arc_shares[("ctx_a", "mid")]
+        b = prop.arc_shares[("ctx_b", "mid")]
+        assert a.total == pytest.approx(b.total)  # context-blind, by design
+
+
+class TestCycleOpacity:
+    """§6: "it is impossible to distinguish which members of the cycle
+    are responsible for the execution time" — intra-cycle arcs carry
+    no time, and the whole cycle shares one total."""
+
+    def test_members_share_one_total(self):
+        symbols = make_symbols("m", "a", "b")
+        data = profile_data(
+            symbols,
+            [("m", "a", 4), ("a", "b", 9), ("b", "a", 9)],
+            ticks={"a": 30, "b": 90},
+        )
+        profile = analyze(data, symbols)
+        cyc = profile.entry("<cycle 1>")
+        # the entry for m shows the whole cycle's time through its arc,
+        # regardless of which member actually burned it.
+        m_child = profile.entry("m").children[0]
+        assert m_child.self_share == pytest.approx(cyc.self_seconds)
+        # intra-cycle arcs propagated nothing.
+        assert ("a", "b") not in profile.propagation.arc_shares
+        assert ("b", "a") not in profile.propagation.arc_shares
+
+    def test_members_keep_their_histogram_self_time_only(self):
+        symbols = make_symbols("m", "a", "b")
+        data = profile_data(
+            symbols,
+            [("m", "a", 4), ("a", "b", 9), ("b", "a", 9)],
+            ticks={"a": 30, "b": 90},
+        )
+        profile = analyze(data, symbols)
+        assert profile.entry("a").self_seconds == pytest.approx(0.5)
+        assert profile.entry("b").self_seconds == pytest.approx(1.5)
+        # but neither member entry inherits the other's time
+        assert profile.entry("a").child_seconds == pytest.approx(0.0)
+        assert profile.entry("b").child_seconds == pytest.approx(0.0)
+
+
+class TestSpontaneousResidue:
+    """§3.1: unknown callers keep their share of the callee's time —
+    it is attributed to nobody rather than guessed."""
+
+    def test_unattributed_time_stays_put(self):
+        symbols = make_symbols("caller", "handler")
+        data = profile_data(
+            symbols,
+            [("caller", "handler", 3), ("<spontaneous>", "handler", 1)],
+            ticks={"handler": 40},
+        )
+        profile = analyze(data, symbols)
+        caller = profile.entry("caller")
+        # 3 of 4 calls identified: caller receives 3/4 of the time.
+        assert caller.child_seconds == pytest.approx(0.5)
+        # the remaining quarter is visible on handler but on no parent.
+        handler = profile.entry("handler")
+        attributed = sum(
+            p.self_share + p.child_share for p in handler.parents
+        )
+        assert attributed == pytest.approx(0.5)
+        assert handler.self_seconds == pytest.approx(40 / 60)

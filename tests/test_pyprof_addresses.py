@@ -1,0 +1,65 @@
+"""Tests for the synthetic address space."""
+
+from repro.pyprof.addresses import FUNC_SIZE, AddressSpace
+
+
+class TestAllocation:
+    def test_blocks_are_disjoint_and_ordered(self):
+        space = AddressSpace()
+        a = space.entry("k1", "f")
+        b = space.entry("k2", "g")
+        assert a == 0
+        assert b == FUNC_SIZE
+        assert space.high_pc == 2 * FUNC_SIZE
+
+    def test_entry_is_idempotent(self):
+        space = AddressSpace()
+        assert space.entry("k", "f") == space.entry("k", "f")
+        assert len(space) == 1
+
+    def test_same_name_different_keys_disambiguated(self):
+        space = AddressSpace()
+        space.entry("k1", "f")
+        space.entry("k2", "f")
+        names = {s.name for s in space.symbol_table()}
+        assert names == {"f", "f#2"}
+
+    def test_name_of(self):
+        space = AddressSpace()
+        space.entry("k", "f")
+        assert space.name_of("k") == "f"
+        assert space.name_of("zzz") is None
+
+
+class TestCallSites:
+    def test_call_site_inside_callers_block(self):
+        space = AddressSpace()
+        base = space.entry("k", "f")
+        for offset in (0, 1, 17, FUNC_SIZE, 5 * FUNC_SIZE + 3):
+            site = space.call_site("k", "f", offset)
+            assert base < site < base + FUNC_SIZE
+
+    def test_distinct_offsets_distinct_sites(self):
+        space = AddressSpace()
+        s1 = space.call_site("k", "f", 10)
+        s2 = space.call_site("k", "f", 12)
+        assert s1 != s2
+
+    def test_negative_offset_clamped(self):
+        space = AddressSpace()
+        site = space.call_site("k", "f", -5)
+        assert site == space.entry("k", "f") + 1
+
+
+class TestSymbolTable:
+    def test_symbols_cover_blocks_exactly(self):
+        space = AddressSpace()
+        space.entry("k1", "f", module="m.py")
+        space.entry("k2", "g")
+        table = space.symbol_table()
+        f = table.by_name("f")
+        assert (f.address, f.end, f.module) == (0, FUNC_SIZE, "m.py")
+        assert table.find(FUNC_SIZE + 5).name == "g"
+
+    def test_empty_space(self):
+        assert len(AddressSpace().symbol_table()) == 0

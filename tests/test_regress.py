@@ -1,0 +1,151 @@
+"""Tests for the performance regression gate."""
+
+import pytest
+
+from repro.core import analyze
+from repro.core.regress import Baseline, Rule, Violation, check, format_violations
+from repro.errors import ReproError
+
+from tests.helpers import make_symbols, profile_data
+
+
+def _profile(ticks, arcs=None):
+    symbols = make_symbols("main", "fast_path", "slow_path", "legacy")
+    arcs = arcs or [
+        ("<spontaneous>", "main", 1),
+        ("main", "fast_path", 20),
+        ("main", "slow_path", 2),
+    ]
+    return analyze(profile_data(symbols, arcs, ticks), symbols)
+
+
+GOOD_TICKS = {"main": 6, "fast_path": 30, "slow_path": 24}
+
+
+class TestBaselineCapture:
+    def test_from_profile_with_headroom(self):
+        profile = _profile(GOOD_TICKS)
+        baseline = Baseline.from_profile(profile, headroom=1.5)
+        rule = baseline.rule_for("slow_path")
+        assert rule is not None
+        assert rule.max_total_percent == pytest.approx(
+            profile.entry("slow_path").percent * 1.5
+        )
+        assert rule.must_run
+
+    def test_headroom_caps_at_100(self):
+        profile = _profile(GOOD_TICKS)
+        baseline = Baseline.from_profile(profile, headroom=10.0)
+        assert baseline.rule_for("main").max_total_percent == 100.0
+
+    def test_bad_headroom(self):
+        with pytest.raises(ReproError):
+            Baseline.from_profile(_profile(GOOD_TICKS), headroom=0.5)
+
+    def test_roundtrip(self, tmp_path):
+        baseline = Baseline.from_profile(_profile(GOOD_TICKS), comment="v1")
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        back = Baseline.load(path)
+        assert back.to_dict() == baseline.to_dict()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ReproError, match="format"):
+            Baseline.from_dict({"format": "nope", "rules": []})
+
+
+class TestGate:
+    def test_known_good_profile_passes_its_own_baseline(self):
+        profile = _profile(GOOD_TICKS)
+        baseline = Baseline.from_profile(profile, headroom=1.2)
+        assert check(profile, baseline) == []
+        assert "PASS" in format_violations([])
+
+    def test_total_percent_regression_caught(self):
+        baseline = Baseline.from_profile(
+            _profile(GOOD_TICKS), headroom=1.1, min_percent=0.0
+        )
+        # slow_path blows up 4x
+        bad = _profile({"main": 6, "fast_path": 30, "slow_path": 96})
+        violations = check(bad, baseline)
+        assert any(
+            v.name == "slow_path" and v.rule == "max_total_percent"
+            for v in violations
+        )
+        assert "FAIL" in format_violations(violations)
+
+    def test_self_percent_rule(self):
+        baseline = Baseline(
+            rules=[Rule("fast_path", max_self_percent=10.0)]
+        )
+        violations = check(_profile(GOOD_TICKS), baseline)
+        assert violations and violations[0].rule == "max_self_percent"
+
+    def test_call_budget(self):
+        baseline = Baseline(rules=[Rule("fast_path", max_calls=5)])
+        (violation,) = check(_profile(GOOD_TICKS), baseline)
+        assert violation.rule == "max_calls"
+        assert violation.measured == 20
+
+    def test_must_run_and_must_not_run(self):
+        baseline = Baseline(
+            rules=[Rule("legacy", must_not_run=True), Rule("fast_path", must_run=True)]
+        )
+        # good: legacy absent, fast_path present
+        assert check(_profile(GOOD_TICKS), baseline) == []
+        # bad: legacy got called again
+        regressed = _profile(
+            GOOD_TICKS,
+            arcs=[
+                ("<spontaneous>", "main", 1),
+                ("main", "fast_path", 20),
+                ("main", "legacy", 1),
+            ],
+        )
+        violations = check(regressed, baseline)
+        assert violations[0].rule == "must_not_run"
+
+    def test_coverage_failures_sort_first(self):
+        baseline = Baseline(
+            rules=[
+                Rule("fast_path", max_calls=5),
+                Rule("ghost", must_run=True),
+            ]
+        )
+        violations = check(_profile(GOOD_TICKS), baseline)
+        assert violations[0].rule == "must_run"
+
+    def test_rule_for_unknown_routine_ignored(self):
+        baseline = Baseline(rules=[Rule("not_in_profile", max_calls=1)])
+        assert check(_profile(GOOD_TICKS), baseline) == []
+
+
+class TestEndToEnd:
+    def test_gate_on_real_workload(self, tmp_path):
+        from repro.lang import compile_source
+        from repro.machine import CPU, Monitor, MonitorConfig
+
+        SRC_FAST = """
+func lookup(k) { burn 8; return k; }
+func main() {
+    i = 0;
+    while (i < 40) { lookup(i); i = i + 1; }
+}
+"""
+        SRC_SLOW = SRC_FAST.replace("burn 8;", "burn 80;")
+
+        def run(src):
+            exe = compile_source(src, profile=True)
+            mon = Monitor(
+                MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=10)
+            )
+            CPU(exe, mon).run()
+            return analyze(mon.mcleanup(), exe.symbol_table())
+
+        good = run(SRC_FAST)
+        baseline = Baseline.from_profile(good, headroom=1.3)
+        baseline.save(tmp_path / "baseline.json")
+        reloaded = Baseline.load(tmp_path / "baseline.json")
+        assert check(run(SRC_FAST), reloaded) == []
+        violations = check(run(SRC_SLOW), reloaded)
+        assert any(v.name == "lookup" for v in violations)

@@ -1,0 +1,93 @@
+"""Tests for the repro-stacks CLI and the gprof --explain flag."""
+
+import pytest
+
+from repro.cli.stacks_cli import main as stacks_main
+from repro.stacks import read_folded
+
+
+class TestStacksVm:
+    def test_canned_program(self, capsys):
+        assert stacks_main(["vm", "fib", "--ticks", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "stack samples" in out
+        assert "call tree" in out
+        assert "fib" in out
+        assert "hot paths" in out
+
+    def test_source_file(self, tmp_path, capsys):
+        src = tmp_path / "p.s"
+        src.write_text(
+            ".func main\n CALL f\n HALT\n.end\n"
+            ".func f\n WORK 500\n RET\n.end\n"
+        )
+        assert stacks_main(["vm", str(src), "--ticks", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "f" in out
+
+    def test_folded_output(self, tmp_path, capsys):
+        folded = tmp_path / "out.folded"
+        assert stacks_main(
+            ["--folded", str(folded), "vm", "even_odd", "--ticks", "3"]
+        ) == 0
+        profile = read_folded(folded)
+        assert profile.total_ticks > 0
+        assert any("even" in s for stack in profile.samples for s in stack)
+
+    def test_stride(self, tmp_path, capsys):
+        f1 = tmp_path / "s1.folded"
+        f8 = tmp_path / "s8.folded"
+        stacks_main(["--folded", str(f1), "vm", "fib", "--ticks", "5"])
+        stacks_main(
+            ["--folded", str(f8), "vm", "fib", "--ticks", "5", "--stride", "8"]
+        )
+        capsys.readouterr()
+        assert read_folded(f8).total_ticks < read_folded(f1).total_ticks / 4
+
+    def test_unknown_program(self, capsys):
+        assert stacks_main(["vm", "nonesuch"]) == 1
+        assert "neither" in capsys.readouterr().err
+
+
+class TestStacksPy:
+    def test_samples_a_script(self, tmp_path, capsys):
+        script = tmp_path / "busy.py"
+        script.write_text(
+            "import time\n"
+            "def spin():\n"
+            "    d = time.process_time() + 0.06\n"
+            "    x = 0\n"
+            "    while time.process_time() < d:\n"
+            "        x += 1\n"
+            "    return x\n"
+            "spin()\n"
+        )
+        assert stacks_main(
+            ["py", str(script), "--interval", "0.002"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stack samples" in out
+        assert "spin" in out
+
+
+class TestExplainFlag:
+    def test_blurbs_appended(self, tmp_path, capsys):
+        from repro.cli.gprof_cli import main as gprof_main
+        from repro.gmon import write_gmon
+        from repro.machine import assemble, run_profiled
+        from repro.machine.programs import deep
+
+        src = deep()
+        exe = assemble(src, name="deep", profile=True)
+        image = tmp_path / "deep.vmexe"
+        exe.save(image)
+        _, data = run_profiled(src, name="deep")
+        gmon = tmp_path / "deep.gmon"
+        write_gmon(data, gmon)
+        assert gprof_main([str(image), str(gmon), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "understanding the call graph profile" in out
+        assert "understanding the flat profile" in out
+        # without the flag, no blurb
+        assert gprof_main([str(image), str(gmon)]) == 0
+        assert "understanding" not in capsys.readouterr().out

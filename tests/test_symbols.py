@@ -1,0 +1,144 @@
+"""Unit tests for repro.core.symbols."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.symbols import SPONTANEOUS, Symbol, SymbolTable
+from repro.errors import SymbolError
+
+
+class TestSymbol:
+    def test_covers_half_open_range(self):
+        sym = Symbol(100, "f", 200)
+        assert sym.covers(100)
+        assert sym.covers(199)
+        assert not sym.covers(200)
+        assert not sym.covers(99)
+
+    def test_size(self):
+        assert Symbol(100, "f", 260).size == 160
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(SymbolError):
+            Symbol(100, "f", 50)
+
+    def test_zero_end_means_unknown(self):
+        assert Symbol(100, "f").size == 0
+
+
+class TestSymbolTable:
+    def test_find_inside_each_symbol(self):
+        table = SymbolTable([Symbol(0, "a", 10), Symbol(10, "b", 30)])
+        assert table.find(0).name == "a"
+        assert table.find(9).name == "a"
+        assert table.find(10).name == "b"
+        assert table.find(29).name == "b"
+
+    def test_find_outside_returns_none(self):
+        table = SymbolTable([Symbol(10, "a", 20)])
+        assert table.find(5) is None
+        assert table.find(20) is None
+        assert table.find(10_000) is None
+
+    def test_find_in_gap_between_symbols(self):
+        table = SymbolTable([Symbol(0, "a", 10), Symbol(50, "b", 60)])
+        assert table.find(30) is None
+
+    def test_unknown_ends_closed_to_next_symbol(self):
+        # Entry-only symbol tables: a routine extends to its successor.
+        table = SymbolTable([Symbol(0, "a"), Symbol(40, "b")])
+        assert table.find(39).name == "a"
+        assert table.find(40).name == "b"
+
+    def test_last_symbol_with_unknown_end_covers_one_unit(self):
+        table = SymbolTable([Symbol(0, "a")])
+        assert table.find(0).name == "a"
+        assert table.find(1) is None
+
+    def test_overlap_rejected(self):
+        with pytest.raises(SymbolError):
+            SymbolTable([Symbol(0, "a", 20), Symbol(10, "b", 30)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SymbolError):
+            SymbolTable([Symbol(0, "a", 10), Symbol(10, "a", 20)])
+
+    def test_by_name_and_get(self):
+        table = SymbolTable([Symbol(0, "a", 10)])
+        assert table.by_name("a").address == 0
+        assert table.get("missing") is None
+        with pytest.raises(SymbolError):
+            table.by_name("missing")
+
+    def test_bounds(self):
+        table = SymbolTable([Symbol(100, "a", 200), Symbol(200, "b", 350)])
+        assert table.low_pc == 100
+        assert table.high_pc == 350
+
+    def test_empty_table(self):
+        table = SymbolTable()
+        assert len(table) == 0
+        assert table.low_pc == 0
+        assert table.high_pc == 0
+        assert table.find(0) is None
+
+    def test_iteration_sorted_by_address(self):
+        table = SymbolTable([Symbol(200, "b", 300), Symbol(0, "a", 100)])
+        assert [s.name for s in table] == ["a", "b"]
+
+    def test_contains(self):
+        table = SymbolTable([Symbol(0, "a", 10)])
+        assert "a" in table
+        assert "b" not in table
+
+    def test_roundtrip_dict(self):
+        table = SymbolTable(
+            [Symbol(0, "a", 10, module="m1"), Symbol(10, "b", 30)]
+        )
+        again = SymbolTable.from_dict(table.to_dict())
+        assert again == table
+        assert again.by_name("a").module == "m1"
+
+    def test_roundtrip_file(self, tmp_path):
+        table = SymbolTable([Symbol(0, "a", 10), Symbol(10, "b", 30)])
+        path = tmp_path / "syms.json"
+        table.save(path)
+        assert SymbolTable.load(path) == table
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(SymbolError):
+            SymbolTable.from_dict({"nope": []})
+
+    def test_spontaneous_is_not_a_symbol_name(self):
+        # The pseudo-caller must never collide with real symbols.
+        table = SymbolTable([Symbol(0, "a", 10)])
+        assert SPONTANEOUS not in table
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=10_000),
+        min_size=1,
+        max_size=50,
+        unique=True,
+    ),
+    st.integers(min_value=0, max_value=11_000),
+)
+def test_find_matches_linear_scan(starts, probe):
+    """Property: bisection lookup agrees with a brute-force scan."""
+    starts = sorted(starts)
+    symbols = [
+        Symbol(start, f"f{i}", end)
+        for i, (start, end) in enumerate(zip(starts, starts[1:] + [starts[-1] + 7]))
+        if end > start
+    ]
+    table = SymbolTable(symbols)
+    expected = None
+    for sym in symbols:
+        if sym.covers(probe):
+            expected = sym.name
+    found = table.find(probe)
+    assert (found.name if found else None) == expected

@@ -1,0 +1,115 @@
+"""The tutorial's command sequence, executed — docs that cannot rot."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli.gprof_cli import main as gprof_main
+from repro.cli.kgmon_cli import main as kgmon_main
+from repro.cli.vm_cli import main as vm_main
+
+TUTORIAL = Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+PRIMES = """
+array flags[500];
+
+func mark_multiples(p) {
+    m = p * p;
+    while (m < 500) { flags[m] = 1; m = m + p; }
+    return 0;
+}
+
+func count_primes() {
+    count = 0;
+    i = 2;
+    while (i < 500) {
+        if (flags[i] == 0) { count = count + 1; mark_multiples(i); }
+        i = i + 1;
+    }
+    return count;
+}
+
+func main() { print count_primes(); }
+"""
+
+
+@pytest.fixture()
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "primes.rl").write_text(PRIMES)
+    return tmp_path
+
+
+class TestTutorialSteps:
+    def test_step1_compile_and_run(self, workdir, capsys):
+        assert vm_main(["asm", "primes.rl", "-o", "primes.vmexe"]) == 0
+        assert vm_main(["run", "primes.vmexe"]) == 0
+        out = capsys.readouterr().out
+        assert "output [95]" in out  # 95 primes below 500
+        assert vm_main(
+            ["asm", "primes.rl", "-o", "primes-pg.vmexe", "--profile"]
+        ) == 0
+        assert vm_main(
+            ["run", "primes-pg.vmexe", "--profile", "--gmon", "primes.gmon"]
+        ) == 0
+        assert (workdir / "primes.gmon").exists()
+
+    def test_step2_listings(self, workdir, capsys):
+        vm_main(["asm", "primes.rl", "-o", "primes-pg.vmexe", "--profile"])
+        vm_main(["run", "primes-pg.vmexe", "--profile", "--gmon", "primes.gmon"])
+        capsys.readouterr()
+        assert gprof_main(
+            ["primes-pg.vmexe", "primes.gmon", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "count_primes" in out
+        assert "understanding the call graph profile" in out
+        # the abstraction's cost is charged to its user
+        entry_line = next(
+            l for l in out.splitlines()
+            if re.search(r"\[\d+\].*count_primes", l)
+        )
+        assert entry_line  # a primary line exists
+
+    def test_step3_block_counts(self, workdir, capsys):
+        assert vm_main(["run", "primes.rl", "--count"]) == 0
+        out = capsys.readouterr().out
+        assert "block execution counts:" in out
+        assert "mark_multiples" in out
+
+    def test_step4_summing(self, workdir, capsys):
+        vm_main(["asm", "primes.rl", "-o", "primes-pg.vmexe", "--profile"])
+        vm_main(["run", "primes-pg.vmexe", "--profile", "--gmon", "run1.gmon"])
+        vm_main(["run", "primes-pg.vmexe", "--profile", "--gmon", "run2.gmon"])
+        capsys.readouterr()
+        assert gprof_main(
+            ["primes-pg.vmexe", "run1.gmon", "run2.gmon", "-s", "gmon.sum"]
+        ) == 0
+        assert gprof_main(["primes-pg.vmexe", "gmon.sum"]) == 0
+        out = capsys.readouterr().out
+        assert "mark_multiples" in out
+
+    def test_step5_kernel(self, workdir, capsys):
+        assert kgmon_main(
+            ["--iterations", "300", "--windows", "1", "--out-prefix", "kern"]
+        ) == 0
+        capsys.readouterr()
+        assert gprof_main(
+            [
+                "kern.syms", "kern.window0.gmon",
+                "-k", "if_output/netisr",
+                "-k", "tcp_input/tcp_output",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "arcs removed from the analysis" in out
+
+    def test_tutorial_mentions_only_real_commands(self):
+        # every `repro-…` token in the tutorial names a shipped CLI
+        text = TUTORIAL.read_text()
+        commands = set(re.findall(r"\brepro-[a-z]+", text))
+        assert commands <= {
+            "repro-vm", "repro-gprof", "repro-prof",
+            "repro-kgmon", "repro-stacks",
+        }

@@ -1,0 +1,132 @@
+"""Property-based tests for the VM substrate (assembler + CPU)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import CPU, Executable, assemble
+from repro.machine.isa import INSTRUCTION_SIZE
+
+
+# --------------------------------------------------------------------------
+# Random arithmetic expressions: the VM agrees with a Python oracle.
+# --------------------------------------------------------------------------
+
+@st.composite
+def expressions(draw, depth=0):
+    """(asm lines, oracle value) for a random arithmetic expression."""
+    if depth >= 4 or draw(st.booleans()):
+        value = draw(st.integers(-1000, 1000))
+        return [f"PUSH {value}"], value
+    op = draw(st.sampled_from(["ADD", "SUB", "MUL", "DIV", "MOD", "NEG"]))
+    if op == "NEG":
+        lines, value = draw(expressions(depth + 1))
+        return lines + ["NEG"], -value
+    left_lines, left = draw(expressions(depth + 1))
+    right_lines, right = draw(expressions(depth + 1))
+    lines = left_lines + right_lines + [op]
+    if op == "ADD":
+        return lines, left + right
+    if op == "SUB":
+        return lines, left - right
+    if op == "MUL":
+        return lines, left * right
+    # C-style truncation toward zero; guard zero divisors by nudging.
+    if right == 0:
+        lines = left_lines + ["PUSH 1", op]
+        right = 1
+    quotient = abs(left) // abs(right) * (1 if (left < 0) == (right < 0) else -1)
+    if op == "DIV":
+        return lines, quotient
+    return lines, left - quotient * right
+
+
+@settings(max_examples=120)
+@given(expressions())
+def test_arithmetic_matches_oracle(expr):
+    lines, expected = expr
+    body = "\n ".join(lines)
+    src = f".func main\n {body}\n OUT\n HALT\n.end\n"
+    cpu = CPU(assemble(src))
+    cpu.run()
+    assert cpu.output == [expected]
+
+
+# --------------------------------------------------------------------------
+# Executable image round-trips.
+# --------------------------------------------------------------------------
+
+@st.composite
+def random_programs(draw):
+    """A syntactically valid multi-function program."""
+    n_funcs = draw(st.integers(1, 4))
+    names = [f"fn{i}" for i in range(n_funcs)]
+    funcs = []
+    for i, name in enumerate(names):
+        body = ["WORK " + str(draw(st.integers(0, 20)))]
+        # calls only to later functions: guaranteed termination
+        for callee in names[i + 1 :]:
+            if draw(st.booleans()):
+                body.append(f"CALL {callee}")
+        body.append("HALT" if i == 0 else "RET")
+        funcs.append(
+            f".func {'main' if i == 0 else name}\n "
+            + "\n ".join(body)
+            + "\n.end\n"
+        )
+    # first function doubles as main; rename call targets accordingly
+    text = "".join(funcs).replace("CALL fn0", "NOP")
+    return text
+
+
+@settings(max_examples=60)
+@given(random_programs(), st.booleans())
+def test_executable_roundtrip_property(source, profile):
+    exe = assemble(source, name="prog", profile=profile)
+    again = Executable.from_dict(exe.to_dict())
+    assert again.to_dict() == exe.to_dict()
+    # behaviour is identical too
+    a, b = CPU(exe), CPU(again)
+    a.run(max_instructions=5000)
+    b.run(max_instructions=5000)
+    assert (a.cycles, a.output, a.halted) == (b.cycles, b.output, b.halted)
+
+
+@settings(max_examples=60)
+@given(random_programs())
+def test_profiling_never_changes_behaviour(source):
+    """Property: for arbitrary terminating programs, the profiled build
+    computes the same outputs and executes the same user instructions."""
+    plain = CPU(assemble(source, profile=False))
+    plain.run(max_instructions=20_000)
+    from repro.machine import Monitor, MonitorConfig
+
+    exe = assemble(source, profile=True)
+    mon = Monitor(MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=13))
+    prof = CPU(exe, mon)
+    prof.run(max_instructions=40_000)
+    assert prof.output == plain.output
+    assert prof.halted == plain.halted
+    if plain.halted:
+        # MCOUNT instructions are the only extra work
+        mcounts = prof.instructions_executed - plain.instructions_executed
+        assert mcounts == mon.stats.lookups
+
+
+@settings(max_examples=60)
+@given(random_programs())
+def test_function_layout_invariants(source):
+    """Property: functions tile the text segment contiguously and the
+    symbol table mirrors them exactly."""
+    exe = assemble(source, profile=True)
+    addr = 0
+    for fn in exe.functions:
+        assert fn.entry == addr
+        assert fn.end > fn.entry
+        assert fn.entry % INSTRUCTION_SIZE == 0
+        addr = fn.end
+    assert addr == exe.high_pc
+    table = exe.symbol_table()
+    for fn in exe.functions:
+        sym = table.by_name(fn.name)
+        assert (sym.address, sym.end) == (fn.entry, fn.end)

@@ -1,0 +1,78 @@
+"""repro.check — static analysis and profile-consistency linting.
+
+The "gprof-lint" subsystem.  §4 of the paper already crawls the
+executable image for statically-apparent calls; this package grows that
+single heuristic into a proper static-analysis layer:
+
+* :mod:`repro.check.cfg` — per-routine basic-block control-flow graphs
+  recovered from the VM text segment;
+* :mod:`repro.check.passes` — analysis passes over the CFGs and the
+  static call graph (unreachable code, dead routines, MCOUNT
+  instrumentation verification, indirect-call under-approximation,
+  static-vs-dynamic cycle agreement);
+* :mod:`repro.check.consistency` — validation of a ``gmon`` profile
+  against the executable that allegedly produced it;
+* :mod:`repro.check.diagnostics` — the shared :class:`Diagnostic`
+  record (stable ``GPnnn`` codes) with text and JSON renderers.
+
+Use :func:`check_executable` for the whole battery, or call individual
+passes for surgical use.  The ``repro-check`` CLI
+(:mod:`repro.cli.check_cli`) and ``repro-gprof --lint`` are thin
+wrappers over this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.check.consistency import consistency_passes
+from repro.check.diagnostics import (
+    CODES,
+    CheckReport,
+    Diagnostic,
+    Severity,
+    make,
+)
+from repro.check.passes import profile_passes, static_passes
+from repro.core.profiledata import ProfileData
+from repro.machine.executable import Executable
+
+__all__ = [
+    "CODES",
+    "CheckReport",
+    "Diagnostic",
+    "Severity",
+    "check_executable",
+    "consistency_passes",
+    "make",
+    "profile_passes",
+    "static_passes",
+]
+
+
+def check_executable(
+    exe: Executable,
+    profiles: Sequence[ProfileData] = (),
+    gmon_labels: Iterable[str] = (),
+) -> CheckReport:
+    """Run every applicable check over ``exe`` (and optional profiles).
+
+    Arguments:
+        exe: the executable image to lint.
+        profiles: profile data sets to validate against the image; each
+            gets the full consistency battery plus the static-vs-dynamic
+            cross-checks.
+        gmon_labels: display labels for the profiles (file names in the
+            CLI); padded with indices when shorter than ``profiles``.
+
+    Returns a :class:`CheckReport` with deterministically-ordered
+    diagnostics.  A clean program yields an empty report.
+    """
+    labels = list(gmon_labels)
+    while len(labels) < len(profiles):
+        labels.append(f"profile[{len(labels)}]")
+    diagnostics = static_passes(exe)
+    for data in profiles:
+        diagnostics += consistency_passes(exe, data)
+        diagnostics += profile_passes(exe, data)
+    return CheckReport(exe.name, diagnostics, labels[: len(profiles)])

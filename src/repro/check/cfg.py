@@ -1,0 +1,164 @@
+"""Per-routine basic-block control-flow graphs over the VM text segment.
+
+The paper's §4 crawls the executable for *calls*; the lint passes also
+need the *intra*-routine control flow to reason about reachability and
+termination.  This module recovers it the way a binary analyzer would:
+partition each routine's instruction range (from the symbol table's
+``entry``/``end``) into basic blocks at branch targets and after
+control-transfer instructions, then wire up successor edges.
+
+Edge semantics of the ISA (:mod:`repro.machine.isa`):
+
+* ``JMP`` — one successor (the target), no fall-through;
+* ``JZ`` / ``JNZ`` — two successors (target and fall-through);
+* ``RET`` / ``HALT`` — no successors (control leaves the routine);
+* ``CALL`` / ``CALLI`` — fall-through only: the callee returns to the
+  next instruction, so calls do not end basic blocks;
+* everything else — plain fall-through.
+
+Two anomalies are recorded rather than silently normalized, because the
+passes report them: a branch whose target lies outside the routine body
+(:attr:`RoutineCFG.escaping_branches`) and a block whose control can
+run past ``end`` into whatever routine is laid out next
+(:attr:`BasicBlock.falls_off_end`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.executable import Executable, Function
+from repro.machine.isa import INSTRUCTION_SIZE, Instruction, Op
+
+#: Opcodes after which control cannot fall through to the next address.
+_NO_FALLTHROUGH = frozenset({Op.JMP, Op.RET, Op.HALT})
+
+#: Opcodes that end a basic block.
+_BLOCK_ENDERS = frozenset({Op.JMP, Op.JZ, Op.JNZ, Op.RET, Op.HALT})
+
+#: Branching opcodes whose operand is an intra-routine (or escaping)
+#: code address.
+_BRANCH_OPS = frozenset({Op.JMP, Op.JZ, Op.JNZ})
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    Attributes:
+        start: address of the first instruction.
+        end: one past the address of the last instruction.
+        successors: start addresses of intra-routine successor blocks.
+        falls_off_end: True when control can leave the block by running
+            past the routine's last instruction (no RET/HALT/JMP).
+    """
+
+    start: int
+    end: int
+    successors: tuple[int, ...] = ()
+    falls_off_end: bool = False
+
+    def __contains__(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+@dataclass
+class RoutineCFG:
+    """The control-flow graph of one routine.
+
+    Attributes:
+        function: the routine this graph describes.
+        blocks: basic blocks keyed by start address.
+        escaping_branches: ``(branch_addr, target_addr)`` pairs for
+            JMP/JZ/JNZ instructions whose target lies outside the
+            routine body — legal for the machine, but an attribution
+            hazard the passes flag (GP108).
+    """
+
+    function: Function
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    escaping_branches: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def entry(self) -> int:
+        """Start address of the entry block."""
+        return self.function.entry
+
+    def reachable(self) -> set[int]:
+        """Start addresses of blocks reachable from the routine entry."""
+        if not self.blocks:
+            return set()
+        seen: set[int] = set()
+        work = [self.entry]
+        while work:
+            addr = work.pop()
+            if addr in seen or addr not in self.blocks:
+                continue
+            seen.add(addr)
+            work.extend(self.blocks[addr].successors)
+        return seen
+
+    def unreachable_blocks(self) -> list[BasicBlock]:
+        """Blocks no path from the entry reaches, in address order."""
+        reached = self.reachable()
+        return [
+            block
+            for addr, block in sorted(self.blocks.items())
+            if addr not in reached
+        ]
+
+
+def build_cfg(exe: Executable, fn: Function) -> RoutineCFG:
+    """Build the basic-block graph of ``fn`` from the text segment."""
+    cfg = RoutineCFG(fn)
+    if fn.entry >= fn.end:
+        return cfg  # an empty routine has no blocks (and no RET: GP103)
+
+    body = [
+        (addr, exe.fetch(addr))
+        for addr in range(fn.entry, fn.end, INSTRUCTION_SIZE)
+    ]
+
+    # Pass 1: leaders.  The entry, every intra-routine branch target,
+    # and every instruction following a block-ending instruction.
+    leaders: set[int] = {fn.entry}
+    for addr, ins in body:
+        if ins.op in _BRANCH_OPS and ins.operand is not None:
+            if fn.entry <= ins.operand < fn.end:
+                leaders.add(ins.operand)
+            else:
+                cfg.escaping_branches.append((addr, ins.operand))
+        if ins.op in _BLOCK_ENDERS and addr + INSTRUCTION_SIZE < fn.end:
+            leaders.add(addr + INSTRUCTION_SIZE)
+
+    # Pass 2: cut blocks at leaders and wire successors.
+    ordered = sorted(leaders)
+    for i, start in enumerate(ordered):
+        limit = ordered[i + 1] if i + 1 < len(ordered) else fn.end
+        end = start
+        last: Instruction | None = None
+        for addr in range(start, limit, INSTRUCTION_SIZE):
+            last = exe.fetch(addr)
+            end = addr + INSTRUCTION_SIZE
+            if last.op in _BLOCK_ENDERS:
+                break
+        successors: list[int] = []
+        falls_off = False
+        assert last is not None
+        if last.op in _BRANCH_OPS and last.operand is not None:
+            if fn.entry <= last.operand < fn.end:
+                successors.append(last.operand)
+        if last.op not in _NO_FALLTHROUGH:
+            if end < fn.end:
+                successors.append(end)
+            else:
+                falls_off = True
+        cfg.blocks[start] = BasicBlock(
+            start, end, tuple(successors), falls_off
+        )
+    return cfg
+
+
+def build_all_cfgs(exe: Executable) -> dict[str, RoutineCFG]:
+    """CFGs for every routine of the executable, keyed by name."""
+    return {fn.name: build_cfg(exe, fn) for fn in exe.functions}

@@ -1,0 +1,251 @@
+"""Diagnostics: the shared currency of every ``repro.check`` pass.
+
+Each analysis pass emits :class:`Diagnostic` records — a stable code
+(``GP101``), a severity, an optional address/routine location, and a
+human message — rather than printing directly, so one finding can be
+rendered as a terminal line, a JSON object, or a CI annotation without
+the pass knowing (or caring) which.
+
+Codes are grouped the way the checks are layered:
+
+* ``GP1xx`` — static structure: control-flow and call-graph findings
+  derived from the executable image alone;
+* ``GP2xx`` — instrumentation: the monitoring prologues the assembler
+  plants (§3 of the paper) are present, unique, and in the right slot;
+* ``GP3xx`` — profile consistency: a ``gmon`` file really could have
+  been produced by this executable.
+
+Codes are append-only: once published, a code keeps its meaning so that
+suppressions and regression baselines stay valid across versions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+
+class Severity(Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings mean the artifact is structurally wrong (a
+    profile that cannot be trusted, instrumentation that will drop
+    arcs); ``WARNING`` findings are over-approximation gaps and likely
+    programmer mistakes; ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Orderable badness: higher is worse."""
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+#: Registry of every diagnostic code: severity and a one-line summary.
+#: ``repro-check --list-codes`` prints this table; the tutorial's
+#: "Static analysis & lint" section documents each entry.
+CODES: dict[str, tuple[Severity, str]] = {
+    # -- GP1xx: static structure ------------------------------------------------
+    "GP101": (Severity.WARNING,
+              "unreachable code: basic block cannot be reached from its "
+              "routine's entry"),
+    "GP102": (Severity.WARNING,
+              "dead routine: unreachable from the program entry point in "
+              "the static call graph"),
+    "GP103": (Severity.ERROR,
+              "missing return: control can run past the end of the "
+              "routine body"),
+    "GP104": (Severity.WARNING,
+              "opaque indirect call: CALLI with no statically-apparent "
+              "candidate targets anywhere in the program"),
+    "GP105": (Severity.WARNING,
+              "hidden cycle: dynamic call-graph cycle is not contained in "
+              "one static strongly-connected component"),
+    "GP106": (Severity.WARNING,
+              "phantom call target: statically-dead routine was "
+              "dynamically called"),
+    "GP108": (Severity.WARNING,
+              "cross-routine branch: jump targets another routine's body"),
+    # -- GP2xx: instrumentation -------------------------------------------------
+    "GP201": (Severity.ERROR,
+              "missing MCOUNT: profiled routine has no monitoring "
+              "prologue"),
+    "GP202": (Severity.ERROR,
+              "duplicate MCOUNT: routine contains more than one "
+              "monitoring prologue"),
+    "GP203": (Severity.ERROR,
+              "misplaced MCOUNT: monitoring prologue is not the routine's "
+              "first instruction"),
+    "GP204": (Severity.ERROR,
+              "stray MCOUNT: instrumentation in a routine not marked "
+              "profiled"),
+    # -- GP3xx: profile consistency ---------------------------------------------
+    "GP301": (Severity.ERROR,
+              "bad call site: arc's from_pc is not a CALL or CALLI "
+              "instruction"),
+    "GP302": (Severity.ERROR,
+              "bad callee: arc's self_pc is not the entry of a profiled "
+              "routine"),
+    "GP303": (Severity.ERROR,
+              "call site outside the text segment"),
+    "GP304": (Severity.ERROR,
+              "histogram mass outside the text segment"),
+    "GP305": (Severity.ERROR,
+              "histogram bounds extend beyond the text segment"),
+    "GP306": (Severity.WARNING,
+              "sampled but never called: profiled routine has histogram "
+              "mass but zero recorded calls"),
+    "GP307": (Severity.ERROR,
+              "call target mismatch: direct CALL's operand disagrees with "
+              "the arc's recorded callee"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass.
+
+    Attributes:
+        code: stable identifier from :data:`CODES` (``GP101``...).
+        severity: how bad the finding is.
+        message: human-readable description with the specifics.
+        address: text address the finding anchors to, or None for
+            program-level findings.
+        routine: routine name the finding concerns, or None.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    address: int | None = None
+    routine: str | None = None
+
+    def sort_key(self) -> tuple:
+        """Deterministic presentation order: address, code, routine."""
+        return (
+            self.address if self.address is not None else -1,
+            self.code,
+            self.routine or "",
+            self.message,
+        )
+
+    def render(self) -> str:
+        """One terminal line, gcc-style: location, severity, code, text."""
+        where = []
+        if self.address is not None:
+            where.append(f"{self.address:#06x}")
+        if self.routine:
+            where.append(self.routine)
+        loc = ":".join(where)
+        prefix = f"{loc}: " if loc else ""
+        return f"{prefix}{self.severity.value}: {self.code}: {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (stable field set)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "address": self.address,
+            "routine": self.routine,
+            "message": self.message,
+        }
+
+
+def make(
+    code: str,
+    message: str,
+    address: int | None = None,
+    routine: str | None = None,
+) -> Diagnostic:
+    """Build a diagnostic, taking the severity from the code registry."""
+    severity, _summary = CODES[code]
+    return Diagnostic(code, severity, message, address, routine)
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro-check`` invocation found.
+
+    Attributes:
+        program: name of the checked executable.
+        diagnostics: the findings, in deterministic order.
+        gmon_files: labels of the profile data files that were checked
+            (empty for a static-only run).
+    """
+
+    program: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    gmon_files: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.diagnostics = sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        """Number of findings at exactly ``severity``."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> int:
+        """Number of error-severity findings."""
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        """Number of warning-severity findings."""
+        return self.count(Severity.WARNING)
+
+    def codes(self) -> set[str]:
+        """The set of distinct codes that fired."""
+        return {d.code for d in self.diagnostics}
+
+    def render_text(self) -> str:
+        """The terminal listing: one line per finding plus a summary."""
+        lines = [f"repro-check: {self.program}"]
+        for d in self.diagnostics:
+            lines.append("  " + d.render())
+        if not self.diagnostics:
+            lines.append("  no problems found")
+        lines.append(
+            f"  {self.errors} error(s), {self.warnings} warning(s), "
+            f"{self.count(Severity.INFO)} note(s)"
+        )
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable report (the machine interface)."""
+        return {
+            "format": "repro-check-1",
+            "program": self.program,
+            "gmon_files": list(self.gmon_files),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "infos": self.count(Severity.INFO),
+            },
+        }
+
+    def render_json(self) -> str:
+        """Deterministic JSON: sorted keys, sorted diagnostics."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def merge_reports(program: str, parts: Iterable[CheckReport]) -> CheckReport:
+    """Combine several pass reports over the same program into one."""
+    diagnostics: list[Diagnostic] = []
+    gmon_files: list[str] = []
+    for part in parts:
+        diagnostics.extend(part.diagnostics)
+        gmon_files.extend(part.gmon_files)
+    return CheckReport(program, diagnostics, gmon_files)

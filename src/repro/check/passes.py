@@ -1,0 +1,337 @@
+"""Static analysis passes over the CFGs and the static call graph.
+
+Each pass takes an :class:`~repro.machine.executable.Executable` (and,
+for the profile-aware passes, a :class:`~repro.core.ProfileData`) and
+returns :class:`~repro.check.diagnostics.Diagnostic` records.  The
+passes deliberately over-report nothing on clean programs: every canned
+program in :mod:`repro.machine.programs` — profiled or not — lints
+clean, and the test suite enforces that as a zero-false-positive gate.
+
+The static call graph used by the reachability passes is the §4 crawl
+(:func:`repro.machine.crawl.static_arcs`): exact for direct ``CALL``
+instructions, over-approximate for ``CALLI`` via the ``PUSH &f``
+address-taken heuristic.  Where that heuristic comes up empty the
+under-approximation itself is reported (GP104), mirroring how binary
+call-graph recovery tools surface unresolved indirect calls.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.check.cfg import build_cfg
+from repro.check.diagnostics import Diagnostic, make
+from repro.core.arcs import symbolize_arcs
+from repro.core.callgraph import Arc, CallGraph
+from repro.core.cycles import number_graph, strongly_connected_components
+from repro.core.profiledata import ProfileData
+from repro.machine.crawl import static_arcs
+from repro.machine.executable import Executable
+from repro.machine.isa import INSTRUCTION_SIZE, Op
+
+
+# --------------------------------------------------------------------- GP101/103/108
+
+
+def check_control_flow(exe: Executable) -> list[Diagnostic]:
+    """Per-routine CFG findings: unreachable code, missing returns,
+    cross-routine branches.
+
+    * GP101 — a basic block no path from the routine entry reaches;
+    * GP103 — a *reachable* block whose control can run past the end of
+      the routine body (execution would continue into whatever routine
+      is laid out next, corrupting both behaviour and attribution);
+    * GP108 — a reachable JMP/JZ/JNZ whose target is outside the
+      routine body (time spent there is charged to the wrong routine).
+
+    Unreachable blocks are not additionally checked for termination:
+    GP101 already flags them, and dead code cannot fall anywhere.
+    """
+    diags: list[Diagnostic] = []
+    for fn in exe.functions:
+        cfg = build_cfg(exe, fn)
+        if fn.entry >= fn.end:
+            diags.append(make(
+                "GP103",
+                f"routine '{fn.name}' is empty: a call to it runs straight "
+                "into the next routine's code",
+                address=fn.entry, routine=fn.name,
+            ))
+            continue
+        reached = cfg.reachable()
+        for block in cfg.unreachable_blocks():
+            diags.append(make(
+                "GP101",
+                f"basic block at {block.start:#06x} in '{fn.name}' is "
+                "unreachable from the routine entry",
+                address=block.start, routine=fn.name,
+            ))
+        for addr in sorted(reached):
+            block = cfg.blocks[addr]
+            if block.falls_off_end:
+                diags.append(make(
+                    "GP103",
+                    f"control in '{fn.name}' can run past the routine's "
+                    f"last instruction at {block.end - 4:#06x} without "
+                    "RET or HALT",
+                    address=block.end - 4, routine=fn.name,
+                ))
+        for branch_addr, target in cfg.escaping_branches:
+            holder = next(
+                (b for b in reached if branch_addr in cfg.blocks[b]), None
+            )
+            if holder is None:
+                continue  # the branch sits in dead code: GP101 covers it
+            victim = exe.function_at(target)
+            where = f"'{victim.name}'" if victim else "unmapped text"
+            diags.append(make(
+                "GP108",
+                f"branch at {branch_addr:#06x} in '{fn.name}' jumps into "
+                f"{where} at {target:#06x}; sampled time there will be "
+                f"charged to the wrong routine",
+                address=branch_addr, routine=fn.name,
+            ))
+    return diags
+
+
+# ----------------------------------------------------------------------------- GP102
+
+
+def _static_reachable(exe: Executable) -> set[str]:
+    """Routines reachable from the program entry in the static graph.
+
+    Uses the §4 crawl: direct CALL arcs plus address-taken (``PUSH &f``)
+    arcs, so functional parameters keep their targets alive.
+    """
+    children: dict[str, set[str]] = defaultdict(set)
+    for caller, callee in static_arcs(exe):
+        children[caller].add(callee)
+    entry_fn = exe.function_at(exe.entry_point)
+    if entry_fn is None:
+        return {f.name for f in exe.functions}  # no entry: nothing is dead
+    seen: set[str] = set()
+    work = [entry_fn.name]
+    while work:
+        name = work.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        work.extend(children[name])
+    return seen
+
+
+def check_dead_routines(exe: Executable) -> list[Diagnostic]:
+    """GP102: routines the program entry can never reach, statically.
+
+    The flat profile's ``-z`` listing shows what one *execution* missed;
+    this is the stronger static claim — no execution of this image can
+    reach the routine (modulo indirect calls the address-taken
+    heuristic cannot see, which GP104 reports separately).
+    """
+    reachable = _static_reachable(exe)
+    return [
+        make(
+            "GP102",
+            f"routine '{fn.name}' is unreachable from the entry routine "
+            "in the static call graph (never CALLed, address never "
+            "taken)",
+            address=fn.entry, routine=fn.name,
+        )
+        for fn in exe.functions
+        if fn.name not in reachable
+    ]
+
+
+# ----------------------------------------------------------------------------- GP104
+
+
+def check_indirect_calls(exe: Executable) -> list[Diagnostic]:
+    """GP104: CALLI sites with no statically-apparent candidate target.
+
+    The crawler's address-taken heuristic over-approximates indirect
+    calls from ``PUSH &f`` evidence; when a program contains CALLI but
+    *no* function's address is ever taken, the static graph is known to
+    under-approximate and downstream passes (GP102, GP105) lose their
+    guarantees.  Each such call site is reported once.
+    """
+    address_taken = {
+        ins.operand
+        for ins in exe.instructions
+        if ins.op is Op.PUSH and _is_entry_address(exe, ins.operand)
+    }
+    if address_taken:
+        return []
+    diags: list[Diagnostic] = []
+    for i, ins in enumerate(exe.instructions):
+        if ins.op is not Op.CALLI:
+            continue
+        addr = i * INSTRUCTION_SIZE
+        fn = exe.function_at(addr)
+        diags.append(make(
+            "GP104",
+            f"indirect call at {addr:#06x} has no statically-apparent "
+            "candidate targets (no PUSH of any function address in the "
+            "program); the static call graph under-approximates here",
+            address=addr, routine=fn.name if fn else None,
+        ))
+    return diags
+
+
+def _is_entry_address(exe: Executable, value: int | None) -> bool:
+    """Whether ``value`` is the entry address of some routine."""
+    if value is None:
+        return False
+    fn = exe.function_at(value)
+    return fn is not None and fn.entry == value
+
+
+# ----------------------------------------------------------------------------- GP2xx
+
+
+def check_instrumentation(exe: Executable) -> list[Diagnostic]:
+    """GP201–GP204: MCOUNT prologues are present, unique, and in place.
+
+    §3: the compiler "inserts calls to a monitoring routine in the
+    prologue for each routine".  For the VM that contract is: a routine
+    marked ``profiled`` has exactly one MCOUNT, and it is the routine's
+    first instruction (the monitoring routine derives the callee from
+    the MCOUNT's own address, so a misplaced one mis-records arcs);
+    a routine not marked profiled has none.
+    """
+    diags: list[Diagnostic] = []
+    for fn in exe.functions:
+        mcount_addrs = [
+            addr
+            for addr in range(fn.entry, fn.end, INSTRUCTION_SIZE)
+            if exe.fetch(addr).op is Op.MCOUNT
+        ]
+        if fn.profiled:
+            if not mcount_addrs:
+                diags.append(make(
+                    "GP201",
+                    f"routine '{fn.name}' is marked profiled but has no "
+                    "MCOUNT prologue; its calls will never be recorded",
+                    address=fn.entry, routine=fn.name,
+                ))
+                continue
+            if len(mcount_addrs) > 1:
+                for extra in mcount_addrs[1:]:
+                    diags.append(make(
+                        "GP202",
+                        f"routine '{fn.name}' has a second MCOUNT at "
+                        f"{extra:#06x}; each activation would be counted "
+                        "more than once",
+                        address=extra, routine=fn.name,
+                    ))
+            if mcount_addrs[0] != fn.entry:
+                diags.append(make(
+                    "GP203",
+                    f"MCOUNT in '{fn.name}' sits at {mcount_addrs[0]:#06x}, "
+                    f"not in the prologue slot {fn.entry:#06x}; recorded "
+                    "callee addresses will not match the routine entry",
+                    address=mcount_addrs[0], routine=fn.name,
+                ))
+        else:
+            for addr in mcount_addrs:
+                diags.append(make(
+                    "GP204",
+                    f"routine '{fn.name}' is not marked profiled yet "
+                    f"contains an MCOUNT at {addr:#06x}",
+                    address=addr, routine=fn.name,
+                ))
+    return diags
+
+
+# ------------------------------------------------------------------- GP105 / GP106
+
+
+def _dynamic_graph(exe: Executable, data: ProfileData) -> CallGraph:
+    """The routine-level dynamic call graph recorded in ``data``."""
+    arcs = symbolize_arcs(data.condensed_arcs(), exe.symbol_table())
+    return CallGraph(arcs)
+
+
+def check_cycle_agreement(
+    exe: Executable, data: ProfileData
+) -> list[Diagnostic]:
+    """GP105: every dynamic cycle should be statically apparent.
+
+    §4 collapses strongly-connected components of the *dynamic* graph;
+    the static graph, being an over-approximation of the same program,
+    must place each dynamic cycle's members inside a single static SCC.
+    A split cycle means an arc exists at run time that the crawl cannot
+    see — an indirect call whose target address is computed, not
+    pushed — and static results (GP102 among them) are unreliable for
+    those routines.
+    """
+    numbered = number_graph(_dynamic_graph(exe, data))
+    if not numbered.cycles:
+        return []
+    static_graph = CallGraph(extra_nodes=(fn.name for fn in exe.functions))
+    for caller, callee in static_arcs(exe):
+        static_graph.add_arc(Arc(caller, callee, 0))
+    scc_of: dict[str, int] = {}
+    for i, comp in enumerate(strongly_connected_components(static_graph)):
+        for member in comp:
+            scc_of[member] = i
+    diags: list[Diagnostic] = []
+    for cycle in numbered.cycles:
+        sccs = {scc_of.get(m) for m in cycle.members}
+        if len(sccs) > 1 or None in sccs:
+            members = ", ".join(cycle.members)
+            diags.append(make(
+                "GP105",
+                f"dynamic cycle {{{members}}} is not a cycle of the "
+                "static call graph; an indirect call invisible to the "
+                "crawl closes it",
+                routine=cycle.members[0],
+            ))
+    return diags
+
+
+def check_dead_but_called(
+    exe: Executable, data: ProfileData
+) -> list[Diagnostic]:
+    """GP106: the static/dynamic cross-check on dead routines.
+
+    A routine GP102 declares statically dead that nonetheless shows
+    dynamic calls in the profile is direct evidence the static graph
+    under-approximates (the inverse — statically reachable but never
+    called — is ordinary and is what the flat profile's ``-z`` listing
+    is for).
+    """
+    reachable = _static_reachable(exe)
+    called: dict[str, int] = defaultdict(int)
+    for arc in data.condensed_arcs():
+        fn = exe.function_at(arc.self_pc)
+        if fn is not None and arc.count > 0:
+            called[fn.name] += arc.count
+    return [
+        make(
+            "GP106",
+            f"routine '{fn.name}' is statically unreachable yet the "
+            f"profile records {called[fn.name]} call(s) into it; the "
+            "static call graph under-approximates",
+            address=fn.entry, routine=fn.name,
+        )
+        for fn in exe.functions
+        if fn.name not in reachable and called.get(fn.name, 0) > 0
+    ]
+
+
+# ------------------------------------------------------------------------ aggregate
+
+
+def static_passes(exe: Executable) -> list[Diagnostic]:
+    """All executable-only passes, in layer order."""
+    diags: list[Diagnostic] = []
+    diags += check_control_flow(exe)
+    diags += check_dead_routines(exe)
+    diags += check_indirect_calls(exe)
+    diags += check_instrumentation(exe)
+    return diags
+
+
+def profile_passes(exe: Executable, data: ProfileData) -> list[Diagnostic]:
+    """The static-vs-dynamic cross-checks (needs profile data)."""
+    return check_cycle_agreement(exe, data) + check_dead_but_called(exe, data)

@@ -1,0 +1,105 @@
+"""The repro-check command: gprof-lint for executables and profiles.
+
+Usage::
+
+    repro-check TARGET [GMON ...] [options]
+
+``TARGET`` is a canned program name (see ``repro-vm list``), a
+``.vmexe`` image, an assembly file, or a ``.rl`` source file; canned
+programs and sources are built with monitoring prologues unless
+``--unprofiled`` is given.  With no GMON files the static battery runs
+alone (CFG reachability, dead routines, instrumentation verification,
+indirect-call warnings); each GMON file additionally gets the
+profile-consistency checks and the static-vs-dynamic cross-checks.
+
+Options:
+
+* ``--json`` — emit the report as deterministic JSON instead of text;
+* ``--strict`` — exit nonzero on warnings, not just errors (the CI
+  self-lint gate runs with this);
+* ``--list-codes`` — print the diagnostic code registry and exit.
+
+Exit status: 0 when clean (or warnings without ``--strict``), 1 when
+findings demand attention, 2 on usage or I/O errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.check import CODES, check_executable
+from repro.errors import ReproError
+from repro.gmon import read_gmon
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="static analysis and profile-consistency linter",
+    )
+    parser.add_argument(
+        "target", nargs="?",
+        help="canned program name, .vmexe image, assembly or .rl source",
+    )
+    parser.add_argument(
+        "gmon", nargs="*",
+        help="profile data file(s) to validate against the image",
+    )
+    parser.add_argument(
+        "--unprofiled", action="store_true",
+        help="build canned programs / sources without MCOUNT prologues",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as deterministic JSON",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--list-codes", action="store_true",
+        help="print every diagnostic code with its severity and meaning",
+    )
+    return parser
+
+
+def format_codes() -> str:
+    """The ``--list-codes`` table."""
+    lines = ["diagnostic codes:"]
+    for code, (severity, summary) in sorted(CODES.items()):
+        lines.append(f"  {code}  {severity.value:7s}  {summary}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    opts = build_parser().parse_args(argv)
+    if opts.list_codes:
+        print(format_codes(), end="")
+        return 0
+    if not opts.target:
+        print("repro-check: a TARGET is required (or --list-codes)",
+              file=sys.stderr)
+        return 2
+    try:
+        from repro.cli.vm_cli import _load_program
+
+        exe = _load_program(opts.target, profile=not opts.unprofiled)
+        profiles = [read_gmon(path) for path in opts.gmon]
+        report = check_executable(exe, profiles, list(opts.gmon))
+    except (ReproError, OSError) as exc:
+        print(f"repro-check: {exc}", file=sys.stderr)
+        return 2
+    if opts.json:
+        print(report.render_json(), end="")
+    else:
+        print(report.render_text(), end="")
+    if report.errors or (opts.strict and len(report)):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -23,7 +23,10 @@ Options mirror the features the paper and retrospective describe:
   reaches (repeatable);
 * ``-z`` — list routines that were never called;
 * ``--flat-only`` / ``--graph-only`` — pick one listing;
-* ``--dot FILE`` — also write a Graphviz rendering.
+* ``--dot FILE`` — also write a Graphviz rendering;
+* ``--lint`` — run the :mod:`repro.check` battery (instrumentation,
+  CFG, and gmon-consistency checks) before reporting; findings go to
+  stderr so the listings stay pipeable (VM images only).
 """
 
 from __future__ import annotations
@@ -107,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE",
         help="also write the full analysis as structured JSON",
     )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="validate the profile data against the executable before "
+             "reporting (VM images only); findings are printed to stderr",
+    )
     return parser
 
 
@@ -116,6 +124,14 @@ def main(argv: list[str] | None = None) -> int:
     try:
         symbols, exe = load_image(opts.image)
         data = merge_profiles([read_gmon(p) for p in opts.gmon])
+        if opts.lint:
+            if exe is None:
+                raise ReproError("--lint needs a VM executable image")
+            from repro.check import check_executable
+
+            report = check_executable(exe, [data], ["<summed gmon>"])
+            if len(report):
+                print(report.render_text(), end="", file=sys.stderr)
         if opts.sum_file:
             write_gmon(data, opts.sum_file)
             print(f"summed {len(opts.gmon)} profile(s) into {opts.sum_file}")

@@ -1,0 +1,123 @@
+"""Tests for basic-block CFG recovery from VM text segments."""
+
+from repro.check.cfg import build_all_cfgs, build_cfg
+from repro.machine import assemble
+from repro.machine.programs import PROGRAMS
+
+
+def cfg_for(src: str, name: str = "main", profile: bool = False):
+    exe = assemble(src, profile=profile)
+    return exe, build_cfg(exe, exe.function_named(name))
+
+
+class TestBlockSplitting:
+    def test_straight_line_is_one_block(self):
+        exe, cfg = cfg_for(".func main\n PUSH 1\n POP\n HALT\n.end\n")
+        assert list(cfg.blocks) == [0]
+        block = cfg.blocks[0]
+        assert (block.start, block.end) == (0, 12)
+        assert block.successors == ()
+        assert not block.falls_off_end
+
+    def test_conditional_branch_splits_three_ways(self):
+        exe, cfg = cfg_for(
+            ".func main\n PUSH 10\n JZ skip\n WORK 5\nskip:\n HALT\n.end\n"
+        )
+        assert sorted(cfg.blocks) == [0x0, 0x8, 0xC]
+        assert set(cfg.blocks[0x0].successors) == {0x8, 0xC}  # fall + target
+        assert cfg.blocks[0x8].successors == (0xC,)
+        assert cfg.blocks[0xC].successors == ()
+
+    def test_backward_jump_makes_loop_edge(self):
+        exe, cfg = cfg_for(
+            ".func main\nloop:\n WORK 1\n PUSH 1\n JNZ loop\n HALT\n.end\n"
+        )
+        assert 0x0 in cfg.blocks[0x0].successors  # JNZ back to loop head
+
+    def test_call_does_not_end_a_block(self):
+        src = ".func main\n CALL f\n HALT\n.end\n.func f\n RET\n.end\n"
+        exe, cfg = cfg_for(src)
+        # CALL then HALT sit in one straight-line block.
+        assert list(cfg.blocks) == [0]
+        assert cfg.blocks[0].end == 8
+
+    def test_mcount_prologue_is_part_of_entry_block(self):
+        src = ".func main\n CALL f\n HALT\n.end\n.func f\n RET\n.end\n"
+        exe = assemble(src, profile=True)
+        cfg = build_cfg(exe, exe.function_named("f"))
+        block = cfg.blocks[cfg.entry]
+        assert block.end - block.start == 8  # MCOUNT + RET
+
+
+class TestReachability:
+    def test_code_after_ret_is_unreachable(self):
+        exe, cfg = cfg_for(".func main\n RET\n WORK 5\n.end\n")
+        dead = cfg.unreachable_blocks()
+        assert [b.start for b in dead] == [4]
+
+    def test_both_arms_of_conditional_are_reachable(self):
+        exe, cfg = cfg_for(
+            ".func main\n PUSH 0\n JZ skip\n WORK 1\nskip:\n HALT\n.end\n"
+        )
+        assert cfg.unreachable_blocks() == []
+
+    def test_reachable_covers_loops(self):
+        exe, cfg = cfg_for(
+            ".func main\nloop:\n WORK 1\n PUSH 1\n JNZ loop\n HALT\n.end\n"
+        )
+        assert cfg.reachable() == set(cfg.blocks)
+
+
+class TestExits:
+    def test_fall_off_end_detected(self):
+        src = ".func f\n WORK 1\n.end\n.func main\n HALT\n.end\n"
+        exe = assemble(src)
+        cfg = build_cfg(exe, exe.function_named("f"))
+        assert cfg.blocks[cfg.entry].falls_off_end
+
+    def test_conditional_fallthrough_at_end_falls_off(self):
+        src = ".func f\n PUSH 1\n JNZ f\n.end\n.func main\n HALT\n.end\n"
+        exe = assemble(src)
+        cfg = build_cfg(exe, exe.function_named("f"))
+        # The JNZ's fall-through leaves the routine body.
+        assert any(b.falls_off_end for b in cfg.blocks.values())
+
+    def test_cross_routine_jump_recorded_as_escape(self):
+        src = ".func main\n JMP f\n HALT\n.end\n.func f\n RET\n.end\n"
+        exe, cfg = cfg_for(src)
+        f_entry = exe.function_named("f").entry
+        assert cfg.escaping_branches == [(0, f_entry)]
+        # No intra-routine successor is fabricated for the escape.
+        assert cfg.blocks[0].successors == ()
+
+    def test_empty_routine_has_no_blocks(self):
+        src = ".func f\n.end\n.func main\n HALT\n.end\n"
+        exe = assemble(src)
+        cfg = build_cfg(exe, exe.function_named("f"))
+        assert cfg.blocks == {}
+
+
+class TestWholeProgramCFGs:
+    def test_blocks_tile_every_routine_exactly(self):
+        """Blocks partition each routine body with no gaps or overlap."""
+        for name, builder in sorted(PROGRAMS.items()):
+            exe = assemble(builder(), name=name, profile=True)
+            for fn_name, cfg in build_all_cfgs(exe).items():
+                fn = exe.function_named(fn_name)
+                covered = sorted(
+                    (b.start, b.end) for b in cfg.blocks.values()
+                )
+                cursor = fn.entry
+                for start, end in covered:
+                    assert start == cursor, f"{name}:{fn_name} gap"
+                    assert end > start
+                    cursor = end
+                assert cursor == fn.end, f"{name}:{fn_name} short"
+
+    def test_successors_stay_inside_routine(self):
+        for name, builder in sorted(PROGRAMS.items()):
+            exe = assemble(builder(), name=name, profile=True)
+            for fn_name, cfg in build_all_cfgs(exe).items():
+                for block in cfg.blocks.values():
+                    for succ in block.successors:
+                        assert succ in cfg.blocks, f"{name}:{fn_name}"

@@ -1,0 +1,143 @@
+"""Tests for gmon-versus-executable consistency checking (GP3xx)."""
+
+import pytest
+
+from repro.check import check_executable
+from repro.check.consistency import (
+    check_arc_records,
+    check_histogram_geometry,
+    check_mass_agreement,
+    consistency_passes,
+)
+from repro.core.arcs import RawArc
+from repro.core.histogram import Histogram
+from repro.core.profiledata import ProfileData
+from repro.machine import assemble, run_profiled
+
+SRC = ".func main\n CALL f\n HALT\n.end\n.func f\n WORK 5000\n RET\n.end\n"
+
+
+@pytest.fixture()
+def fixture():
+    exe = assemble(SRC, name="t", profile=True)
+    _, data = run_profiled(SRC, name="t")
+    return exe, data
+
+
+def codes(diags):
+    return sorted({d.code for d in diags})
+
+
+class TestArcRecords:
+    def test_fresh_profile_is_clean(self, fixture):
+        exe, data = fixture
+        assert consistency_passes(exe, data) == []
+
+    def test_non_call_site_gets_gp301(self, fixture):
+        exe, data = fixture
+        f = exe.function_named("f")
+        data.arcs.append(RawArc(f.entry, f.entry, 3))  # MCOUNT, not CALL
+        assert codes(check_arc_records(exe, data)) == ["GP301"]
+
+    def test_mid_body_callee_gets_gp302(self, fixture):
+        exe, data = fixture
+        f = exe.function_named("f")
+        data.arcs.append(RawArc(0, f.entry + 4, 2))
+        assert codes(check_arc_records(exe, data)) == ["GP302"]
+
+    def test_unprofiled_callee_gets_gp302(self, fixture):
+        exe, data = fixture
+        src = (".func main\n CALL f\n HALT\n.end\n"
+               ".func f noprofile\n RET\n.end\n")
+        exe2 = assemble(src, name="t2", profile=True)
+        f2 = exe2.function_named("f")
+        bad = ProfileData(
+            Histogram.for_range(exe2.low_pc, exe2.high_pc),
+            [RawArc(0, f2.entry, 1)],
+        )
+        assert codes(check_arc_records(exe2, bad)) == ["GP302"]
+
+    def test_call_site_outside_text_gets_gp303(self, fixture):
+        exe, data = fixture
+        f = exe.function_named("f")
+        data.arcs.append(RawArc(exe.high_pc + 8, f.entry, 1))
+        assert codes(check_arc_records(exe, data)) == ["GP303"]
+
+    def test_misaligned_call_site_gets_gp303(self, fixture):
+        exe, data = fixture
+        f = exe.function_named("f")
+        data.arcs.append(RawArc(6, f.entry, 1))
+        assert codes(check_arc_records(exe, data)) == ["GP303"]
+
+    def test_call_target_mismatch_gets_gp307(self, fixture):
+        exe, data = fixture
+        main = exe.function_named("main")
+        call_site = main.entry + 4  # MCOUNT, then CALL f
+        tampered = ProfileData(
+            data.histogram.copy(), [RawArc(call_site, main.entry, 5)]
+        )
+        assert codes(check_arc_records(exe, tampered)) == ["GP307"]
+
+    def test_spontaneous_marker_is_exempt(self, fixture):
+        exe, data = fixture
+        # from_pc 0 is the file format's spontaneous convention; the
+        # instruction at address 0 (main's MCOUNT) is not a call site.
+        assert any(a.from_pc == 0 for a in data.arcs)
+        assert check_arc_records(exe, data) == []
+
+
+class TestHistogramGeometry:
+    def test_bounds_beyond_text_get_gp305(self, fixture):
+        exe, data = fixture
+        hist = Histogram(0, exe.high_pc + 8, [0] * (exe.high_pc + 8))
+        bad = ProfileData(hist, list(data.arcs))
+        assert "GP305" in codes(check_histogram_geometry(exe, bad))
+
+    def test_mass_beyond_text_gets_gp304(self, fixture):
+        exe, data = fixture
+        hist = Histogram(0, exe.high_pc + 8, [0] * (exe.high_pc + 8))
+        hist.counts[exe.high_pc + 4] = 7
+        bad = ProfileData(hist, list(data.arcs))
+        assert codes(check_histogram_geometry(exe, bad)) == ["GP304", "GP305"]
+
+    def test_subrange_histogram_is_accepted(self, fixture):
+        exe, data = fixture
+        hist = Histogram.for_range(0, exe.high_pc // 2)
+        sub = ProfileData(hist, [])
+        assert check_histogram_geometry(exe, sub) == []
+
+
+class TestMassAgreement:
+    def test_sampled_but_never_called_gets_gp306(self, fixture):
+        exe, data = fixture
+        f = exe.function_named("f")
+        stripped = ProfileData(
+            data.histogram.copy(),
+            [a for a in data.arcs if a.self_pc != f.entry],
+        )
+        diags = check_mass_agreement(exe, stripped)
+        assert codes(diags) == ["GP306"]
+        assert diags[0].routine == "f"
+
+    def test_called_but_never_sampled_is_fine(self, fixture):
+        # Cheap routines legitimately record calls without samples.
+        exe, data = fixture
+        quiet = ProfileData(
+            Histogram.for_range(exe.low_pc, exe.high_pc), list(data.arcs)
+        )
+        assert check_mass_agreement(exe, quiet) == []
+
+
+class TestSeededAcceptance:
+    """ISSUE acceptance: corrupted gmon arcs/call sites map to GP3xx."""
+
+    def test_corrupted_gmon_yields_gp3xx_only(self, fixture):
+        exe, data = fixture
+        f = exe.function_named("f")
+        data.arcs.append(RawArc(f.entry, f.entry, 3))
+        data.arcs.append(RawArc(0, f.entry + 4, 2))
+        data.arcs.append(RawArc(exe.high_pc + 8, f.entry, 1))
+        report = check_executable(exe, [data])
+        fired = report.codes()
+        assert {"GP301", "GP302", "GP303"} <= fired
+        assert all(c.startswith("GP3") for c in fired)

@@ -1,0 +1,258 @@
+"""Tests for the static analysis passes (GP1xx / GP2xx) and the
+zero-false-positive guarantee over the canned program library."""
+
+import pytest
+
+from repro.check import Severity, check_executable, static_passes
+from repro.check.passes import (
+    check_control_flow,
+    check_cycle_agreement,
+    check_dead_but_called,
+    check_dead_routines,
+    check_indirect_calls,
+    check_instrumentation,
+)
+from repro.core.arcs import RawArc
+from repro.machine import assemble, run_profiled
+from repro.machine.isa import Instruction, Op
+from repro.machine.programs import PROGRAMS
+
+BROKEN = """
+.func main
+    CALL f
+    HALT
+.end
+.func f
+    RET
+    WORK 5
+.end
+.func orphan
+    WORK 1
+.end
+"""
+
+
+def codes(diags):
+    return sorted({d.code for d in diags})
+
+
+class TestControlFlow:
+    def test_unreachable_block_gets_gp101(self):
+        exe = assemble(BROKEN)
+        diags = check_control_flow(exe)
+        gp101 = [d for d in diags if d.code == "GP101"]
+        assert len(gp101) == 1
+        assert gp101[0].routine == "f"
+        assert gp101[0].severity is Severity.WARNING
+
+    def test_fall_off_end_gets_gp103(self):
+        exe = assemble(BROKEN)
+        gp103 = [d for d in check_control_flow(exe) if d.code == "GP103"]
+        assert [d.routine for d in gp103] == ["orphan"]
+        assert gp103[0].severity is Severity.ERROR
+
+    def test_dead_code_is_not_double_reported(self):
+        # The WORK after RET falls off the end too, but GP101 owns it.
+        exe = assemble(".func main\n RET\n WORK 1\n.end\n")
+        assert codes(check_control_flow(exe)) == ["GP101"]
+
+    def test_cross_routine_jump_gets_gp108(self):
+        src = ".func main\n JMP f\n HALT\n.end\n.func f\n RET\n.end\n"
+        exe = assemble(src)
+        diags = check_control_flow(exe)
+        assert codes(diags) == ["GP101", "GP108"]  # HALT after JMP is dead
+        gp108 = [d for d in diags if d.code == "GP108"][0]
+        assert gp108.routine == "main"
+
+    def test_empty_routine_gets_gp103(self):
+        src = ".func f\n.end\n.func main\n HALT\n.end\n"
+        exe = assemble(src)
+        assert codes(check_control_flow(exe)) == ["GP103"]
+
+
+class TestDeadRoutines:
+    def test_orphan_routine_gets_gp102(self):
+        exe = assemble(BROKEN)
+        diags = check_dead_routines(exe)
+        assert [d.routine for d in diags] == ["orphan"]
+        assert diags[0].code == "GP102"
+
+    def test_address_taken_routine_is_alive(self):
+        src = """
+.func main
+    PUSH &handler
+    CALL invoke
+    HALT
+.end
+.func invoke
+    CALLI
+    RET
+.end
+.func handler
+    RET
+.end
+"""
+        assert check_dead_routines(assemble(src)) == []
+
+    def test_transitively_reachable_is_alive(self):
+        src = (".func main\n CALL a\n HALT\n.end\n"
+               ".func a\n CALL b\n RET\n.end\n"
+               ".func b\n RET\n.end\n")
+        assert check_dead_routines(assemble(src)) == []
+
+
+class TestIndirectCalls:
+    def test_calli_without_candidates_gets_gp104(self):
+        src = (".globals 1\n.func main\n GLOAD 0\n CALLI\n HALT\n.end\n")
+        diags = check_indirect_calls(assemble(src))
+        assert codes(diags) == ["GP104"]
+        assert diags[0].routine == "main"
+
+    def test_any_address_taken_silences_gp104(self):
+        src = """
+.globals 1
+.func main
+    PUSH &f
+    GSTORE 0
+    GLOAD 0
+    CALLI
+    HALT
+.end
+.func f
+    RET
+.end
+"""
+        assert check_indirect_calls(assemble(src)) == []
+
+    def test_program_without_calli_is_silent(self):
+        assert check_indirect_calls(assemble(PROGRAMS["fib"]())) == []
+
+
+class TestInstrumentation:
+    SRC = ".func main\n CALL f\n HALT\n.end\n.func f\n WORK 5\n RET\n.end\n"
+
+    def test_clean_profiled_build(self):
+        assert check_instrumentation(assemble(self.SRC, profile=True)) == []
+
+    def test_clean_unprofiled_build(self):
+        assert check_instrumentation(assemble(self.SRC, profile=False)) == []
+
+    def test_stripped_mcount_gets_gp201(self):
+        exe = assemble(self.SRC, profile=True)
+        f = exe.function_named("f")
+        exe.instructions[f.entry // 4] = Instruction(Op.NOP)
+        diags = check_instrumentation(exe)
+        assert codes(diags) == ["GP201"]
+        assert diags[0].routine == "f"
+
+    def test_duplicate_mcount_gets_gp202(self):
+        exe = assemble(self.SRC, profile=True)
+        f = exe.function_named("f")
+        exe.instructions[f.entry // 4 + 1] = Instruction(Op.MCOUNT)
+        assert codes(check_instrumentation(exe)) == ["GP202"]
+
+    def test_misplaced_mcount_gets_gp203(self):
+        exe = assemble(self.SRC, profile=True)
+        f = exe.function_named("f")
+        idx = f.entry // 4
+        exe.instructions[idx] = Instruction(Op.NOP)
+        exe.instructions[idx + 1] = Instruction(Op.MCOUNT)
+        assert codes(check_instrumentation(exe)) == ["GP203"]
+
+    def test_stray_mcount_in_unprofiled_routine_gets_gp204(self):
+        exe = assemble(self.SRC, profile=False)
+        f = exe.function_named("f")
+        exe.instructions[f.entry // 4] = Instruction(Op.MCOUNT)
+        assert codes(check_instrumentation(exe)) == ["GP204"]
+
+
+class TestStaticDynamicCrossChecks:
+    HIDDEN_CYCLE = """
+.globals 1
+.func main
+    PUSH &b
+    GSTORE 0
+    PUSH 3
+    CALL a
+    HALT
+.end
+.func a
+    STORE 0
+    LOAD 0
+    JZ done
+    LOAD 0
+    PUSH 1
+    SUB
+    GLOAD 0
+    CALLI
+done:
+    RET
+.end
+.func b
+    CALL a
+    RET
+.end
+"""
+
+    def test_computed_call_cycle_gets_gp105(self):
+        exe = assemble(self.HIDDEN_CYCLE, profile=True)
+        _, data = run_profiled(self.HIDDEN_CYCLE)
+        diags = check_cycle_agreement(exe, data)
+        assert codes(diags) == ["GP105"]
+
+    def test_statically_apparent_cycle_is_silent(self):
+        src = PROGRAMS["netcycle"]()
+        exe = assemble(src, name="netcycle", profile=True)
+        _, data = run_profiled(src, name="netcycle")
+        assert check_cycle_agreement(exe, data) == []
+
+    def test_called_dead_routine_gets_gp106(self):
+        src = ".func main\n HALT\n.end\n.func orphan\n RET\n.end\n"
+        exe = assemble(src, profile=True)
+        _, data = run_profiled(src)
+        data.arcs.append(RawArc(0, exe.function_named("orphan").entry, 5))
+        diags = check_dead_but_called(exe, data)
+        assert codes(diags) == ["GP106"]
+
+    def test_uncalled_dead_routine_is_gp102_only(self):
+        src = ".func main\n HALT\n.end\n.func orphan\n RET\n.end\n"
+        exe = assemble(src, profile=True)
+        _, data = run_profiled(src)
+        assert check_dead_but_called(exe, data) == []
+
+
+class TestSeededAcceptance:
+    """ISSUE acceptance: seeded defects map to their code families."""
+
+    def test_unreachable_routine_yields_gp1xx(self):
+        report = check_executable(assemble(BROKEN, profile=True))
+        assert any(c.startswith("GP1") for c in report.codes())
+        assert "GP102" in report.codes()
+
+    def test_stripped_and_duplicated_mcount_yield_gp2xx(self):
+        src = TestInstrumentation.SRC
+        exe = assemble(src, profile=True)
+        f = exe.function_named("f")
+        exe.instructions[f.entry // 4] = Instruction(Op.NOP)
+        assert "GP201" in check_executable(exe).codes()
+        exe2 = assemble(src, profile=True)
+        f2 = exe2.function_named("f")
+        exe2.instructions[f2.entry // 4 + 1] = Instruction(Op.MCOUNT)
+        assert "GP202" in check_executable(exe2).codes()
+
+
+class TestNoFalsePositives:
+    """Every canned program — and its fresh gmon — lints clean."""
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_profiled_program_and_gmon_are_clean(self, name):
+        src = PROGRAMS[name]()
+        exe = assemble(src, name=name, profile=True)
+        _, data = run_profiled(src, name=name)
+        report = check_executable(exe, [data], [f"{name}.gmon"])
+        assert len(report) == 0, report.render_text()
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_unprofiled_build_is_clean(self, name):
+        exe = assemble(PROGRAMS[name](), name=name, profile=False)
+        assert static_passes(exe) == []

@@ -1,6 +1,7 @@
 """Tests for static call graph extraction from executables (§4)."""
 
 from repro.machine import assemble, static_call_graph
+from repro.machine.isa import Instruction, Op
 from repro.machine.programs import abstraction, dispatch
 
 
@@ -92,6 +93,49 @@ class TestAddressTaken:
 """
         exe = assemble(src)
         assert static_call_graph(exe) == {("main", "f")}
+
+
+class TestHeuristicEdgeCases:
+    # main occupies [0, 12); f occupies [12, 20) when unprofiled.
+    MID_BODY = """
+.func main
+    PUSH {value}
+    POP
+    HALT
+.end
+.func f
+    WORK 1
+    RET
+.end
+"""
+
+    def test_aligned_mid_body_constant_is_not_an_arc(self):
+        # 16 is instruction-aligned and inside f's body, but it is not
+        # f's entry, so the address-taken heuristic must skip it.
+        exe = assemble(self.MID_BODY.format(value=16))
+        assert exe.function_named("f").entry == 12
+        assert static_call_graph(exe) == set()
+
+    def test_aligned_entry_constant_is_an_arc(self):
+        # The documented over-approximation: a constant that happens to
+        # equal an entry address reads as address-taken.
+        exe = assemble(self.MID_BODY.format(value=12))
+        assert static_call_graph(exe) == {("main", "f")}
+
+    def test_aligned_out_of_text_constant_is_not_an_arc(self):
+        exe = assemble(self.MID_BODY.format(value=400))
+        assert static_call_graph(exe) == set()
+
+    def test_operandless_push_is_skipped(self):
+        exe = assemble(self.MID_BODY.format(value=12))
+        exe.instructions[0] = Instruction(Op.PUSH, None)
+        assert static_call_graph(exe) == set()
+
+    def test_operandless_call_is_skipped(self):
+        src = ".func main\n CALL f\n HALT\n.end\n.func f\n RET\n.end\n"
+        exe = assemble(src)
+        exe.instructions[0] = Instruction(Op.CALL, None)
+        assert static_call_graph(exe) == set()
 
 
 class TestAgainstPrograms:

@@ -1,0 +1,55 @@
+"""Every CLI is reachable both as ``python -m`` and as a console script."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+
+CLI_MODULES = {
+    "repro-gprof": "repro.cli.gprof_cli",
+    "repro-prof": "repro.cli.prof_cli",
+    "repro-kgmon": "repro.cli.kgmon_cli",
+    "repro-vm": "repro.cli.vm_cli",
+    "repro-stacks": "repro.cli.stacks_cli",
+    "repro-check": "repro.cli.check_cli",
+}
+
+
+def _env_with_src():
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+@pytest.mark.parametrize("module", sorted(CLI_MODULES.values()))
+def test_python_dash_m_help_works(module):
+    result = subprocess.run(
+        [sys.executable, "-m", module, "--help"],
+        env=_env_with_src(),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "usage:" in result.stdout
+
+
+@pytest.mark.parametrize("script,module", sorted(CLI_MODULES.items()))
+def test_console_script_is_declared(script, module):
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert f'{script} = "{module}:main"' in pyproject
+
+
+@pytest.mark.parametrize("module", sorted(CLI_MODULES.values()))
+def test_module_main_returns_exit_status(module):
+    """Each CLI exposes main(argv) returning an int (the script target)."""
+    import importlib
+
+    mod = importlib.import_module(module)
+    assert callable(mod.main)

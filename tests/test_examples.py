@@ -1,15 +1,23 @@
 """Smoke tests: every example script runs to completion."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted(
-    (Path(__file__).parent.parent / "examples").glob("*.py"),
-    key=lambda p: p.name,
-)
+REPO_ROOT = Path(__file__).parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"), key=lambda p: p.name)
+
+
+def _env_with_src():
+    """Subprocesses need src/ importable even without an installed repro."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
@@ -17,6 +25,7 @@ def test_example_runs(script, tmp_path):
     result = subprocess.run(
         [sys.executable, str(script)],
         cwd=tmp_path,  # examples may write artifact files
+        env=_env_with_src(),
         capture_output=True,
         text=True,
         timeout=120,

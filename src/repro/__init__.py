@@ -18,6 +18,9 @@ The package is organised exactly like the system the paper describes:
   built to improve on.
 * :mod:`repro.kernel` — a simulated time-sharing kernel workload with a
   ``kgmon``-style live control interface.
+* :mod:`repro.resilience` — crash-safe persistence: atomic writes,
+  periodic checkpoint flushing, the salvaging reader's
+  :class:`SalvageReport`, and a fault-injection harness.
 
 Quickstart::
 
@@ -42,8 +45,9 @@ from repro.core import (
     analyze,
     merge_profiles,
 )
-from repro.gmon import read_gmon, write_gmon
+from repro.gmon import read_gmon, salvage_gmon, write_gmon
 from repro.report import format_flat_profile, format_graph_profile
+from repro.resilience import FaultInjector, InjectedFault, SalvageReport
 
 __version__ = "1.0.0"
 
@@ -51,10 +55,13 @@ __all__ = [
     "AnalysisOptions",
     "Arc",
     "CallGraph",
+    "FaultInjector",
     "Histogram",
+    "InjectedFault",
     "Profile",
     "ProfileData",
     "RawArc",
+    "SalvageReport",
     "Symbol",
     "SymbolTable",
     "analyze",
@@ -62,6 +69,7 @@ __all__ = [
     "format_graph_profile",
     "merge_profiles",
     "read_gmon",
+    "salvage_gmon",
     "write_gmon",
     "__version__",
 ]

@@ -12,6 +12,9 @@ single heuristic into a proper static-analysis layer:
   static-vs-dynamic cycle agreement);
 * :mod:`repro.check.consistency` — validation of a ``gmon`` profile
   against the executable that allegedly produced it;
+* :mod:`repro.check.salvage` — GP4xx diagnostics translating a
+  :class:`~repro.resilience.SalvageReport` (what the salvaging gmon
+  reader dropped or repaired) into check findings;
 * :mod:`repro.check.diagnostics` — the shared :class:`Diagnostic`
   record (stable ``GPnnn`` codes) with text and JSON renderers.
 
@@ -34,6 +37,7 @@ from repro.check.diagnostics import (
     make,
 )
 from repro.check.passes import profile_passes, static_passes
+from repro.check.salvage import degradation_passes, salvage_passes
 from repro.core.profiledata import ProfileData
 from repro.machine.executable import Executable
 
@@ -44,8 +48,10 @@ __all__ = [
     "Severity",
     "check_executable",
     "consistency_passes",
+    "degradation_passes",
     "make",
     "profile_passes",
+    "salvage_passes",
     "static_passes",
 ]
 

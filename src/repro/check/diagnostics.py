@@ -13,7 +13,10 @@ Codes are grouped the way the checks are layered:
 * ``GP2xx`` — instrumentation: the monitoring prologues the assembler
   plants (§3 of the paper) are present, unique, and in the right slot;
 * ``GP3xx`` — profile consistency: a ``gmon`` file really could have
-  been produced by this executable.
+  been produced by this executable;
+* ``GP4xx`` — salvage: what the salvaging gmon reader
+  (:mod:`repro.resilience`) had to drop or repair to recover a
+  truncated/corrupted profile data file.
 
 Codes are append-only: once published, a code keeps its meaning so that
 suppressions and regression baselines stay valid across versions.
@@ -103,6 +106,24 @@ CODES: dict[str, tuple[Severity, str]] = {
     "GP307": (Severity.ERROR,
               "call target mismatch: direct CALL's operand disagrees with "
               "the arc's recorded callee"),
+    # -- GP4xx: salvage ----------------------------------------------------------
+    "GP401": (Severity.ERROR,
+              "unsalvageable profile data: no structurally-valid prefix "
+              "(bad magic)"),
+    "GP402": (Severity.ERROR,
+              "salvaged profile: histogram data dropped (truncated or "
+              "impossible header)"),
+    "GP403": (Severity.ERROR,
+              "salvaged profile: arc records dropped (truncated arc "
+              "table)"),
+    "GP404": (Severity.ERROR,
+              "salvaged profile: header or comment truncated; profile "
+              "body lost"),
+    "GP405": (Severity.WARNING,
+              "salvaged profile: anomaly repaired or tolerated (bad "
+              "comment bytes, trailing garbage, impossible profrate)"),
+    "GP406": (Severity.WARNING,
+              "profile declares runs == 0; treated as a single run"),
 }
 
 

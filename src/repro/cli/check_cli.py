@@ -17,6 +17,10 @@ Options:
 * ``--json`` — emit the report as deterministic JSON instead of text;
 * ``--strict`` — exit nonzero on warnings, not just errors (the CI
   self-lint gate runs with this);
+* ``--salvage`` — read GMON files with the salvaging reader instead of
+  the strict one: corrupt/truncated files are recovered rather than
+  aborting the run, and everything dropped or repaired is reported as
+  GP4xx diagnostics;
 * ``--list-codes`` — print the diagnostic code registry and exit.
 
 Exit status: 0 when clean (or warnings without ``--strict``), 1 when
@@ -28,9 +32,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.check import CODES, check_executable
+from repro.check import (
+    CODES,
+    CheckReport,
+    check_executable,
+    degradation_passes,
+    salvage_passes,
+)
+from repro.check.diagnostics import merge_reports
 from repro.errors import ReproError
-from repro.gmon import read_gmon
+from repro.gmon import read_gmon, salvage_gmon
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--strict", action="store_true",
         help="exit nonzero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--salvage", action="store_true",
+        help="recover corrupt/truncated GMON files instead of aborting; "
+             "drops and repairs become GP4xx diagnostics",
     )
     parser.add_argument(
         "--list-codes", action="store_true",
@@ -87,8 +103,21 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cli.vm_cli import _load_program
 
         exe = _load_program(opts.target, profile=not opts.unprofiled)
-        profiles = [read_gmon(path) for path in opts.gmon]
+        profiles = []
+        gmon_diags = []
+        for path in opts.gmon:
+            if opts.salvage:
+                data, salvage_report = salvage_gmon(path)
+                gmon_diags += salvage_passes(salvage_report)
+            else:
+                data = read_gmon(path)
+                gmon_diags += degradation_passes(data)
+            profiles.append(data)
         report = check_executable(exe, profiles, list(opts.gmon))
+        if gmon_diags:
+            report = merge_reports(
+                exe.name, [report, CheckReport(exe.name, gmon_diags)]
+            )
     except (ReproError, OSError) as exc:
         print(f"repro-check: {exc}", file=sys.stderr)
         return 2

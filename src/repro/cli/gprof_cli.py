@@ -26,7 +26,11 @@ Options mirror the features the paper and retrospective describe:
 * ``--dot FILE`` — also write a Graphviz rendering;
 * ``--lint`` — run the :mod:`repro.check` battery (instrumentation,
   CFG, and gmon-consistency checks) before reporting; findings go to
-  stderr so the listings stay pipeable (VM images only).
+  stderr so the listings stay pipeable (VM images only);
+* ``--salvage`` — read GMON files with the salvaging reader: corrupt
+  or truncated files are recovered (maximal structurally-valid prefix)
+  instead of aborting, each file's salvage report goes to stderr, and
+  the listings carry a degraded-input banner.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ import sys
 from repro.core import AnalysisOptions, SymbolTable, analyze, merge_profiles
 from repro.core.filters import reachable_from
 from repro.errors import ReproError
-from repro.gmon import read_gmon, write_gmon
+from repro.gmon import read_gmon, salvage_gmon, write_gmon
 from repro.machine import Executable, static_call_graph
 from repro.report import format_flat_profile, format_graph_profile
 from repro.report.dot import to_dot
@@ -115,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the profile data against the executable before "
              "reporting (VM images only); findings are printed to stderr",
     )
+    parser.add_argument(
+        "--salvage", action="store_true",
+        help="recover corrupt/truncated gmon files instead of aborting; "
+             "salvage reports go to stderr and the listings are marked "
+             "as degraded",
+    )
     return parser
 
 
@@ -123,13 +133,32 @@ def main(argv: list[str] | None = None) -> int:
     opts = build_parser().parse_args(argv)
     try:
         symbols, exe = load_image(opts.image)
-        data = merge_profiles([read_gmon(p) for p in opts.gmon])
+        salvage_diags = []
+        if opts.salvage:
+            profiles = []
+            for p in opts.gmon:
+                pdata, salvage_report = salvage_gmon(p)
+                profiles.append(pdata)
+                if not salvage_report.clean:
+                    print(salvage_report.render_text(), end="",
+                          file=sys.stderr)
+                from repro.check import salvage_passes
+
+                salvage_diags += salvage_passes(salvage_report)
+            data = merge_profiles(profiles)
+        else:
+            data = merge_profiles([read_gmon(p) for p in opts.gmon])
         if opts.lint:
             if exe is None:
                 raise ReproError("--lint needs a VM executable image")
-            from repro.check import check_executable
+            from repro.check import CheckReport, check_executable
+            from repro.check.diagnostics import merge_reports
 
             report = check_executable(exe, [data], ["<summed gmon>"])
+            if salvage_diags:
+                report = merge_reports(
+                    exe.name, [report, CheckReport(exe.name, salvage_diags)]
+                )
             if len(report):
                 print(report.render_text(), end="", file=sys.stderr)
         if opts.sum_file:

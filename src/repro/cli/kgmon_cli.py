@@ -10,7 +10,10 @@ then records ``K`` profiling windows (on → run → extract → reset),
 writing each window to ``PREFIX.window<i>.gmon`` plus the kernel's
 symbol table to ``PREFIX.syms`` — the workflow the retrospective
 describes for profiling "events of interest in the kernel without
-taking the kernel down".  Analyze a window with::
+taking the kernel down".  With ``--checkpoint``, every window slice
+also crash-safely flushes the in-flight data to ``PREFIX.ckpt.gmon``
+(atomic write), so a machine going down mid-window still leaves a
+recent consistent snapshot.  Analyze a window with::
 
     repro-gprof PREFIX.syms PREFIX.window0.gmon -k if_output/netisr -k tcp_input/tcp_output
 """
@@ -40,6 +43,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="instructions per kernel time slice")
     parser.add_argument("--out-prefix", default="kernel",
                         help="output file prefix")
+    parser.add_argument("--checkpoint", action="store_true",
+                        help="crash-safely flush in-flight window data to "
+                             "PREFIX.ckpt.gmon after every slice")
     opts = parser.parse_args(argv)
     try:
         session = KernelSession(iterations=opts.iterations)
@@ -54,6 +60,11 @@ def main(argv: list[str] | None = None) -> int:
             kgmon.on()
             session.run_slice(opts.slice_instructions)
             kgmon.off()
+            if opts.checkpoint:
+                kgmon.checkpoint(
+                    f"{opts.out_prefix}.ckpt.gmon",
+                    comment=f"checkpoint during window {recorded}",
+                )
             window = kgmon.extract(f"window {recorded}")
             path = f"{opts.out_prefix}.window{recorded}.gmon"
             write_gmon(window, path)

@@ -10,11 +10,12 @@ Subcommands::
         executable image.
 
     repro-vm run IMAGE_OR_SOURCE [--profile] [--gmon FILE]
-                 [--ticks N] [--annotate]
+                 [--ticks N] [--annotate] [--checkpoint N]
         Execute a program (a .vmexe image, an assembly file, or a
         canned program name).  With --profile, attach the monitor and
         write the gmon file; with --annotate, print the per-instruction
-        annotated disassembly afterwards.
+        annotated disassembly afterwards; with --checkpoint N, flush a
+        crash-safe snapshot to the gmon path every N clock ticks.
 
 This is the "compiler driver" of the reproduction's tool chain; its
 output files feed repro-gprof / repro-prof.
@@ -116,8 +117,16 @@ def cmd_run(opts) -> int:
                 "re-assemble with --profile"
             )
         monitor = Monitor(
-            MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=opts.ticks)
+            MonitorConfig(
+                exe.low_pc,
+                exe.high_pc,
+                cycles_per_tick=opts.ticks,
+                checkpoint_path=opts.gmon if opts.checkpoint else None,
+                checkpoint_interval=opts.checkpoint or 0,
+            )
         )
+    elif opts.checkpoint:
+        raise ReproError("--checkpoint requires --profile")
     cpu = CPU(exe, monitor)
     cpu.run()
     print(
@@ -128,9 +137,14 @@ def cmd_run(opts) -> int:
     if monitor is not None:
         data = monitor.mcleanup(comment=exe.name)
         write_gmon(data, opts.gmon)
+        checkpoints = (
+            f" ({monitor.checkpoints_written} checkpoint flushes)"
+            if opts.checkpoint
+            else ""
+        )
         print(
             f"{data.total_ticks} samples, {data.total_calls} calls "
-            f"-> {opts.gmon}"
+            f"-> {opts.gmon}{checkpoints}"
         )
         if opts.annotate:
             print()
@@ -163,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cycles per profiling clock tick")
     run.add_argument("--annotate", action="store_true",
                      help="print per-instruction sample annotation")
+    run.add_argument("--checkpoint", type=int, default=0, metavar="N",
+                     help="with --profile: crash-safely flush the profile "
+                          "to the --gmon path every N clock ticks, so a "
+                          "killed run still leaves a recent snapshot")
     run.add_argument("--count", action="store_true",
                      help="instrument basic blocks with inline counters "
                           "and print their exact execution counts")

@@ -167,6 +167,10 @@ class Profile:
             consumers).
         graph: the analyzed call graph (post deletions/augmentation).
         numbered: cycle and topological-numbering information.
+        warnings: degradation notices — inherited from the profile data
+            (salvaged input, clamped fields) plus anything the pipeline
+            had to skip.  Renderers surface these so a partial profile
+            is never presented as pristine.
     """
 
     total_seconds: float
@@ -178,6 +182,12 @@ class Profile:
     graph: CallGraph
     numbered: NumberedGraph
     _index_by_name: dict[str, int] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when this profile was computed from degraded input."""
+        return bool(self.warnings)
 
     def index_of(self, name: str) -> int | None:
         """The [n] cross-reference index of a routine or cycle name."""
@@ -211,7 +221,23 @@ def analyze(
     options = options or AnalysisOptions()
     excluded = set(options.excluded)
 
-    # 1. Symbolize arcs and apply exclusions.
+    # Degradation bookkeeping: inherit warnings from the data (salvaged
+    # input, clamped runs, ...) and collect what this pipeline skips.
+    warnings = list(data.warnings)
+
+    # 1. Symbolize arcs and apply exclusions.  Arcs whose callee
+    # resolves to no symbol are structurally impossible for this image;
+    # they are skipped with a collected warning instead of aborting the
+    # whole analysis (partial/salvaged data must still produce output).
+    if not options.keep_unknown:
+        unknown = sum(
+            1 for a in data.arcs if symbols.find(a.self_pc) is None
+        )
+        if unknown:
+            warnings.append(
+                f"skipped {unknown} arc(s) whose callee address matches "
+                "no symbol in this image"
+            )
     arcs = ArcSet(
         a
         for a in symbolize_arcs(data.arcs, symbols, options.keep_unknown)
@@ -246,7 +272,7 @@ def analyze(
     prop = propagate(numbered, self_times)
 
     # 8. Presentation-ready entries.
-    return _assemble(data, symbols, graph, numbered, prop, removed)
+    return _assemble(data, symbols, graph, numbered, prop, removed, warnings)
 
 
 def _assemble(
@@ -256,6 +282,7 @@ def _assemble(
     numbered: NumberedGraph,
     prop: Propagation,
     removed: list[RemovedArc],
+    warnings: list[str] | None = None,
 ) -> Profile:
     """Build Profile entries from a solved propagation."""
     total = prop.total_program_time
@@ -384,6 +411,7 @@ def _assemble(
         graph=graph,
         numbered=numbered,
         _index_by_name=index_by_name,
+        warnings=list(warnings or []),
     )
 
 

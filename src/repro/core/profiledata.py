@@ -29,12 +29,22 @@ class ProfileData:
         runs: how many executions were summed into this data (1 for a
             fresh profile; merging adds them up).
         comment: free-form provenance (program name, workload, ...).
+        warnings: degradation notices attached by whoever produced the
+            data (the salvaging reader, a clamped ``runs`` field, ...).
+            Analysis carries them into the rendered reports so partial
+            data is never presented as pristine.
     """
 
     histogram: Histogram
     arcs: list[RawArc] = field(default_factory=list)
     runs: int = 1
     comment: str = ""
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when this data carries degradation warnings."""
+        return bool(self.warnings)
 
     @property
     def total_ticks(self) -> int:
@@ -66,6 +76,7 @@ class ProfileData:
             list(self.arcs),
             self.runs,
             self.comment,
+            list(self.warnings),
         )
 
 
@@ -93,6 +104,7 @@ def merge_profiles(profiles: Sequence[ProfileData]) -> ProfileData:
         [a for p in profiles for a in p.arcs],
         runs=sum(p.runs for p in profiles),
         comment="; ".join(filter(None, (p.comment for p in profiles))),
+        warnings=[w for p in profiles for w in p.warnings],
     )
     merged.arcs = merged.condensed_arcs()
     return merged

@@ -1,5 +1,27 @@
-"""On-disk profile data format (our ``gmon.out`` equivalent)."""
+"""On-disk profile data format (our ``gmon.out`` equivalent).
 
-from repro.gmon.format import read_gmon, write_gmon
+Reading comes in two modes: strict (:func:`read_gmon`, raising
+:class:`~repro.errors.GmonFormatError` on any malformation) and
+salvage (:func:`salvage_gmon`, recovering the maximal valid prefix of
+a truncated/corrupted file together with a
+:class:`~repro.resilience.SalvageReport`).  Writes are atomic by
+default — a crash mid-write never leaves a torn file behind.
+"""
 
-__all__ = ["read_gmon", "write_gmon"]
+from repro.gmon.format import (
+    dumps_gmon,
+    parse_gmon,
+    read_gmon,
+    salvage_gmon,
+    salvage_gmon_bytes,
+    write_gmon,
+)
+
+__all__ = [
+    "dumps_gmon",
+    "parse_gmon",
+    "read_gmon",
+    "salvage_gmon",
+    "salvage_gmon_bytes",
+    "write_gmon",
+]

@@ -28,19 +28,40 @@ arc records             20 each  from_pc (8), self_pc (8), count (4)
 Like the original, the file holds raw addresses only — symbol names come
 from the executable image at analysis time, which is what lets several
 runs (and even kernel snapshots) share one format.
+
+Robustness (the :mod:`repro.resilience` integration):
+
+* **Writes are atomic by default** — the bytes go to a temp file that is
+  renamed over the destination, so a crash mid-write leaves the previous
+  version intact instead of a torn file.
+* **Strict reads fail fast and fail typed** — every malformed input
+  raises :class:`GmonFormatError` (never ``UnicodeDecodeError`` or a
+  giant allocation): declared ``num_buckets``/``num_arcs`` are validated
+  against the actual remaining file size *before* anything is decoded.
+* **Salvage reads never fail** — ``read_gmon(path, mode="salvage")``
+  recovers the maximal structurally-valid prefix of a truncated or
+  corrupted file and returns the recovered :class:`ProfileData` together
+  with a :class:`~repro.resilience.SalvageReport` saying exactly what
+  was dropped.
 """
 
 from __future__ import annotations
 
+import io
+import math
 import struct
 from typing import BinaryIO
 
 from repro.core.arcs import RawArc
-from repro.core.histogram import Histogram
+from repro.core.histogram import DEFAULT_PROFRATE, Histogram
 from repro.core.profiledata import ProfileData
-from repro.errors import GmonFormatError
+from repro.errors import GmonFormatError, HistogramError
+from repro.resilience.atomic import atomic_write_bytes
+from repro.resilience.faults import FaultInjector
+from repro.resilience.salvage import SalvageReport
 
 MAGIC = b"gmon\x01\x00"
+_COMMENT_LEN = struct.Struct("<H")
 _HEADER = struct.Struct("<I QQ I I")  # runs, low, high, nbuckets, profrate
 _BUCKET = struct.Struct("<I")
 _NARCS = struct.Struct("<I")
@@ -50,16 +71,50 @@ _ARC = struct.Struct("<QQI")
 #: "full 32-bit count for each possible program counter value".
 MAX_COUNT = 0xFFFFFFFF
 
+#: Warning attached when a file declares ``runs == 0`` (see
+#: :func:`read_gmon`): the value is clamped to 1, but never silently.
+RUNS_ZERO_WARNING = "file declares runs == 0; treating it as a single run"
 
-def write_gmon(data: ProfileData, path) -> None:
+
+# -- writing --------------------------------------------------------------------
+
+
+def write_gmon(
+    data: ProfileData,
+    path,
+    atomic: bool = True,
+    injector: FaultInjector | None = None,
+) -> None:
     """Condense ``data`` to a binary file at ``path``.
 
     Arc records are merged per (from_pc, self_pc) pair and sorted, so the
     output is deterministic for identical data.  Counts larger than the
     32-bit on-disk field raise :class:`GmonFormatError` rather than wrap.
+
+    Arguments:
+        atomic: write to a temp file and rename (the default) so a crash
+            never leaves a torn file at ``path``; pass False to write in
+            place (what the pre-resilience implementation did — kept for
+            the fault-injection tests that *want* torn files).
+        injector: optional fault-injection harness wrapped around the
+            byte-level write (see :mod:`repro.resilience.faults`).
     """
+    payload = dumps_gmon(data)
+    if atomic:
+        atomic_write_bytes(path, payload, injector)
+        return
     with open(path, "wb") as f:
-        _write_stream(data, f)
+        if injector is not None:
+            injector.write(f, payload)
+        else:
+            f.write(payload)
+
+
+def dumps_gmon(data: ProfileData) -> bytes:
+    """Serialize ``data`` to the on-disk byte layout."""
+    buf = io.BytesIO()
+    _write_stream(data, buf)
+    return buf.getvalue()
 
 
 def _write_stream(data: ProfileData, f: BinaryIO) -> None:
@@ -68,7 +123,7 @@ def _write_stream(data: ProfileData, f: BinaryIO) -> None:
     if len(comment) > 0xFFFF:
         raise GmonFormatError("comment longer than 65535 bytes")
     f.write(MAGIC)
-    f.write(struct.pack("<H", len(comment)))
+    f.write(_COMMENT_LEN.pack(len(comment)))
     f.write(comment)
     f.write(
         _HEADER.pack(
@@ -87,49 +142,291 @@ def _write_stream(data: ProfileData, f: BinaryIO) -> None:
         f.write(_ARC.pack(arc.from_pc, arc.self_pc, arc.count))
 
 
-def read_gmon(path) -> ProfileData:
+# -- strict reading -------------------------------------------------------------
+
+
+def read_gmon(path, mode: str = "strict"):
     """Read a profile data file written by :func:`write_gmon`.
 
-    Raises :class:`GmonFormatError` on bad magic, truncation, or any
-    structurally impossible content.
+    In ``strict`` mode (the default) returns the :class:`ProfileData`
+    and raises :class:`GmonFormatError` on bad magic, truncation, or any
+    structurally impossible content — and *only* that error type, with
+    declared sizes validated against the file size before any
+    allocation.
+
+    In ``salvage`` mode never raises on malformed content: returns a
+    ``(ProfileData, SalvageReport)`` tuple holding the maximal
+    structurally-valid prefix and the account of everything dropped
+    (see :mod:`repro.resilience.salvage`).
     """
+    if mode not in ("strict", "salvage"):
+        raise ValueError(f"unknown read_gmon mode {mode!r}")
     with open(path, "rb") as f:
-        return _read_stream(f)
+        blob = f.read()
+    if mode == "salvage":
+        return salvage_gmon_bytes(blob, source=str(path))
+    return parse_gmon(blob)
 
 
-def _read_stream(f: BinaryIO) -> ProfileData:
-    magic = f.read(len(MAGIC))
+def salvage_gmon(path) -> tuple[ProfileData, SalvageReport]:
+    """Salvage-read ``path``: :func:`read_gmon` with ``mode="salvage"``."""
+    return read_gmon(path, mode="salvage")
+
+
+def parse_gmon(blob: bytes) -> ProfileData:
+    """Strictly parse an in-memory profile data file."""
+    cursor = _Cursor(blob)
+    magic = cursor.take(len(MAGIC), "magic")
     if magic != MAGIC:
         raise GmonFormatError(
             f"bad magic {magic!r}: not a profile data file or wrong version"
         )
-    comment_len = struct.unpack("<H", _exactly(f, 2))[0]
-    comment = _exactly(f, comment_len).decode("utf-8")
+    comment_len = _COMMENT_LEN.unpack(cursor.take(2, "comment length"))[0]
+    comment = _decode_comment(cursor.take(comment_len, "comment"))
     runs, low_pc, high_pc, nbuckets, profrate = _HEADER.unpack(
-        _exactly(f, _HEADER.size)
+        cursor.take(_HEADER.size, "header")
     )
     if high_pc < low_pc:
         raise GmonFormatError(f"high_pc {high_pc:#x} below low_pc {low_pc:#x}")
-    counts = [
-        _BUCKET.unpack(_exactly(f, _BUCKET.size))[0] for _ in range(nbuckets)
-    ]
-    narcs = _NARCS.unpack(_exactly(f, _NARCS.size))[0]
-    arcs = []
-    for _ in range(narcs):
-        from_pc, self_pc, count = _ARC.unpack(_exactly(f, _ARC.size))
-        arcs.append(RawArc(from_pc, self_pc, count))
-    trailing = f.read(1)
-    if trailing:
-        raise GmonFormatError("trailing bytes after arc records")
-    histogram = Histogram(low_pc, high_pc, counts, profrate)
-    return ProfileData(histogram, arcs, runs=max(runs, 1), comment=comment)
-
-
-def _exactly(f: BinaryIO, n: int) -> bytes:
-    """Read exactly ``n`` bytes or raise on truncation."""
-    data = f.read(n)
-    if len(data) != n:
+    # Validate the declared sizes against the actual remaining bytes
+    # *before* decoding anything: a corrupt header must fail fast with a
+    # clear message, not allocate gigabytes and then hit a truncation.
+    need = nbuckets * _BUCKET.size + _NARCS.size
+    if cursor.remaining < need:
         raise GmonFormatError(
-            f"truncated file: wanted {n} bytes, got {len(data)}"
+            f"header claims {nbuckets} histogram buckets ({need} bytes "
+            f"incl. arc count) but only {cursor.remaining} bytes remain"
         )
-    return data
+    counts = list(
+        struct.unpack(f"<{nbuckets}I", cursor.take(nbuckets * _BUCKET.size,
+                                                   "histogram buckets"))
+    )
+    narcs = _NARCS.unpack(cursor.take(_NARCS.size, "arc count"))[0]
+    if cursor.remaining < narcs * _ARC.size:
+        raise GmonFormatError(
+            f"header claims {narcs} arcs ({narcs * _ARC.size} bytes) but "
+            f"only {cursor.remaining} bytes remain"
+        )
+    arcs = [
+        RawArc(from_pc, self_pc, count)
+        for from_pc, self_pc, count in _ARC.iter_unpack(
+            cursor.take(narcs * _ARC.size, "arc records")
+        )
+    ]
+    if cursor.remaining:
+        raise GmonFormatError("trailing bytes after arc records")
+    try:
+        histogram = Histogram(low_pc, high_pc, counts, profrate)
+    except HistogramError as exc:
+        raise GmonFormatError(f"impossible histogram header: {exc}") from exc
+    warnings = [RUNS_ZERO_WARNING] if runs == 0 else []
+    return ProfileData(
+        histogram, arcs, runs=max(runs, 1), comment=comment, warnings=warnings
+    )
+
+
+class _Cursor:
+    """Bounds-checked sequential reader over an in-memory file."""
+
+    def __init__(self, blob: bytes):
+        self.blob = blob
+        self.pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.blob) - self.pos
+
+    def take(self, n: int, what: str) -> bytes:
+        """Consume exactly ``n`` bytes or raise on truncation."""
+        if self.remaining < n:
+            raise GmonFormatError(
+                f"truncated file: wanted {n} bytes of {what}, "
+                f"got {self.remaining}"
+            )
+        data = self.blob[self.pos : self.pos + n]
+        self.pos += n
+        return data
+
+
+def _decode_comment(raw: bytes) -> str:
+    """Decode the comment field, mapping bad bytes to GmonFormatError."""
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise GmonFormatError(f"comment is not valid UTF-8: {exc}") from exc
+
+
+# -- salvage reading ------------------------------------------------------------
+
+
+def salvage_gmon_bytes(
+    blob: bytes, source: str = ""
+) -> tuple[ProfileData, SalvageReport]:
+    """Recover the maximal structurally-valid prefix of ``blob``.
+
+    Never raises on malformed content.  Per-section recovery: an intact
+    magic/comment/header yields whatever complete bucket counters and
+    arc records follow; everything dropped or repaired is recorded in
+    the returned :class:`SalvageReport`, and the same facts are attached
+    to ``ProfileData.warnings`` so downstream analysis stays honest.
+
+    The recovered data of a byte-perfect file is identical to a strict
+    parse and its report is ``clean`` — the fuzz suite's "no silent
+    lie" invariant.
+    """
+    report = SalvageReport(source=source, total_bytes=len(blob))
+    pos = 0
+
+    def finish(
+        histogram: Histogram | None = None,
+        arcs: list[RawArc] | None = None,
+        runs: int = 1,
+        comment: str = "",
+    ) -> tuple[ProfileData, SalvageReport]:
+        report.consumed_bytes = pos
+        data = ProfileData(
+            histogram if histogram is not None else Histogram(0, 0, []),
+            arcs or [],
+            runs=max(runs, 1),
+            comment=comment,
+            warnings=report.warnings(),
+        )
+        return data, report
+
+    # magic: without it there is no valid prefix at all.
+    if blob[: len(MAGIC)] != MAGIC:
+        report.add_drop(
+            "bad magic: not a profile data file (or wrong version); "
+            "nothing recovered"
+        )
+        return finish()
+    pos = len(MAGIC)
+    report.add_section("magic")
+
+    # comment
+    if len(blob) - pos < _COMMENT_LEN.size:
+        report.add_drop("file ends inside the comment length field")
+        return finish()
+    comment_len = _COMMENT_LEN.unpack_from(blob, pos)[0]
+    pos += _COMMENT_LEN.size
+    raw_comment = blob[pos : pos + comment_len]
+    comment = raw_comment.decode("utf-8", errors="replace")
+    if len(raw_comment) < comment_len:
+        pos += len(raw_comment)
+        report.add_drop(
+            f"comment truncated ({len(raw_comment)}/{comment_len} bytes); "
+            "header, histogram and arcs lost"
+        )
+        return finish(comment=comment)
+    pos += comment_len
+    try:
+        raw_comment.decode("utf-8")
+    except UnicodeDecodeError:
+        report.add_note(
+            "comment is not valid UTF-8; bad bytes replaced with U+FFFD"
+        )
+    report.add_section("comment")
+
+    # header
+    if len(blob) - pos < _HEADER.size:
+        report.add_drop(
+            f"header truncated ({len(blob) - pos}/{_HEADER.size} bytes); "
+            "histogram and arcs lost"
+        )
+        return finish(comment=comment)
+    runs, low_pc, high_pc, nbuckets, profrate = _HEADER.unpack_from(blob, pos)
+    pos += _HEADER.size
+    report.add_section("header")
+    report.buckets_expected = nbuckets
+    if runs == 0:
+        report.add_note(RUNS_ZERO_WARNING)
+    if profrate <= 0:
+        report.add_note(
+            f"impossible profrate {profrate}; "
+            f"substituting the default {DEFAULT_PROFRATE} Hz"
+        )
+        profrate = DEFAULT_PROFRATE
+    bounds_ok = high_pc >= low_pc
+    if not bounds_ok:
+        report.add_drop(
+            f"impossible histogram bounds (high_pc {high_pc:#x} below "
+            f"low_pc {low_pc:#x}); bucket counts dropped"
+        )
+    elif nbuckets == 0 and high_pc > low_pc:
+        report.add_drop(
+            "non-empty address range declared with zero buckets; "
+            "histogram range collapsed"
+        )
+        high_pc = low_pc
+
+    # bucket counters: keep every complete one that is actually present.
+    avail_buckets = (len(blob) - pos) // _BUCKET.size
+    nread = min(nbuckets, avail_buckets)
+    counts = list(struct.unpack_from(f"<{nread}I", blob, pos))
+    report.buckets_read = nread if bounds_ok else 0
+    if nread < nbuckets:
+        pos += nread * _BUCKET.size
+        report.add_drop(
+            f"histogram truncated: {nread}/{nbuckets} buckets recovered"
+        )
+        report.add_drop("arc table lost (file ends inside the histogram)")
+        histogram = _partial_histogram(
+            low_pc, high_pc, nbuckets, counts, profrate, bounds_ok
+        )
+        return finish(histogram, runs=runs, comment=comment)
+    pos += nbuckets * _BUCKET.size
+    report.add_section("buckets")
+    histogram = _partial_histogram(
+        low_pc, high_pc, nbuckets, counts, profrate, bounds_ok
+    )
+
+    # arc table
+    if len(blob) - pos < _NARCS.size:
+        report.add_drop("arc table lost (no arc count field)")
+        return finish(histogram, runs=runs, comment=comment)
+    narcs = _NARCS.unpack_from(blob, pos)[0]
+    pos += _NARCS.size
+    report.arcs_expected = narcs
+    avail_arcs = (len(blob) - pos) // _ARC.size
+    arcs_read = min(narcs, avail_arcs)
+    arcs = [
+        RawArc(from_pc, self_pc, count)
+        for from_pc, self_pc, count in _ARC.iter_unpack(
+            blob[pos : pos + arcs_read * _ARC.size]
+        )
+    ]
+    pos += arcs_read * _ARC.size
+    report.arcs_read = arcs_read
+    if arcs_read < narcs:
+        report.add_drop(
+            f"arc table truncated: {arcs_read}/{narcs} arcs recovered"
+        )
+        return finish(histogram, arcs, runs=runs, comment=comment)
+    report.add_section("arcs")
+    trailing = len(blob) - pos
+    if trailing:
+        report.add_note(f"{trailing} trailing byte(s) after the arc records ignored")
+    return finish(histogram, arcs, runs=runs, comment=comment)
+
+
+def _partial_histogram(
+    low_pc: int,
+    high_pc: int,
+    nbuckets: int,
+    counts: list[int],
+    profrate: int,
+    bounds_ok: bool,
+) -> Histogram:
+    """A consistent histogram over however many buckets survived.
+
+    When only a prefix of the declared buckets was recovered, the upper
+    bound shrinks proportionally so each surviving counter keeps the
+    address range it had in the complete file.
+    """
+    if not bounds_ok or not counts:
+        return Histogram(low_pc, low_pc, [], profrate) if bounds_ok else Histogram(0, 0, [], profrate)
+    if len(counts) == nbuckets:
+        return Histogram(low_pc, high_pc, counts, profrate)
+    width = (high_pc - low_pc) / nbuckets
+    shrunk_high = low_pc + max(math.ceil(width * len(counts)), 1)
+    return Histogram(low_pc, min(shrunk_high, high_pc), counts, profrate)

@@ -142,6 +142,23 @@ class Kgmon:
             raise KernelError("kernel has not run yet; nothing to extract")
         return self.session.monitor.snapshot(comment)
 
+    def checkpoint(
+        self, path, comment: str = "kgmon checkpoint", injector=None
+    ) -> ProfileData:
+        """Flush the current data to ``path`` crash-safely, while running.
+
+        A kernel cannot be re-run to recover a lost profile; the
+        checkpoint is an atomic write (temp file + rename), so a machine
+        going down mid-flush still leaves the previous complete snapshot
+        at ``path``.  Returns the flushed data.  ``injector`` threads
+        the fault-injection harness through the write (tests only).
+        """
+        from repro.gmon import write_gmon
+
+        data = self.extract(comment)
+        write_gmon(data, path, injector=injector)
+        return data
+
     def status(self) -> KgmonStatus:
         """Report the monitor and kernel state."""
         mon = self.session.monitor

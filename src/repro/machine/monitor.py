@@ -8,6 +8,13 @@ shutdown step that condenses the data (``mcleanup``, here
 interface used for kernel profiling: turn the profiler on and off
 (``moncontrol``), extract the data, and reset it — all without stopping
 the program; :meth:`snapshot` and :meth:`reset` provide those.
+
+The paper's design only persists data at termination — so a crashed or
+killed run loses everything.  :meth:`enable_checkpoints` adds periodic
+crash-safe flushing: every N clock ticks the current snapshot is written
+atomically (write-to-temp-then-rename, see :mod:`repro.resilience`), so
+a kill at any instant leaves the most recent complete checkpoint on
+disk, never a torn file.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from dataclasses import dataclass
 from repro.core.histogram import DEFAULT_PROFRATE, Histogram
 from repro.core.profiledata import ProfileData
 from repro.machine.mcount import ArcTable, ArcTableStats
+from repro.resilience.faults import FaultInjector
 
 
 @dataclass
@@ -31,6 +39,10 @@ class MonitorConfig:
             1/60th-of-a-second granularity knob).
         profrate: nominal ticks per second, used to express simulated
             cycles as seconds in reports.
+        checkpoint_path: when set, flush a crash-safe snapshot of the
+            profile data here while the program runs.
+        checkpoint_interval: clock ticks between checkpoint flushes
+            (0 disables checkpointing even with a path set).
     """
 
     low_pc: int
@@ -38,6 +50,8 @@ class MonitorConfig:
     scale: float = 1.0
     cycles_per_tick: int = 100
     profrate: int = DEFAULT_PROFRATE
+    checkpoint_path: str | None = None
+    checkpoint_interval: int = 0
 
 
 class Monitor:
@@ -57,6 +71,16 @@ class Monitor:
         self.arc_table = ArcTable()
         self.enabled = True
         self.ticks_dropped = 0
+        self._checkpoint_path: str | None = None
+        self._checkpoint_every = 0
+        self._checkpoint_injector: FaultInjector | None = None
+        self._checkpoint_comment = "checkpoint"
+        self._ticks_since_flush = 0
+        self.checkpoints_written = 0
+        if config.checkpoint_path and config.checkpoint_interval > 0:
+            self.enable_checkpoints(
+                config.checkpoint_path, config.checkpoint_interval
+            )
 
     # -- the two data-gathering entry points ------------------------------------
 
@@ -66,6 +90,10 @@ class Monitor:
             return
         if not self.histogram.record(pc):
             self.ticks_dropped += 1
+        if self._checkpoint_every:
+            self._ticks_since_flush += 1
+            if self._ticks_since_flush >= self._checkpoint_every:
+                self.flush_checkpoint()
 
     def mcount(self, from_pc: int | None, self_pc: int) -> int:
         """The monitoring routine: record an arc traversal.
@@ -101,11 +129,60 @@ class Monitor:
         self.histogram.reset()
         self.arc_table.reset()
 
+    # -- crash-safe checkpointing -------------------------------------------------
+
+    def enable_checkpoints(
+        self,
+        path,
+        every_ticks: int,
+        injector: FaultInjector | None = None,
+        comment: str = "checkpoint",
+    ) -> None:
+        """Flush a crash-safe snapshot to ``path`` every ``every_ticks``.
+
+        Each flush is an atomic write of the complete data gathered so
+        far, so killing the run at *any* point — including mid-flush —
+        leaves the most recent finished checkpoint readable at ``path``.
+        ``injector`` threads the fault-injection harness through the
+        writes (tests kill chosen flushes with it).
+        """
+        if every_ticks <= 0:
+            raise ValueError(
+                f"checkpoint interval must be positive, got {every_ticks}"
+            )
+        self._checkpoint_path = path
+        self._checkpoint_every = every_ticks
+        self._checkpoint_injector = injector
+        self._checkpoint_comment = comment
+        self._ticks_since_flush = 0
+
+    def flush_checkpoint(self) -> None:
+        """Write the current snapshot to the checkpoint path, atomically."""
+        if self._checkpoint_path is None:
+            return
+        from repro.gmon import write_gmon
+
+        self._ticks_since_flush = 0
+        write_gmon(
+            self.snapshot(self._checkpoint_comment),
+            self._checkpoint_path,
+            injector=self._checkpoint_injector,
+        )
+        self.checkpoints_written += 1
+
     # -- shutdown -----------------------------------------------------------------
 
     def mcleanup(self, comment: str = "") -> ProfileData:
-        """Condense the data structures as the program terminates (§3)."""
-        return self.snapshot(comment)
+        """Condense the data structures as the program terminates (§3).
+
+        With checkpointing enabled, the final state is also flushed to
+        the checkpoint path, so the on-disk snapshot of a run that *did*
+        terminate cleanly matches its complete data.
+        """
+        data = self.snapshot(comment)
+        if self._checkpoint_path is not None:
+            self.flush_checkpoint()
+        return data
 
     @property
     def stats(self) -> ArcTableStats:

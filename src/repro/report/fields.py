@@ -33,6 +33,20 @@ def calls_with_self(count: int, self_calls: int) -> str:
     return str(count)
 
 
+def degradation_banner(warnings: list[str]) -> list[str]:
+    """Listing lines flagging degraded input, or [] when pristine.
+
+    Both listings print these right under the total, so a profile built
+    from salvaged or partial data announces itself before any numbers.
+    """
+    if not warnings:
+        return []
+    lines = [f"*** degraded input: {len(warnings)} warning(s) ***"]
+    lines += [f"***   {w}" for w in warnings]
+    lines.append("")
+    return lines
+
+
 def rpad(text: str, width: int) -> str:
     """Left-justify in ``width`` (names column)."""
     return text.ljust(width)

@@ -46,6 +46,7 @@ def format_flat_profile(
         "",
         f"total: {fields.seconds(profile.total_seconds)} seconds",
         "",
+        *fields.degradation_banner(profile.warnings),
         _HEADER,
     ]
     cumulative = 0.0

@@ -50,6 +50,7 @@ def format_graph_profile(
         "",
         f"total: {fields.seconds(profile.total_seconds)} seconds",
         "",
+        *fields.degradation_banner(profile.warnings),
         _HEADER,
         "",
     ]

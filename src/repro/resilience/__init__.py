@@ -1,0 +1,40 @@
+"""repro.resilience — crash-safe persistence and fault tolerance.
+
+The paper's §3.2 shutdown step condenses the profiling data to a file
+"when the profiled program terminates" — which means a crash, a kill,
+or a torn write loses (or worse, corrupts) the whole profile.  This
+package is the reproduction's answer, in three parts:
+
+* :mod:`repro.resilience.atomic` — write-to-temp-then-rename
+  persistence: a reader never observes a half-written file, and a
+  writer killed mid-write leaves the previous version intact;
+* :mod:`repro.resilience.salvage` — the :class:`SalvageReport`
+  record describing what a salvaging reader recovered and, just as
+  importantly, what it had to drop ("no crash, no silent lie");
+* :mod:`repro.resilience.faults` — a fault-injection harness that
+  wraps file writes to simulate truncation, bit-flips, short writes,
+  and mid-write kills, so the recovery paths are *tested*, not hoped
+  for.
+
+The layer sits below :mod:`repro.gmon` (which uses the atomic writer
+and emits salvage reports) and is imported by the VM monitor and
+kernel kgmon for periodic checkpoint flushing.
+"""
+
+from repro.resilience.atomic import atomic_write_bytes
+from repro.resilience.faults import (
+    FaultInjector,
+    InjectedFault,
+    all_truncations,
+    random_bit_flips,
+)
+from repro.resilience.salvage import SalvageReport
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "SalvageReport",
+    "all_truncations",
+    "atomic_write_bytes",
+    "random_bit_flips",
+]

@@ -1,0 +1,53 @@
+"""Crash-safe file persistence: write to a temp file, then rename.
+
+POSIX ``rename(2)`` within a directory is atomic, so a reader of the
+destination path sees either the old complete file or the new complete
+file — never a torn mixture, no matter when the writer dies.  This is
+the invariant the checkpointing monitor relies on: a profiled run
+killed mid-flush still leaves the *previous* consistent snapshot.
+
+The injector hook threads the fault-injection harness
+(:mod:`repro.resilience.faults`) through the write so tests can kill or
+corrupt the write at any byte and then assert the invariant held.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.resilience.faults import FaultInjector, InjectedFault
+
+
+def atomic_write_bytes(
+    path, payload: bytes, injector: FaultInjector | None = None
+) -> None:
+    """Write ``payload`` to ``path`` atomically.
+
+    The bytes go to a sibling temp file first and are renamed over
+    ``path`` only after a flush+fsync, so a crash at any point leaves
+    either the old file or the new one — never a prefix.
+
+    An :class:`InjectedFault` raised by the injector simulates the
+    process dying: the temp file is deliberately left behind (as a real
+    kill would leave it) and the destination is untouched.  Any other
+    failure cleans up the temp file before propagating.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            if injector is not None:
+                injector.write(f, payload)
+            else:
+                f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+    except InjectedFault:
+        raise  # simulated kill: leave the debris, destination intact
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp, path)

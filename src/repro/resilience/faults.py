@@ -1,0 +1,119 @@
+"""Fault injection for the persistence layer.
+
+Profiles are written by programs that crash, onto disks that fill up,
+through buffers that tear.  Rather than hope the recovery code handles
+those, this module *manufactures* them: a :class:`FaultInjector` wraps
+byte-level file writes and injects one configured fault — truncation,
+a bit-flip, a short (dropped-chunk) write, or a mid-write kill — on a
+chosen write call.  The gmon writer, the monitor's checkpoint flusher,
+and kgmon all accept an injector, so every persistence path in the
+system can be crashed on demand by the test suite.
+
+The module also provides the pure corpus builders
+(:func:`all_truncations`, :func:`random_bit_flips`) used by
+``tests/corrupt_corpus.py`` and the fuzz suite to enumerate corrupted
+variants of a valid file.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+
+class InjectedFault(Exception):
+    """A deliberately injected crash (simulated ``kill -9`` mid-write).
+
+    Intentionally *not* a :class:`~repro.errors.ReproError`: it stands
+    in for the process dying, which no library error handler would get
+    to see either.  Tests catch it where a real deployment would simply
+    find the process gone.
+    """
+
+
+@dataclass
+class FaultInjector:
+    """Injects one configured fault into a byte-level file write.
+
+    Exactly one write call (the ``arm_on_call``-th, counting from 1) is
+    faulted; all other calls pass the payload through unchanged, so a
+    checkpoint sequence can run normally until the chosen flush dies.
+
+    Attributes:
+        truncate_at: silently stop after this many bytes (a torn write
+            that nobody noticed — the worst case).
+        kill_after: write this many bytes, then raise
+            :class:`InjectedFault` (a crash mid-write).
+        flip: ``(byte_offset, bit)`` corrupted in flight (media error).
+        drop: ``(byte_offset, length)`` silently omitted, shifting the
+            rest of the payload earlier (a lost buffer / short write).
+        arm_on_call: 1-based index of the write call to fault.
+        calls: write calls observed so far (telemetry for tests).
+    """
+
+    truncate_at: int | None = None
+    kill_after: int | None = None
+    flip: tuple[int, int] | None = None
+    drop: tuple[int, int] | None = None
+    arm_on_call: int = 1
+    calls: int = 0
+
+    def write(self, f: BinaryIO, payload: bytes) -> None:
+        """Write ``payload`` to ``f``, applying the fault when armed."""
+        self.calls += 1
+        if self.calls != self.arm_on_call:
+            f.write(payload)
+            return
+        if self.flip is not None:
+            offset, bit = self.flip
+            mutated = bytearray(payload)
+            if 0 <= offset < len(mutated):
+                mutated[offset] ^= 1 << (bit & 7)
+            payload = bytes(mutated)
+        if self.drop is not None:
+            offset, length = self.drop
+            payload = payload[:offset] + payload[offset + max(length, 0):]
+        if self.truncate_at is not None:
+            payload = payload[: self.truncate_at]
+        if self.kill_after is not None:
+            f.write(payload[: self.kill_after])
+            f.flush()
+            raise InjectedFault(
+                f"simulated crash after {min(self.kill_after, len(payload))} "
+                f"of {len(payload)} bytes"
+            )
+        f.write(payload)
+
+
+# -- corpus builders (pure functions over byte strings) -------------------------
+
+
+def all_truncations(blob: bytes) -> Iterator[tuple[int, bytes]]:
+    """Every proper prefix of ``blob``: ``(cut_position, truncated_bytes)``.
+
+    ``cut_position`` ranges over ``[0, len(blob))`` — the full file is
+    not yielded (it is not a corruption).
+    """
+    for cut in range(len(blob)):
+        yield cut, blob[:cut]
+
+
+def random_bit_flips(
+    blob: bytes, n: int, seed: int = 0
+) -> Iterator[tuple[int, int, bytes]]:
+    """``n`` deterministic single-bit corruptions of ``blob``.
+
+    Yields ``(byte_offset, bit, mutated_bytes)``.  The sequence is a
+    pure function of ``seed``, so a corpus can be regenerated bit-for-
+    bit for triage.
+    """
+    if not blob:
+        return
+    rng = random.Random(seed)
+    for _ in range(n):
+        offset = rng.randrange(len(blob))
+        bit = rng.randrange(8)
+        mutated = bytearray(blob)
+        mutated[offset] ^= 1 << bit
+        yield offset, bit, bytes(mutated)

@@ -1,0 +1,41 @@
+"""Smoke tests for the corrupt-gmon corpus generator.
+
+The full sweep (every program x every truncation x 500 flips, ~10k
+mutants) runs in CI's fault-injection job; here we prove the generator
+itself works and gate a representative slice so a regression in the
+strict/salvage contract fails fast locally too.
+"""
+
+from tests.corrupt_corpus import check_mutant, main, mutants, run, valid_blob
+
+
+def test_valid_blob_is_a_real_profile():
+    from repro.gmon import parse_gmon
+
+    data = parse_gmon(valid_blob("fib"))
+    assert data.total_ticks > 0
+    assert data.arcs
+
+
+def test_slice_of_corpus_upholds_contract():
+    blob = valid_blob("fib")
+    checked = 0
+    for tag, truncated, mutated in mutants(blob, flips=40, stride=7):
+        assert check_mutant(tag, truncated, mutated) is None
+        checked += 1
+    assert checked > 40  # truncations plus all 40 flips
+
+
+def test_run_writes_files_and_verifies(tmp_path):
+    lines: list[str] = []
+    failures = run(["fib"], flips=5, stride=50, out=str(tmp_path),
+                   verify=True, log=lines.append)
+    assert failures == 0
+    written = list(tmp_path.iterdir())
+    assert written and all(p.suffix == ".gmon" for p in written)
+    assert any("verify:" in line for line in lines)
+
+
+def test_cli_rejects_unknown_program(capsys):
+    assert main(["--programs", "no_such_prog"]) == 2
+    assert "no_such_prog" in capsys.readouterr().err

@@ -16,8 +16,15 @@ from repro.core.histogram import Histogram
 from repro.core.profiledata import ProfileData
 from repro.core.symbols import Symbol, SymbolTable
 from repro.errors import GmonFormatError, ReproError
-from repro.gmon import read_gmon, write_gmon
+from repro.gmon import (
+    dumps_gmon,
+    parse_gmon,
+    read_gmon,
+    salvage_gmon_bytes,
+    write_gmon,
+)
 from repro.gmon.format import MAGIC
+from repro.resilience import all_truncations, random_bit_flips
 from repro.stacks import read_folded
 
 
@@ -110,3 +117,69 @@ def test_analysis_survives_arbitrary_addresses(data):
 def test_magic_is_versioned():
     # future format revisions must change the magic, not reinterpret it
     assert MAGIC.endswith(b"\x01\x00")
+
+
+# ---------------------------------------------------------------------------
+# round-trip corruption: strict rejects cleanly, salvage never lies
+# ---------------------------------------------------------------------------
+
+def _victim_blob() -> bytes:
+    return dumps_gmon(
+        ProfileData(
+            Histogram(0, 40, [1, 2, 3, 4, 5, 0, 0, 0, 0, 9]),
+            [RawArc(4, 20, 7), RawArc(12, 8, 1)],
+            comment="victim",
+        )
+    )
+
+
+_VICTIM = _victim_blob()
+
+
+def test_every_truncation_strict_rejects_salvage_recovers():
+    """Exhaustive: cutting the file at *any* byte boundary must make the
+    strict parser raise GmonFormatError (nothing else) while salvage
+    returns a report that flags the damage — no crash, no silent lie."""
+    for cut, mutated in all_truncations(_VICTIM):
+        with pytest.raises(GmonFormatError):
+            parse_gmon(mutated)
+        data, report = salvage_gmon_bytes(mutated, source=f"cut@{cut}")
+        assert not report.clean, f"truncation at {cut} passed as clean"
+        assert report.dropped, f"truncation at {cut} produced no drops"
+        assert data.histogram.total_ticks >= 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(0, len(_VICTIM) - 1),
+    st.integers(0, 7),
+)
+def test_bit_flip_strict_and_salvage_agree(pos, bit):
+    """Property: for any single-bit flip, either strict parses (and then
+    salvage recovers identical data, clean iff strict had no warnings)
+    or strict raises GmonFormatError (and then salvage flags damage)."""
+    mutated = bytearray(_VICTIM)
+    mutated[pos] ^= 1 << bit
+    mutated = bytes(mutated)
+    try:
+        strict = parse_gmon(mutated)
+    except GmonFormatError:
+        _, report = salvage_gmon_bytes(mutated)
+        assert not report.clean
+        return
+    data, report = salvage_gmon_bytes(mutated)
+    assert data.histogram.counts == strict.histogram.counts
+    assert data.condensed_arcs() == strict.condensed_arcs()
+    assert report.clean == (not strict.warnings)
+
+
+def test_random_bit_flip_corpus_never_crashes():
+    """Seeded sweep (a fast stand-in for the CI corpus job): every
+    mutant either parses strictly or raises GmonFormatError, and salvage
+    never raises at all."""
+    for _pos, _bit, mutated in random_bit_flips(_VICTIM, 256, seed=7):
+        try:
+            parse_gmon(mutated)
+        except GmonFormatError:
+            pass
+        salvage_gmon_bytes(mutated)

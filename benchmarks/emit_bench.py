@@ -1,0 +1,185 @@
+"""T-FLEET runner: measure merge throughput and write BENCH_fleet.json.
+
+The first entry in the repo's perf trajectory.  For fleets of 10/100/
+1000 synthetic gmon files (one shared histogram layout, randomized
+counts and arcs) it times three ways of producing ``gmon.sum``:
+
+* ``legacy`` — the old pairwise fold:
+  ``reduce(lambda a, b: merge_profiles([a, b]), map(read_gmon, paths))``
+  (parse every file into objects, re-merge and re-condense at every
+  step);
+* ``driver`` — the :mod:`repro.fleet` tree-reduction driver with its
+  default worker count (in-process streaming accumulator on small
+  machines);
+* ``parallel`` — the same driver forced onto 2 worker processes.
+
+All three must produce **byte-identical** ``gmon.sum`` output; the
+runner exits with status 2 if they do not (the CI ``bench-smoke`` job
+leans on this).  Results go to ``BENCH_fleet.json`` as
+profiles-per-second so future PRs can extend the trajectory.
+
+Usage::
+
+    python -m benchmarks.emit_bench [--quick] [--out BENCH_fleet.json]
+
+``--quick`` shrinks the fleets (10/50 files, smaller histograms) for
+CI smoke runs; the committed BENCH_fleet.json comes from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import os
+import platform
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import Histogram, ProfileData, RawArc, merge_profiles
+from repro.gmon import dumps_gmon, read_gmon, write_gmon
+from repro.fleet import tree_reduce
+
+#: Synthetic corpus shape: dense enough that bucket summing and arc
+#: condensing both matter, small enough that a 1000-file fleet builds
+#: in seconds.
+FULL = {"sizes": (10, 100, 1000), "nbuckets": 2000, "narcs": 400,
+        "arc_sites": 600, "repeats": 3}
+QUICK = {"sizes": (10, 50), "nbuckets": 200, "narcs": 40,
+         "arc_sites": 60, "repeats": 1}
+
+
+def build_corpus(root: Path, n: int, nbuckets: int, narcs: int,
+                 arc_sites: int, seed: int = 1234) -> list[str]:
+    """Write ``n`` synthetic, mutually-compatible gmon files."""
+    rng = random.Random(seed)
+    high = nbuckets * 4
+    sites = [
+        (rng.randrange(0, high, 4), rng.randrange(0, high, 4))
+        for _ in range(arc_sites)
+    ]
+    paths = []
+    for i in range(n):
+        counts = [rng.randrange(4) for _ in range(nbuckets)]
+        arcs = [
+            RawArc(*rng.choice(sites), rng.randrange(1, 10))
+            for _ in range(narcs)
+        ]
+        data = ProfileData(
+            Histogram(0, high, counts, 60), arcs, comment=f"synth-{i:04d}"
+        )
+        path = root / f"gmon_{i:04d}.out"
+        write_gmon(data, path)
+        paths.append(str(path))
+    return paths
+
+
+def legacy_pairwise_fold(paths: list[str]) -> ProfileData:
+    """The pre-fleet shape: parse everything, fold profiles pairwise."""
+    return functools.reduce(
+        lambda acc, path: merge_profiles([acc, read_gmon(path)]),
+        paths[1:],
+        read_gmon(paths[0]),
+    )
+
+
+def timed(fn, repeats: int):
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run(quick: bool) -> tuple[dict, bool]:
+    cfg = QUICK if quick else FULL
+    rows = []
+    identical_everywhere = True
+    with tempfile.TemporaryDirectory(prefix="bench_fleet_") as tmp:
+        for n in cfg["sizes"]:
+            root = Path(tmp) / f"fleet_{n}"
+            root.mkdir()
+            paths = build_corpus(
+                root, n, cfg["nbuckets"], cfg["narcs"], cfg["arc_sites"]
+            )
+            legacy_s, legacy_data = timed(
+                lambda: legacy_pairwise_fold(paths), cfg["repeats"]
+            )
+            driver_s, driver_data = timed(
+                lambda: tree_reduce(paths), cfg["repeats"]
+            )
+            parallel_s, parallel_data = timed(
+                lambda: tree_reduce(paths, jobs=2), cfg["repeats"]
+            )
+            legacy_bytes = dumps_gmon(legacy_data)
+            identical = (
+                dumps_gmon(driver_data) == legacy_bytes
+                and dumps_gmon(parallel_data) == legacy_bytes
+            )
+            identical_everywhere &= identical
+            row = {
+                "files": n,
+                "legacy_seconds": round(legacy_s, 6),
+                "driver_seconds": round(driver_s, 6),
+                "parallel_seconds": round(parallel_s, 6),
+                "legacy_profiles_per_sec": round(n / legacy_s, 1),
+                "driver_profiles_per_sec": round(n / driver_s, 1),
+                "parallel_profiles_per_sec": round(n / parallel_s, 1),
+                "speedup_driver_vs_legacy": round(legacy_s / driver_s, 2),
+                "byte_identical": identical,
+            }
+            rows.append(row)
+            print(
+                f"  {n:>5} files: legacy {row['legacy_profiles_per_sec']:>9} p/s"
+                f"  driver {row['driver_profiles_per_sec']:>9} p/s"
+                f"  ({row['speedup_driver_vs_legacy']}x)"
+                f"  identical={identical}"
+            )
+    report = {
+        "benchmark": "T-FLEET merge throughput",
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "corpus": {
+            "nbuckets": cfg["nbuckets"],
+            "narcs": cfg["narcs"],
+            "arc_sites": cfg["arc_sites"],
+            "seed": 1234,
+            "repeats": cfg["repeats"],
+        },
+        "rows": rows,
+    }
+    return report, identical_everywhere
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="emit_bench",
+        description="measure fleet merge throughput, write BENCH_fleet.json",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small fleets for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_fleet.json", metavar="FILE",
+                        help="where to write the JSON report")
+    opts = parser.parse_args(argv)
+    print(f"== T-FLEET ({'quick' if opts.quick else 'full'}) ==")
+    report, identical = run(opts.quick)
+    Path(opts.out).write_text(json.dumps(report, indent=2) + "\n",
+                              encoding="utf-8")
+    print(f"report written to {opts.out}")
+    if not identical:
+        print(
+            "emit_bench: FATAL: parallel output differs from sequential",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,1 +1,1 @@
-"""Command-line tools: repro-gprof, repro-prof, repro-kgmon."""
+"""Command-line tools: repro-gprof, repro-prof, repro-kgmon, repro-merge."""

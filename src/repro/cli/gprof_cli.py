@@ -17,7 +17,10 @@ Options mirror the features the paper and retrospective describe:
 * ``-C [N]`` — break remaining cycles heuristically, removing at most
   N arcs (the bounded NP-complete workaround);
 * ``--static`` — crawl the executable for static arcs (VM images only);
-* ``-s FILE`` — write the summed data to FILE and exit (gmon.sum);
+* ``-s FILE`` / ``--sum FILE`` — write the summed data to FILE and
+  exit (gmon.sum); summing runs on the :mod:`repro.fleet`
+  tree-reduction driver, and GMON arguments may be glob patterns or
+  directories (``--jobs N`` sets the worker count);
 * ``--min-percent`` — show only hot entries;
 * ``-f NAME`` — restrict the graph profile to NAME and everything it
   reaches (repeatable);
@@ -39,10 +42,10 @@ import argparse
 import json
 import sys
 
-from repro.core import AnalysisOptions, SymbolTable, analyze, merge_profiles
+from repro.core import AnalysisOptions, SymbolTable, analyze
 from repro.core.filters import reachable_from
 from repro.errors import ReproError
-from repro.gmon import read_gmon, salvage_gmon, write_gmon
+from repro.gmon import salvage_gmon, write_gmon
 from repro.machine import Executable, static_call_graph
 from repro.report import format_flat_profile, format_graph_profile
 from repro.report.dot import to_dot
@@ -63,7 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-gprof", description="call graph execution profiler"
     )
     parser.add_argument("image", help="executable image or symbol table (JSON)")
-    parser.add_argument("gmon", nargs="+", help="profile data file(s); summed")
+    parser.add_argument(
+        "gmon", nargs="+",
+        help="profile data file(s), glob pattern(s), or director(ies); summed",
+    )
     parser.add_argument(
         "-E", dest="exclude", action="append", default=[], metavar="NAME",
         help="exclude routine NAME from the analysis",
@@ -82,8 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="augment with statically-discovered arcs (VM images only)",
     )
     parser.add_argument(
-        "-s", dest="sum_file", metavar="FILE",
+        "-s", "--sum", dest="sum_file", metavar="FILE",
         help="write summed profile data to FILE and exit",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for summing many gmon files "
+             "(default: one per CPU)",
     )
     parser.add_argument(
         "--min-percent", type=float, default=0.0,
@@ -133,21 +144,24 @@ def main(argv: list[str] | None = None) -> int:
     opts = build_parser().parse_args(argv)
     try:
         symbols, exe = load_image(opts.image)
+        from repro.fleet import ProfileAccumulator, expand_inputs, tree_reduce
+
+        gmon_paths = expand_inputs(opts.gmon)
         salvage_diags = []
         if opts.salvage:
-            profiles = []
-            for p in opts.gmon:
+            acc = ProfileAccumulator()
+            for p in gmon_paths:
                 pdata, salvage_report = salvage_gmon(p)
-                profiles.append(pdata)
                 if not salvage_report.clean:
                     print(salvage_report.render_text(), end="",
                           file=sys.stderr)
                 from repro.check import salvage_passes
 
                 salvage_diags += salvage_passes(salvage_report)
-            data = merge_profiles(profiles)
+                acc.add_profile(pdata, source=str(p))
+            data = acc.result()
         else:
-            data = merge_profiles([read_gmon(p) for p in opts.gmon])
+            data = tree_reduce(gmon_paths, jobs=opts.jobs)
         if opts.lint:
             if exe is None:
                 raise ReproError("--lint needs a VM executable image")
@@ -163,7 +177,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(report.render_text(), end="", file=sys.stderr)
         if opts.sum_file:
             write_gmon(data, opts.sum_file)
-            print(f"summed {len(opts.gmon)} profile(s) into {opts.sum_file}")
+            print(f"summed {len(gmon_paths)} profile(s) into {opts.sum_file}")
             return 0
         deleted = []
         for spec in opts.delete_arcs:

@@ -1,0 +1,114 @@
+"""The merge command: sum a fleet of profile data files into one.
+
+Usage::
+
+    repro-merge [options] INPUT [INPUT ...]
+
+Each ``INPUT`` is a gmon file, a glob pattern (quoted, so the shell
+does not expand it first — though pre-expanded arguments work too), or
+a directory (every non-hidden file directly inside it, sorted).  The
+inputs are summed with the :mod:`repro.fleet` tree-reduction driver
+and written as ``gmon.sum`` (or ``-o FILE``) — the multi-run
+accumulation of §3 of the paper, at fleet scale.
+
+Options:
+
+* ``-o FILE`` — output path (default ``gmon.sum``);
+* ``--jobs N`` — worker processes (default: one per CPU);
+* ``--salvage`` — read inputs with the salvaging parser; corrupt
+  files contribute their recovered prefix and the merged data carries
+  their degradation warnings;
+* ``--skip-incompatible`` — drop inputs whose histogram layout does
+  not match the fleet's (default: abort naming the first mismatch);
+* ``--stats`` — print a merge summary table to stderr;
+* ``-q`` — print nothing but errors.
+
+The output is deterministic: for the same inputs in the same order,
+any ``--jobs`` value produces a byte-identical file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.fleet import expand_inputs, tree_reduce
+from repro.gmon import write_gmon
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-merge",
+        description="sum many profile data files into one gmon.sum",
+    )
+    parser.add_argument(
+        "inputs", nargs="+", metavar="INPUT",
+        help="gmon file, glob pattern, or directory of gmon files",
+    )
+    parser.add_argument(
+        "-o", "--output", default="gmon.sum", metavar="FILE",
+        help="where to write the summed profile (default: gmon.sum)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the tree reduction (default: CPUs)",
+    )
+    parser.add_argument(
+        "--salvage", action="store_true",
+        help="recover corrupt/truncated inputs instead of aborting; "
+             "their warnings are carried into the merged data",
+    )
+    parser.add_argument(
+        "--skip-incompatible", action="store_true",
+        help="skip inputs with a mismatched histogram layout instead "
+             "of aborting on the first one",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print a merge summary to stderr",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print nothing but errors",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    opts = build_parser().parse_args(argv)
+    if opts.jobs is not None and opts.jobs < 1:
+        print("repro-merge: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        paths = expand_inputs(opts.inputs)
+        data = tree_reduce(
+            paths,
+            jobs=opts.jobs,
+            salvage=opts.salvage,
+            on_incompatible="skip" if opts.skip_incompatible else "error",
+        )
+        write_gmon(data, opts.output)
+    except (ReproError, OSError) as exc:
+        print(f"repro-merge: {exc}", file=sys.stderr)
+        return 1
+    if data.warnings and not opts.quiet:
+        for w in data.warnings:
+            print(f"repro-merge: warning: {w}", file=sys.stderr)
+    skipped = sum(1 for w in data.warnings if ": skipped (layout" in w)
+    merged = len(paths) - skipped
+    if opts.stats:
+        print(
+            f"repro-merge: {merged} input(s) merged, {skipped} skipped, "
+            f"{data.runs} run(s), {data.total_ticks} tick(s), "
+            f"{len(data.arcs)} distinct arc(s)",
+            file=sys.stderr,
+        )
+    if not opts.quiet:
+        print(f"summed {merged} profile(s) into {opts.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

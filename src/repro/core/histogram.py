@@ -16,6 +16,8 @@ apportionment is exact.
 
 from __future__ import annotations
 
+import operator
+
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -220,7 +222,7 @@ def sum_histograms(histograms: Sequence[Histogram]) -> Histogram:
     if not histograms:
         raise HistogramError("cannot sum zero histograms")
     first = histograms[0]
-    total = first.copy()
+    counts = list(first.counts)
     for h in histograms[1:]:
         if not first.compatible_with(h):
             raise HistogramError(
@@ -229,6 +231,7 @@ def sum_histograms(histograms: Sequence[Histogram]) -> Histogram:
                 f"@{first.profrate}Hz vs "
                 f"[{h.low_pc:#x},{h.high_pc:#x})x{h.num_buckets}@{h.profrate}Hz"
             )
-        for i, c in enumerate(h.counts):
-            total.counts[i] += c
-    return total
+        # list(map(add, ...)) keeps the per-bucket addition in C; for the
+        # one-bucket-per-address configurations this loop dominates.
+        counts = list(map(operator.add, counts, h.counts))
+    return Histogram(first.low_pc, first.high_pc, counts, first.profrate)

@@ -11,11 +11,13 @@ profiler, simulated kernel) and the analysis side.
 
 from __future__ import annotations
 
+import operator
+
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.arcs import RawArc
-from repro.core.histogram import Histogram, sum_histograms
+from repro.core.histogram import Histogram
 from repro.errors import MergeError
 
 
@@ -92,19 +94,44 @@ def merge_profiles(profiles: Sequence[ProfileData]) -> ProfileData:
     All histograms must share bounds, bucket count and clock rate —
     i.e. come from the same executable image.  Raises
     :class:`~repro.errors.MergeError` otherwise.
+
+    The merge is a single pass: one bucket array and one arc table are
+    accumulated across all inputs (O(total arcs), no intermediate
+    copies), so summing N profiles costs the same as reading them.  The
+    inputs are never mutated or aliased — in particular
+    ``merge_profiles([p])`` returns an independent (condensed) copy of
+    ``p``.  The merged comment joins the non-empty input comments with
+    ``"; "`` in input order, which makes the merge associative (any
+    regrouping of an ordered sequence yields byte-identical output)
+    though not comment-commutative.
     """
     if not profiles:
         raise MergeError("cannot merge zero profiles")
-    try:
-        histogram = sum_histograms([p.histogram for p in profiles])
-    except Exception as exc:
-        raise MergeError(str(exc)) from exc
-    merged = ProfileData(
-        histogram,
-        [a for p in profiles for a in p.arcs],
+    first = profiles[0].histogram
+    counts = list(first.counts)
+    for p in profiles[1:]:
+        h = p.histogram
+        if not first.compatible_with(h):
+            raise MergeError(
+                "histograms are incompatible: "
+                f"[{first.low_pc:#x},{first.high_pc:#x})x{first.num_buckets}"
+                f"@{first.profrate}Hz vs "
+                f"[{h.low_pc:#x},{h.high_pc:#x})x{h.num_buckets}@{h.profrate}Hz",
+                expected=(first.low_pc, first.high_pc, first.num_buckets,
+                          first.profrate),
+                actual=(h.low_pc, h.high_pc, h.num_buckets, h.profrate),
+            )
+        counts = list(map(operator.add, counts, h.counts))
+    arc_totals: dict[tuple[int, int], int] = {}
+    get = arc_totals.get
+    for p in profiles:
+        for a in p.arcs:
+            key = (a.from_pc, a.self_pc)
+            arc_totals[key] = get(key, 0) + a.count
+    return ProfileData(
+        Histogram(first.low_pc, first.high_pc, counts, first.profrate),
+        [RawArc(f, s, c) for (f, s), c in sorted(arc_totals.items())],
         runs=sum(p.runs for p in profiles),
         comment="; ".join(filter(None, (p.comment for p in profiles))),
         warnings=[w for p in profiles for w in p.warnings],
     )
-    merged.arcs = merged.condensed_arcs()
-    return merged

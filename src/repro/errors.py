@@ -57,7 +57,29 @@ class LangError(ReproError):
 
 
 class MergeError(ReproError):
-    """Two profile data sets cannot be summed (incompatible layouts)."""
+    """Two profile data sets cannot be summed (incompatible layouts).
+
+    Structured: when the failure concerns a specific input file the
+    ``path`` attribute names it, and ``expected``/``actual`` carry the
+    two histogram layouts (as :class:`repro.fleet.headers.HeaderKey`
+    or plain tuples) so fleet-scale drivers can report *which* of a
+    thousand inputs broke the merge without string-parsing.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        expected: object = None,
+        actual: object = None,
+    ):
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
 
 
 class ProfilerError(ReproError):

@@ -1,0 +1,48 @@
+"""repro.fleet — fleet-scale profile aggregation.
+
+The paper combined "the profile data for several executions" so that
+short-running routines accumulate visible time; the ROADMAP's
+production system needs the same algebra over thousands of ``gmon.out``
+files per program.  This package is that scale jump, in three layers:
+
+* :mod:`repro.fleet.accumulator` — :class:`ProfileAccumulator`, a
+  streaming single-table merge: one bucket array, one arc table,
+  ``add()`` per input, O(total arcs) overall and no per-input object
+  materialization when fed paths;
+* :mod:`repro.fleet.headers` — header peeking, layout digests and the
+  stat-validated :class:`HeaderCache`, so incompatible files are
+  rejected (or skipped) from a few hundred bytes before any real
+  parsing, with a structured :class:`~repro.errors.MergeError`;
+* :mod:`repro.fleet.reduce` — the multiprocessing tree-reduction
+  driver: chunk the inputs, stream each chunk through a worker-local
+  accumulator, fold the partials in input order.  Output is
+  byte-identical for any worker count, and identical to the
+  sequential ``merge_profiles([read_gmon(p) ...])`` fold.
+
+The ``repro-merge`` CLI and ``repro-gprof --sum`` sit on top;
+``benchmarks/emit_bench.py`` tracks the throughput trajectory in
+``BENCH_fleet.json``.
+"""
+
+from repro.fleet.accumulator import ProfileAccumulator, empty_profile_like
+from repro.fleet.headers import HeaderCache, HeaderKey, scan_headers
+from repro.fleet.reduce import (
+    expand_inputs,
+    merge_paths,
+    precheck_headers,
+    tree_reduce,
+    write_sum,
+)
+
+__all__ = [
+    "HeaderCache",
+    "HeaderKey",
+    "ProfileAccumulator",
+    "empty_profile_like",
+    "expand_inputs",
+    "merge_paths",
+    "precheck_headers",
+    "scan_headers",
+    "tree_reduce",
+    "write_sum",
+]

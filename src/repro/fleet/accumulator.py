@@ -1,0 +1,251 @@
+"""ProfileAccumulator: the streaming heart of fleet-scale merging.
+
+The paper's multi-run accumulation ("the profile data for several
+executions of a program can be combined by the post-processing") was a
+handful of ``gmon.out`` files on one disk.  At fleet scale it is
+thousands of files per program, and the shape of the old code — parse
+every file into ``Histogram``/``RawArc`` objects, then fold pairs of
+:class:`~repro.core.profiledata.ProfileData` — pays for object
+construction and re-condensing over and over.
+
+The accumulator keeps exactly one bucket array and one
+``(from_pc, self_pc) -> count`` table for the whole merge and adds each
+input into them:
+
+* ``add(path)`` parses the file in wire form
+  (:func:`repro.gmon.parse_gmon_raw`) and sums straight out of the
+  packed bytes — no ``RawArc``/``Histogram``/``ProfileData`` objects
+  are ever built for the input;
+* ``add(profile)`` accepts an already-materialized
+  :class:`~repro.core.profiledata.ProfileData` (e.g. a salvaged one);
+* ``merge_from(other)`` combines two partial accumulators, which is
+  what the tree-reduction driver (:mod:`repro.fleet.reduce`) does with
+  the partial sums coming back from worker processes.
+
+``result()`` materializes a ProfileData that is *equal to* — and after
+:func:`~repro.gmon.write_gmon`, *byte-identical to* — what
+``merge_profiles([read_gmon(p) for p in paths])`` would have produced
+for the same inputs in the same order.  That equivalence is the
+merge-algebra contract the property suite (``test_merge_properties``)
+pins down.
+
+Incompatible inputs raise a structured
+:class:`~repro.errors.MergeError` carrying the offending path and both
+header layouts.  An accumulator that was never fed anything raises the
+same ``"cannot merge zero profiles"`` error the legacy API raised for
+an empty sequence — the empty accumulator is the merge identity, not a
+profile.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+from typing import Iterable, Union
+
+from repro.core.arcs import RawArc
+from repro.core.histogram import Histogram
+from repro.core.profiledata import ProfileData
+from repro.errors import MergeError
+from repro.gmon.format import RawGmon, RUNS_ZERO_WARNING, parse_gmon_raw
+
+from repro.fleet.headers import HeaderKey
+
+Addable = Union[ProfileData, RawGmon, str, os.PathLike, bytes]
+
+
+class ProfileAccumulator:
+    """An incremental, single-table sum of many profiles.
+
+    Attributes:
+        key: the :class:`~repro.fleet.headers.HeaderKey` every input
+            must match (established by the first input; None while
+            empty).
+        runs: total executions summed so far.
+        profiles_added: number of inputs accumulated (merging another
+            accumulator adds its count).
+    """
+
+    def __init__(self) -> None:
+        self.key: HeaderKey | None = None
+        self.runs = 0
+        self.profiles_added = 0
+        self._counts: list[int] = []
+        self._arcs: dict[tuple[int, int], int] = {}
+        self._comments: list[str] = []
+        self._warnings: list[str] = []
+
+    # -- feeding ---------------------------------------------------------------
+
+    def add(self, item: Addable, source: str | None = None) -> "ProfileAccumulator":
+        """Accumulate one input; returns self for chaining.
+
+        ``item`` may be a filesystem path (parsed strictly in wire
+        form), raw gmon bytes, a :class:`RawGmon`, or a
+        :class:`ProfileData`.  ``source`` labels the input in any
+        :class:`MergeError` raised (defaults to the path when one is
+        given).
+        """
+        if isinstance(item, ProfileData):
+            return self.add_profile(item, source)
+        if isinstance(item, RawGmon):
+            return self.add_raw(item, source)
+        if isinstance(item, bytes):
+            return self.add_raw(parse_gmon_raw(item), source)
+        path = os.fspath(item)
+        with open(path, "rb") as f:
+            blob = f.read()
+        return self.add_raw(parse_gmon_raw(blob), source or str(path))
+
+    def add_raw(self, raw: RawGmon, source: str | None = None) -> "ProfileAccumulator":
+        """Accumulate a wire-form profile (the fast path)."""
+        key = HeaderKey(raw.low_pc, raw.high_pc, raw.nbuckets, raw.profrate)
+        self._accept_key(key, source)
+        if raw.counts:
+            if self._counts:
+                self._counts = list(map(operator.add, self._counts, raw.counts))
+            else:
+                self._counts = list(raw.counts)
+        arcs = self._arcs
+        get = arcs.get
+        for from_pc, self_pc, count in raw.iter_arcs():
+            k = (from_pc, self_pc)
+            arcs[k] = get(k, 0) + count
+        # Mirror read_gmon's handling of the runs field exactly, so the
+        # result is indistinguishable from the parse-then-merge path.
+        if raw.runs == 0:
+            self._warnings.append(RUNS_ZERO_WARNING)
+        self.runs += max(raw.runs, 1)
+        if raw.comment:
+            self._comments.append(raw.comment)
+        self.profiles_added += 1
+        return self
+
+    def add_profile(
+        self, data: ProfileData, source: str | None = None
+    ) -> "ProfileAccumulator":
+        """Accumulate a materialized ProfileData (never mutated).
+
+        A salvaged profile's ``warnings`` ride along into the merged
+        result — degraded inputs stay visibly degraded.
+        """
+        h = data.histogram
+        key = HeaderKey(h.low_pc, h.high_pc, h.num_buckets, h.profrate)
+        self._accept_key(key, source)
+        if h.counts:
+            if self._counts:
+                self._counts = list(map(operator.add, self._counts, h.counts))
+            else:
+                self._counts = list(h.counts)
+        arcs = self._arcs
+        get = arcs.get
+        for a in data.arcs:
+            k = (a.from_pc, a.self_pc)
+            arcs[k] = get(k, 0) + a.count
+        self.runs += data.runs
+        if data.comment:
+            self._comments.append(data.comment)
+        self._warnings.extend(data.warnings)
+        self.profiles_added += 1
+        return self
+
+    def add_all(
+        self, items: Iterable[Addable]
+    ) -> "ProfileAccumulator":
+        """Accumulate every item of an iterable, in order."""
+        for item in items:
+            self.add(item)
+        return self
+
+    def merge_from(self, other: "ProfileAccumulator") -> "ProfileAccumulator":
+        """Fold another (partial) accumulator into this one.
+
+        Order matters only for the comment/warning concatenation: the
+        tree-reduction driver always folds partials in input order, so
+        any worker count yields identical output.
+        """
+        if other.key is None:
+            return self
+        if self.key is None:
+            self.key = other.key
+            self._counts = list(other._counts)
+            self._arcs = dict(other._arcs)
+        else:
+            self._accept_key(other.key, None)
+            if other._counts:
+                if self._counts:
+                    self._counts = list(
+                        map(operator.add, self._counts, other._counts)
+                    )
+                else:
+                    self._counts = list(other._counts)
+            arcs = self._arcs
+            get = arcs.get
+            for k, c in other._arcs.items():
+                arcs[k] = get(k, 0) + c
+        self.runs += other.runs
+        self._comments.extend(other._comments)
+        self._warnings.extend(other._warnings)
+        self.profiles_added += other.profiles_added
+        return self
+
+    def _accept_key(self, key: HeaderKey, source: str | None) -> None:
+        if self.key is None:
+            self.key = key
+        elif self.key != key:
+            raise MergeError(
+                f"histogram layout {key.describe()} is incompatible with "
+                f"the accumulated layout {self.key.describe()}",
+                path=source,
+                expected=self.key,
+                actual=key,
+            )
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        """True while nothing has been accumulated."""
+        return self.key is None
+
+    @property
+    def total_ticks(self) -> int:
+        """Total PC samples accumulated so far."""
+        return sum(self._counts)
+
+    @property
+    def distinct_arcs(self) -> int:
+        """Distinct (from_pc, self_pc) pairs seen so far."""
+        return len(self._arcs)
+
+    def result(self) -> ProfileData:
+        """Materialize the merged ProfileData (condensed, sorted arcs)."""
+        if self.key is None:
+            raise MergeError("cannot merge zero profiles")
+        histogram = Histogram(
+            self.key.low_pc, self.key.high_pc, list(self._counts),
+            self.key.profrate,
+        )
+        return ProfileData(
+            histogram,
+            [RawArc(f, s, c) for (f, s), c in sorted(self._arcs.items())],
+            runs=self.runs,
+            comment="; ".join(self._comments),
+            warnings=list(self._warnings),
+        )
+
+
+def empty_profile_like(data: ProfileData) -> ProfileData:
+    """The merge identity for ``data``'s histogram layout.
+
+    Same bounds, bucket count and clock rate, but zero samples, zero
+    arcs, zero runs and no comment: ``merge_profiles([p, e])`` equals
+    ``merge_profiles([p])`` for every ``p`` sharing the layout.
+    """
+    h = data.histogram
+    return ProfileData(
+        Histogram(h.low_pc, h.high_pc, [0] * h.num_buckets, h.profrate),
+        [],
+        runs=0,
+        comment="",
+    )

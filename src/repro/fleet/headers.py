@@ -1,0 +1,92 @@
+"""Header peeking, digests, and the precheck cache.
+
+Merging a fleet of gmon files dies on the *last* incompatible file if
+compatibility is only discovered while summing.  The driver instead
+peeks every input's fixed-size header first — a few hundred bytes per
+file via :func:`repro.gmon.peek_gmon_header` — and rejects (or skips)
+mismatches before any bucket or arc data is parsed.
+
+A :class:`HeaderKey` is the layout identity two profiles must share to
+be summable: histogram bounds, bucket count, clock rate.  Its
+``digest()`` is a short stable hash of that identity — what the
+structured :class:`~repro.errors.MergeError` and the skip log print so
+an operator staring at 10,000 paths can grep for the odd one out.
+
+The :class:`HeaderCache` memoizes peeks by ``(size, mtime_ns)`` so
+repeated scans over a mostly-static fleet directory (a cron job
+re-merging every hour, say) only stat unchanged files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from dataclasses import dataclass
+
+from repro.gmon.format import GmonHeader, peek_gmon_header
+
+_KEY_PACK = struct.Struct("<QQII")
+
+
+@dataclass(frozen=True)
+class HeaderKey:
+    """The summability identity of a profile: its histogram layout."""
+
+    low_pc: int
+    high_pc: int
+    nbuckets: int
+    profrate: int
+
+    @classmethod
+    def of(cls, header: GmonHeader) -> "HeaderKey":
+        return cls(header.low_pc, header.high_pc, header.nbuckets,
+                   header.profrate)
+
+    def digest(self) -> str:
+        """A short stable content digest of the layout."""
+        packed = _KEY_PACK.pack(
+            self.low_pc, self.high_pc, self.nbuckets, self.profrate
+        )
+        return hashlib.blake2b(packed, digest_size=6).hexdigest()
+
+    def describe(self) -> str:
+        """Human-readable layout, digest included."""
+        return (
+            f"[{self.low_pc:#x},{self.high_pc:#x})x{self.nbuckets}"
+            f"@{self.profrate}Hz (digest {self.digest()})"
+        )
+
+
+class HeaderCache:
+    """Stat-validated memo of peeked headers, keyed by path."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[int, int, GmonHeader]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def peek(self, path) -> GmonHeader:
+        """Header of ``path``, re-read only when the file changed."""
+        spath = os.fspath(path)
+        st = os.stat(spath)
+        cached = self._entries.get(spath)
+        if cached is not None and cached[0] == st.st_size and cached[1] == st.st_mtime_ns:
+            self.hits += 1
+            return cached[2]
+        self.misses += 1
+        header = peek_gmon_header(spath)
+        self._entries[spath] = (st.st_size, st.st_mtime_ns, header)
+        return header
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def scan_headers(
+    paths, cache: HeaderCache | None = None
+) -> list[tuple[str, GmonHeader]]:
+    """Peek every path's header, in order."""
+    if cache is None:  # NB: an empty HeaderCache is falsy (it has __len__)
+        cache = HeaderCache()
+    return [(os.fspath(p), cache.peek(p)) for p in paths]

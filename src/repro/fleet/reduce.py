@@ -1,0 +1,241 @@
+"""The tree-reduction merge driver: thousands of gmon files, bounded memory.
+
+Topology: the input paths are split into contiguous chunks (in input
+order); each worker streams one chunk through its own
+:class:`~repro.fleet.ProfileAccumulator` (memory per worker is one
+bucket array plus one arc table, regardless of chunk length); the
+partial accumulators are folded in **chunk order** into the final sum.
+That order rule is the whole determinism story — workers may finish in
+any order on any number of processes, but the reduction always folds
+partial[0], partial[1], ... — so the resulting ``gmon.sum`` is
+byte-identical whether the merge ran on 1 process or 16, and identical
+to the legacy sequential ``merge_profiles([read_gmon(p) ...])``.
+
+Before any bucket data is parsed, a header precheck
+(:mod:`repro.fleet.headers`) peeks every file's fixed-size prefix and
+either fails fast with a structured :class:`~repro.errors.MergeError`
+naming the first incompatible path, or — with
+``on_incompatible="skip"`` — drops mismatches with a warning on the
+merged result.
+
+Salvage mode (``salvage=True``) reads every input through the
+salvaging parser instead: corrupt files contribute their recovered
+prefix and their degradation warnings propagate into the merged
+``ProfileData.warnings``.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.profiledata import ProfileData
+from repro.errors import GmonFormatError, MergeError
+from repro.gmon.format import salvage_gmon_bytes
+
+from repro.fleet.accumulator import ProfileAccumulator
+from repro.fleet.headers import HeaderCache, HeaderKey
+
+#: Below this many inputs, process overhead dwarfs the merge itself and
+#: the driver stays in-process even when ``jobs`` allows more.
+MIN_FILES_PER_WORKER = 32
+
+
+def expand_inputs(specs: Sequence[str]) -> list[str]:
+    """Expand files, glob patterns, and directories into a path list.
+
+    * a path to a regular file is kept as-is (missing files surface as
+      the usual ``OSError`` at read time, keeping error messages
+      stable);
+    * a directory contributes every non-hidden regular file directly
+      inside it, sorted by name;
+    * a glob pattern (``*``, ``?``, ``[``, including ``**``)
+      contributes its matches sorted by name; a pattern matching
+      nothing is an error — a typo should not silently merge fewer
+      runs.
+
+    The expansion preserves the order of ``specs``; within one
+    directory or glob the order is lexicographic, so the same fleet
+    always merges in the same order (the determinism contract depends
+    on it).
+    """
+    paths: list[str] = []
+    for spec in specs:
+        spec = os.fspath(spec)
+        if os.path.isdir(spec):
+            entries = sorted(
+                e.path
+                for e in os.scandir(spec)
+                if e.is_file() and not e.name.startswith(".")
+            )
+            if not entries:
+                raise MergeError("directory holds no profile files", path=spec)
+            paths.extend(entries)
+        elif glob.has_magic(spec):
+            matches = sorted(p for p in glob.glob(spec, recursive=True)
+                             if os.path.isfile(p))
+            if not matches:
+                raise MergeError("glob pattern matched no files", path=spec)
+            paths.extend(matches)
+        else:
+            paths.append(spec)
+    return paths
+
+
+def precheck_headers(
+    paths: Sequence[str],
+    cache: HeaderCache | None = None,
+    on_incompatible: str = "error",
+    salvage: bool = False,
+) -> tuple[list[str], list[str]]:
+    """Peek every header; return (mergeable paths, skip warnings).
+
+    With ``on_incompatible="error"`` the first layout mismatch raises a
+    structured :class:`MergeError` (path + expected/actual HeaderKey);
+    with ``"skip"`` mismatching files are dropped and described in the
+    returned warnings.  In salvage mode files whose very header is
+    unreadable are left in the list — the salvaging parser deals with
+    them — instead of failing the precheck.
+    """
+    if on_incompatible not in ("error", "skip"):
+        raise ValueError(f"unknown on_incompatible {on_incompatible!r}")
+    if cache is None:  # NB: an empty HeaderCache is falsy (it has __len__)
+        cache = HeaderCache()
+    expected: HeaderKey | None = None
+    keep: list[str] = []
+    warnings: list[str] = []
+    for path in paths:
+        try:
+            key = HeaderKey.of(cache.peek(path))
+        except GmonFormatError:
+            if salvage:
+                # the salvaging reader will recover what it can
+                keep.append(os.fspath(path))
+                continue
+            raise
+        if expected is None:
+            expected = key
+        elif key != expected:
+            if on_incompatible == "error":
+                raise MergeError(
+                    f"histogram layout {key.describe()} is incompatible "
+                    f"with the fleet layout {expected.describe()}",
+                    path=os.fspath(path),
+                    expected=expected,
+                    actual=key,
+                )
+            warnings.append(
+                f"{os.fspath(path)}: skipped (layout {key.digest()} != "
+                f"fleet layout {expected.digest()})"
+            )
+            continue
+        keep.append(os.fspath(path))
+    return keep, warnings
+
+
+def _merge_chunk(args: tuple[list[str], bool]) -> ProfileAccumulator:
+    """Worker body: stream one chunk of paths into a fresh accumulator."""
+    paths, salvage = args
+    acc = ProfileAccumulator()
+    for path in paths:
+        if salvage:
+            with open(path, "rb") as f:
+                data, _report = salvage_gmon_bytes(f.read(), source=str(path))
+            acc.add_profile(data, source=str(path))
+        else:
+            acc.add(path)
+    return acc
+
+
+def _chunked(paths: list[str], nchunks: int) -> list[list[str]]:
+    """Split ``paths`` into ``nchunks`` contiguous, near-equal chunks."""
+    nchunks = max(min(nchunks, len(paths)), 1)
+    size, extra = divmod(len(paths), nchunks)
+    chunks, start = [], 0
+    for i in range(nchunks):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(paths[start:end])
+        start = end
+    return chunks
+
+
+def tree_reduce(
+    paths: Sequence[str],
+    jobs: int | None = None,
+    salvage: bool = False,
+    precheck: bool = True,
+    on_incompatible: str = "error",
+    cache: HeaderCache | None = None,
+) -> ProfileData:
+    """Merge many gmon files into one ProfileData, possibly in parallel.
+
+    Arguments:
+        paths: gmon files, in merge order (use :func:`expand_inputs`
+            to turn globs/directories into such a list).
+        jobs: worker processes; None picks ``os.cpu_count()``; 1 (or a
+            fleet too small to split) merges in-process.
+        salvage: read inputs through the salvaging parser; corrupt
+            files contribute their recovered prefix plus warnings.
+        precheck: peek all headers first and fail (or skip) early.
+        on_incompatible: ``"error"`` (default) or ``"skip"``.
+
+    Returns data equal to ``merge_profiles([read_gmon(p) for p in
+    paths])`` — byte-identical after :func:`~repro.gmon.write_gmon` —
+    for every worker count.
+    """
+    paths = [os.fspath(p) for p in paths]
+    if not paths:
+        raise MergeError("cannot merge zero profiles")
+    skip_warnings: list[str] = []
+    if precheck:
+        paths, skip_warnings = precheck_headers(
+            paths, cache=cache, on_incompatible=on_incompatible,
+            salvage=salvage,
+        )
+        if not paths:
+            raise MergeError(
+                "no mergeable profiles left after the header precheck"
+            )
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = min(jobs, max(len(paths) // MIN_FILES_PER_WORKER, 1))
+    if jobs <= 1:
+        acc = _merge_chunk((paths, salvage))
+    else:
+        import multiprocessing
+
+        # ~4 chunks per worker keeps the pool busy even when some
+        # chunks hit slower storage; order is restored by pool.map.
+        chunks = _chunked(paths, jobs * 4)
+        with multiprocessing.Pool(jobs) as pool:
+            partials = pool.map(_merge_chunk, [(c, salvage) for c in chunks])
+        acc = ProfileAccumulator()
+        for partial in partials:  # chunk order == input order: deterministic
+            acc.merge_from(partial)
+    data = acc.result()
+    if skip_warnings:
+        data.warnings.extend(skip_warnings)
+    return data
+
+
+def merge_paths(
+    specs: Sequence[str],
+    jobs: int | None = None,
+    salvage: bool = False,
+    on_incompatible: str = "error",
+) -> ProfileData:
+    """Convenience front door: expand specs, then :func:`tree_reduce`."""
+    return tree_reduce(
+        expand_inputs(specs), jobs=jobs, salvage=salvage,
+        on_incompatible=on_incompatible,
+    )
+
+
+def write_sum(data: ProfileData, path) -> Path:
+    """Write the merged data as ``gmon.sum`` (atomic, like any gmon)."""
+    from repro.gmon.format import write_gmon
+
+    write_gmon(data, path)
+    return Path(os.fspath(path))

@@ -9,8 +9,12 @@ default — a crash mid-write never leaves a torn file behind.
 """
 
 from repro.gmon.format import (
+    GmonHeader,
+    RawGmon,
     dumps_gmon,
     parse_gmon,
+    parse_gmon_raw,
+    peek_gmon_header,
     read_gmon,
     salvage_gmon,
     salvage_gmon_bytes,
@@ -18,8 +22,12 @@ from repro.gmon.format import (
 )
 
 __all__ = [
+    "GmonHeader",
+    "RawGmon",
     "dumps_gmon",
     "parse_gmon",
+    "parse_gmon_raw",
+    "peek_gmon_header",
     "read_gmon",
     "salvage_gmon",
     "salvage_gmon_bytes",

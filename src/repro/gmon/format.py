@@ -50,7 +50,7 @@ from __future__ import annotations
 import io
 import math
 import struct
-from typing import BinaryIO
+from typing import BinaryIO, NamedTuple
 
 from repro.core.arcs import RawArc
 from repro.core.histogram import DEFAULT_PROFRATE, Histogram
@@ -145,6 +145,116 @@ def _write_stream(data: ProfileData, f: BinaryIO) -> None:
 # -- strict reading -------------------------------------------------------------
 
 
+class RawGmon(NamedTuple):
+    """A strictly-validated gmon file, still in wire representation.
+
+    The cheap sibling of :class:`~repro.core.profiledata.ProfileData`:
+    bucket counts stay a flat tuple and arc records stay packed bytes
+    (decode with ``iter_arcs``), so fleet-scale consumers that only sum
+    fields — :class:`repro.fleet.ProfileAccumulator` — never pay for
+    per-record object construction.
+    """
+
+    comment: str
+    runs: int
+    low_pc: int
+    high_pc: int
+    nbuckets: int
+    profrate: int
+    counts: tuple[int, ...]
+    arc_blob: bytes
+    narcs: int
+
+    def iter_arcs(self):
+        """Yield (from_pc, self_pc, count) triples from the packed blob."""
+        return _ARC.iter_unpack(self.arc_blob)
+
+
+class GmonHeader(NamedTuple):
+    """Just the fixed-size prefix of a gmon file (no bucket/arc data).
+
+    Cheap to obtain (:func:`peek_gmon_header` reads a few hundred
+    bytes), which is what lets a merge driver reject an incompatible
+    file among thousands before parsing any of them in full.
+    """
+
+    comment: str
+    runs: int
+    low_pc: int
+    high_pc: int
+    nbuckets: int
+    profrate: int
+
+
+def peek_gmon_header(path) -> GmonHeader:
+    """Read only the magic/comment/header prefix of a gmon file.
+
+    Raises :class:`GmonFormatError` on bad magic, truncation inside the
+    prefix, or an impossible header — the same failures a full strict
+    parse would report for those bytes — without touching the bucket
+    counters or arc records at all.
+    """
+    prefix_len = len(MAGIC) + _COMMENT_LEN.size
+    with open(path, "rb") as f:
+        head = f.read(prefix_len)
+        if head[: len(MAGIC)] != MAGIC:
+            if len(head) < len(MAGIC):
+                raise GmonFormatError(
+                    f"truncated file: wanted {len(MAGIC)} bytes of magic, "
+                    f"got {len(head)}"
+                )
+            raise GmonFormatError(
+                f"bad magic {head[:len(MAGIC)]!r}: not a profile data file "
+                "or wrong version"
+            )
+        if len(head) < prefix_len:
+            raise GmonFormatError(
+                "truncated file: wanted 2 bytes of comment length, "
+                f"got {len(head) - len(MAGIC)}"
+            )
+        comment_len = _COMMENT_LEN.unpack_from(head, len(MAGIC))[0]
+        rest = f.read(comment_len + _HEADER.size)
+    if len(rest) < comment_len:
+        raise GmonFormatError(
+            f"truncated file: wanted {comment_len} bytes of comment, "
+            f"got {len(rest)}"
+        )
+    comment = _decode_comment(rest[:comment_len])
+    if len(rest) < comment_len + _HEADER.size:
+        raise GmonFormatError(
+            f"truncated file: wanted {_HEADER.size} bytes of header, "
+            f"got {len(rest) - comment_len}"
+        )
+    runs, low_pc, high_pc, nbuckets, profrate = _HEADER.unpack_from(
+        rest, comment_len
+    )
+    _validate_header(low_pc, high_pc, nbuckets, profrate)
+    return GmonHeader(comment, runs, low_pc, high_pc, nbuckets, profrate)
+
+
+def _validate_header(
+    low_pc: int, high_pc: int, nbuckets: int, profrate: int
+) -> None:
+    """Reject structurally impossible header values, strictly.
+
+    Mirrors what :class:`~repro.core.histogram.Histogram` construction
+    would reject, but at the wire layer so raw consumers get the same
+    guarantees without building the object.
+    """
+    if high_pc < low_pc:
+        raise GmonFormatError(f"high_pc {high_pc:#x} below low_pc {low_pc:#x}")
+    if profrate <= 0:
+        raise GmonFormatError(
+            f"impossible histogram header: profrate must be positive, "
+            f"got {profrate}"
+        )
+    if high_pc > low_pc and nbuckets == 0:
+        raise GmonFormatError(
+            "impossible histogram header: non-empty address range but "
+            "zero buckets"
+        )
+
+
 def read_gmon(path, mode: str = "strict"):
     """Read a profile data file written by :func:`write_gmon`.
 
@@ -173,8 +283,16 @@ def salvage_gmon(path) -> tuple[ProfileData, SalvageReport]:
     return read_gmon(path, mode="salvage")
 
 
-def parse_gmon(blob: bytes) -> ProfileData:
-    """Strictly parse an in-memory profile data file."""
+def parse_gmon_raw(blob: bytes) -> RawGmon:
+    """Strictly parse an in-memory profile data file — wire form only.
+
+    Performs every structural validation :func:`parse_gmon` performs
+    (magic, truncation, declared-size-vs-file-size, impossible header,
+    trailing bytes) but returns the :class:`RawGmon` wire view instead
+    of building :class:`Histogram`/:class:`RawArc` objects.  This is
+    the single source of truth for strict validation; both the object
+    reader and the fleet accumulator sit on top of it.
+    """
     cursor = _Cursor(blob)
     magic = cursor.take(len(MAGIC), "magic")
     if magic != MAGIC:
@@ -197,9 +315,9 @@ def parse_gmon(blob: bytes) -> ProfileData:
             f"header claims {nbuckets} histogram buckets ({need} bytes "
             f"incl. arc count) but only {cursor.remaining} bytes remain"
         )
-    counts = list(
-        struct.unpack(f"<{nbuckets}I", cursor.take(nbuckets * _BUCKET.size,
-                                                   "histogram buckets"))
+    counts = struct.unpack(
+        f"<{nbuckets}I", cursor.take(nbuckets * _BUCKET.size,
+                                     "histogram buckets")
     )
     narcs = _NARCS.unpack(cursor.take(_NARCS.size, "arc count"))[0]
     if cursor.remaining < narcs * _ARC.size:
@@ -207,21 +325,33 @@ def parse_gmon(blob: bytes) -> ProfileData:
             f"header claims {narcs} arcs ({narcs * _ARC.size} bytes) but "
             f"only {cursor.remaining} bytes remain"
         )
-    arcs = [
-        RawArc(from_pc, self_pc, count)
-        for from_pc, self_pc, count in _ARC.iter_unpack(
-            cursor.take(narcs * _ARC.size, "arc records")
-        )
-    ]
+    arc_blob = cursor.take(narcs * _ARC.size, "arc records")
     if cursor.remaining:
         raise GmonFormatError("trailing bytes after arc records")
+    _validate_header(low_pc, high_pc, nbuckets, profrate)
+    return RawGmon(
+        comment, runs, low_pc, high_pc, nbuckets, profrate,
+        counts, arc_blob, narcs,
+    )
+
+
+def parse_gmon(blob: bytes) -> ProfileData:
+    """Strictly parse an in-memory profile data file."""
+    raw = parse_gmon_raw(blob)
+    arcs = [
+        RawArc(from_pc, self_pc, count)
+        for from_pc, self_pc, count in raw.iter_arcs()
+    ]
     try:
-        histogram = Histogram(low_pc, high_pc, counts, profrate)
+        histogram = Histogram(
+            raw.low_pc, raw.high_pc, list(raw.counts), raw.profrate
+        )
     except HistogramError as exc:
         raise GmonFormatError(f"impossible histogram header: {exc}") from exc
-    warnings = [RUNS_ZERO_WARNING] if runs == 0 else []
+    warnings = [RUNS_ZERO_WARNING] if raw.runs == 0 else []
     return ProfileData(
-        histogram, arcs, runs=max(runs, 1), comment=comment, warnings=warnings
+        histogram, arcs, runs=max(raw.runs, 1), comment=raw.comment,
+        warnings=warnings,
     )
 
 

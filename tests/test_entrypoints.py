@@ -16,6 +16,7 @@ CLI_MODULES = {
     "repro-vm": "repro.cli.vm_cli",
     "repro-stacks": "repro.cli.stacks_cli",
     "repro-check": "repro.cli.check_cli",
+    "repro-merge": "repro.cli.merge_cli",
 }
 
 

@@ -111,5 +111,5 @@ class TestTutorialSteps:
         commands = set(re.findall(r"\brepro-[a-z]+", text))
         assert commands <= {
             "repro-vm", "repro-gprof", "repro-prof",
-            "repro-kgmon", "repro-stacks", "repro-check",
+            "repro-kgmon", "repro-stacks", "repro-check", "repro-merge",
         }

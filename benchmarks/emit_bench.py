@@ -157,26 +157,55 @@ def run(quick: bool) -> tuple[dict, bool]:
     return report, identical_everywhere
 
 
+#: suite name -> (banner, default output file, runner, mismatch message).
+#: Every runner returns ``(report_dict, byte_identical)`` and the driver
+#: turns a False flag into exit status 2 — the CI identity gate.
+SUITES = {
+    "fleet": (
+        "T-FLEET",
+        "BENCH_fleet.json",
+        run,
+        "parallel output differs from sequential",
+    ),
+    "vm": (
+        "T-VM",
+        "BENCH_vm.json",
+        None,  # resolved lazily to avoid importing the VM for fleet runs
+        "fast-engine gmon differs from reference engine",
+    ),
+}
+
+
+def _suite_runner(name: str):
+    if name == "vm":
+        from benchmarks.bench_vm import run_vm
+
+        return run_vm
+    return SUITES[name][2]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="emit_bench",
-        description="measure fleet merge throughput, write BENCH_fleet.json",
+        description="measure a perf-trajectory suite, write its BENCH_*.json",
     )
+    parser.add_argument("--suite", choices=sorted(SUITES), default="fleet",
+                        help="which trajectory to measure (default: fleet)")
     parser.add_argument("--quick", action="store_true",
-                        help="small fleets for CI smoke runs")
-    parser.add_argument("--out", default="BENCH_fleet.json", metavar="FILE",
-                        help="where to write the JSON report")
+                        help="small corpora for CI smoke runs")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="where to write the JSON report "
+                             "(default: the suite's BENCH_*.json)")
     opts = parser.parse_args(argv)
-    print(f"== T-FLEET ({'quick' if opts.quick else 'full'}) ==")
-    report, identical = run(opts.quick)
-    Path(opts.out).write_text(json.dumps(report, indent=2) + "\n",
-                              encoding="utf-8")
-    print(f"report written to {opts.out}")
+    banner, default_out, _, mismatch = SUITES[opts.suite]
+    out = opts.out or default_out
+    print(f"== {banner} ({'quick' if opts.quick else 'full'}) ==")
+    report, identical = _suite_runner(opts.suite)(opts.quick)
+    Path(out).write_text(json.dumps(report, indent=2) + "\n",
+                         encoding="utf-8")
+    print(f"report written to {out}")
     if not identical:
-        print(
-            "emit_bench: FATAL: parallel output differs from sequential",
-            file=sys.stderr,
-        )
+        print(f"emit_bench: FATAL: {mismatch}", file=sys.stderr)
         return 2
     return 0
 

@@ -11,6 +11,7 @@ Subcommands::
 
     repro-vm run IMAGE_OR_SOURCE [--profile] [--gmon FILE]
                  [--ticks N] [--annotate] [--checkpoint N]
+                 [--engine fast|reference]
         Execute a program (a .vmexe image, an assembly file, or a
         canned program name).  With --profile, attach the monitor and
         write the gmon file; with --annotate, print the per-instruction
@@ -29,7 +30,14 @@ import sys
 
 from repro.errors import ReproError
 from repro.gmon import write_gmon
-from repro.machine import CPU, Executable, Monitor, MonitorConfig, assemble
+from repro.machine import (
+    ENGINES,
+    Executable,
+    Monitor,
+    MonitorConfig,
+    assemble,
+    make_cpu,
+)
 from repro.machine.programs import PROGRAMS
 from repro.report.annotate import format_annotated_disassembly
 
@@ -127,7 +135,7 @@ def cmd_run(opts) -> int:
         )
     elif opts.checkpoint:
         raise ReproError("--checkpoint requires --profile")
-    cpu = CPU(exe, monitor)
+    cpu = make_cpu(exe, monitor, engine=opts.engine)
     cpu.run()
     print(
         f"{exe.name}: {cpu.instructions_executed} instructions, "
@@ -184,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--count", action="store_true",
                      help="instrument basic blocks with inline counters "
                           "and print their exact execution counts")
+    run.add_argument("--engine", choices=sorted(ENGINES), default="fast",
+                     help="interpreter engine: the predecoded fast engine "
+                          "(default) or the reference engine, the readable "
+                          "baseline kept as a debugging escape hatch — both "
+                          "produce identical profiles")
     return parser
 
 

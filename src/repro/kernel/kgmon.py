@@ -21,8 +21,8 @@ from repro.core.profiledata import ProfileData
 from repro.core.symbols import SymbolTable
 from repro.errors import KernelError
 from repro.machine.assembler import assemble
-from repro.machine.cpu import CPU
 from repro.machine.executable import Executable
+from repro.machine.fastcpu import FastCPU
 from repro.machine.monitor import Monitor, MonitorConfig
 from repro.kernel.build import build_kernel_source
 
@@ -67,7 +67,11 @@ class KernelSession:
             if device_interrupts
             else []
         )
-        self.cpu = CPU(self.executable, self.monitor, interrupts=interrupts)
+        # The fast engine keeps kgmon's on/off/extract/reset semantics:
+        # the interpreter consults the live monitor and arc table, so
+        # control operations between slices behave exactly as with the
+        # reference engine (the equivalence suite pins this).
+        self.cpu = FastCPU(self.executable, self.monitor, interrupts=interrupts)
 
     # -- keeping the kernel running ------------------------------------------------
 

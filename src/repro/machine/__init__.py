@@ -15,6 +15,7 @@ from repro.machine.blockcounts import BlockCount, block_counts, format_block_cou
 from repro.machine.cpu import CPU, Frame, InterruptSource
 from repro.machine.crawl import static_arcs, static_call_graph
 from repro.machine.executable import Executable, Function
+from repro.machine.fastcpu import ENGINES, FastCPU, make_cpu, predecode
 from repro.machine.isa import INSTRUCTION_SIZE, Instruction, Op
 from repro.machine.mcount import ArcTable, ArcTableStats
 from repro.machine.monitor import Monitor, MonitorConfig
@@ -24,6 +25,8 @@ __all__ = [
     "ArcTableStats",
     "BlockCount",
     "CPU",
+    "ENGINES",
+    "FastCPU",
     "block_counts",
     "format_block_counts",
     "Executable",
@@ -36,6 +39,8 @@ __all__ = [
     "MonitorConfig",
     "Op",
     "assemble",
+    "make_cpu",
+    "predecode",
     "run_profiled",
     "run_unprofiled",
     "static_arcs",
@@ -50,12 +55,16 @@ def run_profiled(
     scale: float = 1.0,
     profrate: int = 60,
     max_instructions: int | None = None,
+    engine: str = "fast",
 ) -> tuple[CPU, ProfileData]:
     """Assemble ``source`` with profiling, run it, condense the data.
 
     The one-call equivalent of "compile with the profiling option, run,
     and pick up gmon.out".  Returns the finished CPU (for cycle counts
     and program output) and the condensed :class:`ProfileData`.
+    ``engine`` selects the interpreter: the predecoded fast engine (the
+    default) or the ``"reference"`` baseline — both produce identical
+    profiles.
     """
     exe = assemble(source, name=name, profile=True)
     monitor = Monitor(
@@ -67,7 +76,7 @@ def run_profiled(
             profrate=profrate,
         )
     )
-    cpu = CPU(exe, monitor)
+    cpu = make_cpu(exe, monitor, engine=engine)
     cpu.run(max_instructions=max_instructions)
     return cpu, monitor.mcleanup(comment=name)
 
@@ -76,10 +85,11 @@ def run_unprofiled(
     source: str,
     name: str = "a.out",
     max_instructions: int | None = None,
+    engine: str = "fast",
 ) -> CPU:
     """Assemble ``source`` without profiling and run it (the control
     case for overhead measurements)."""
     exe = assemble(source, name=name, profile=False)
-    cpu = CPU(exe)
+    cpu = make_cpu(exe, engine=engine)
     cpu.run(max_instructions=max_instructions)
     return cpu

@@ -32,9 +32,17 @@ from repro.machine.monitor import Monitor
 
 def _trunc_div(a: int, b: int) -> int:
     """Integer division truncating toward zero (C semantics), exact for
-    arbitrarily large operands."""
+    arbitrarily large operands.
+
+    When the operands share a sign the quotient is non-negative, so
+    floor division already truncates toward zero and the hot DIV/MOD
+    path is a single ``//``.  Only mixed-sign operands need the
+    correction step.
+    """
+    if (a >= 0) == (b >= 0):
+        return a // b
     q = a // b
-    if q < 0 and q * b != a:
+    if q * b != a:
         q += 1
     return q
 

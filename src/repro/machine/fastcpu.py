@@ -1,0 +1,794 @@
+"""The fast interpreter: predecode + threaded dispatch + batched clocks.
+
+:class:`~repro.machine.cpu.CPU` is the *reference* engine: a readable
+``if``/``elif`` chain that re-decodes every instruction, re-checks the
+tick boundary, and re-enters Python attribute lookups on every cycle.
+The paper's own thesis — "the greatest volume of data is the execution
+counts ... the routines to gather it must be fast" (§3) — applies to
+the simulated hardware too: every benchmark, canned program, and fleet
+corpus generator in this reproduction is bottlenecked by that loop.
+
+:class:`FastCPU` keeps the reference engine's API and *observable
+behaviour* (same cycle clock, same histogram buckets, same arc counts,
+byte-identical ``gmon.out``; the differential suite in
+``tests/test_fastcpu_equivalence.py`` enforces this over the whole
+canned corpus plus hypothesis-generated programs) while restructuring
+the execution core around three ideas:
+
+**Predecode.**  :func:`predecode` lowers an
+:class:`~repro.machine.executable.Executable` once into parallel arrays
+— integer opcode index, operand, static cycle cost — cached on the
+executable, so the hot loop never touches :class:`Instruction` objects,
+enum identity chains, or the ``COSTS`` dict.  Static jump/call targets
+are resolved to instruction *indices* at predecode time; instructions
+the fast path cannot prove safe (misaligned targets, missing or
+negative operands) are lowered to a DEFER opcode that routes through
+the reference ``step()``, so degenerate programs keep reference
+semantics — including error messages — exactly.
+
+**Threaded dispatch.**  Execution goes through a table of per-opcode
+bound handlers (a closure array indexed by the predecoded opcode)
+instead of the 30-branch chain.  Each handler receives the predecoded
+operand and the instruction index and returns the next index; machine
+state lives in closure cells bound once per CPU, not in attribute
+lookups repeated per instruction.
+
+**Event horizons (batched clocks).**  The per-instruction clock work is
+hoisted out of the dispatch loop: the run loop computes the next event
+cycle once — the next profiling tick, the next interrupt delivery, the
+``max_cycles`` budget — and burns straight-line instructions against a
+local cycle counter until an instruction would cross it.  The crossing
+instruction (and anything predecode deferred) is executed by the
+reference ``step()``, which fires the tick at the correct PC, delivers
+checkpoints, and walks stacks, so sampling semantics are inherited
+rather than re-implemented.  At the default 100 cycles per tick, the
+careful path runs roughly once per sixty dispatches.
+
+``MCOUNT`` — the monitoring routine, executed on every profiled call —
+gets an inlined fast path for §3.1's "usually one" case: when the call
+site's secondary chain exists and its head record is this callee, the
+arc count is a direct head bump (one dict probe, no scan, no
+allocation).  The head entry of a chain never moves (records are
+appended, never reordered), so consulting the live table keeps this
+memo coherent across ``kgmon``-style mid-run resets.  Multi-callee
+sites, first calls, and spontaneous invocations fall through to
+:meth:`ArcTable.record`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+from repro.machine.cpu import CPU, Frame, _trunc_div
+from repro.machine.executable import Executable
+from repro.machine.isa import (
+    COSTS,
+    INSTRUCTION_SIZE,
+    OPERAND_OPS,
+    Op,
+)
+from repro.machine.mcount import (
+    MCOUNT_BASE_COST,
+    MCOUNT_PROBE_COST,
+    ArcTable,
+)
+from repro.machine.monitor import Monitor
+
+#: Opcode numbering for the dispatch table: plain ops first, then the
+#: "event" ops the run loop handles out of line.  The order within each
+#: group is arbitrary but frozen — predecoded arrays embed it.
+_PLAIN_OPS: tuple[Op, ...] = (
+    Op.PUSH, Op.POP, Op.DUP, Op.SWAP,
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.NEG,
+    Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE,
+    Op.LOAD, Op.STORE, Op.GLOAD, Op.GSTORE, Op.GLOADI, Op.GSTOREI,
+    Op.JMP, Op.JZ, Op.JNZ, Op.CALL, Op.CALLI, Op.RET,
+    Op.HALT, Op.NOP, Op.OUT, Op.COUNT,
+)
+
+#: First opcode index the dispatch loop must special-case.
+EVENT_MIN = len(_PLAIN_OPS)
+
+#: Event opcodes: dynamic cycle costs (WORK, MCOUNT), no fast-path
+#: lowering (DEFER -> reference step), or the sentinel planted one past
+#: the text segment (OFFEND -> the reference fetch fault for execution
+#: that falls off the end).
+OP_WORK = EVENT_MIN
+OP_MCOUNT = EVENT_MIN + 1
+OP_DEFER = EVENT_MIN + 2
+OP_OFFEND = EVENT_MIN + 3
+
+OPCODE_INDEX: dict[Op, int] = {op: i for i, op in enumerate(_PLAIN_OPS)}
+OPCODE_INDEX[Op.WORK] = OP_WORK
+OPCODE_INDEX[Op.MCOUNT] = OP_MCOUNT
+
+#: Opcodes whose operand is a static code address the predecoder
+#: resolves to an instruction index (invalid targets lower to DEFER).
+_JUMP_OPS = frozenset({Op.JMP, Op.JZ, Op.JNZ, Op.CALL})
+
+#: Opcodes whose operand indexes a local slot: the fast handlers grow
+#: the frame's locals list in place, which is only safe for
+#: non-negative integer slots (negative ones must raise the reference
+#: "negative local slot" error, not wrap around Python-style).
+_LOCAL_OPS = frozenset({Op.LOAD, Op.STORE})
+
+#: A cycle count no program reaches: the "no event pending" horizon.
+_NO_EVENT = 1 << 62
+
+
+class _HaltLoop(Exception):
+    """Internal: the dispatched instruction halted the machine."""
+
+
+class _Resync(Exception):
+    """Internal: RET un-nested an interrupt; resume at ``addr`` after
+    re-arming delivery (the event horizon must be recomputed)."""
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+
+class Predecoded:
+    """One executable lowered to parallel arrays (cached on the image).
+
+    Attributes:
+        ops: per-instruction integer opcode (``OPCODE_INDEX`` order),
+            plus the OFFEND sentinel at index ``length``.
+        args: per-instruction operand; jump/call targets are pre-divided
+            to instruction indices, other operands are verbatim.
+        costs: per-instruction static cycle cost (WORK's operand and
+            MCOUNT's monitoring cost are charged by the run loop).
+        length: number of real instructions (sentinel excluded).
+        source: the instruction list this was decoded from, for cache
+            validation by identity.
+    """
+
+    __slots__ = ("ops", "args", "costs", "length", "source")
+
+    def __init__(self, exe: Executable):
+        n = len(exe.instructions)
+        ops = [0] * (n + 1)
+        args: list = [None] * (n + 1)
+        costs = [0] * (n + 1)
+        for i, ins in enumerate(exe.instructions):
+            op = ins.op
+            operand = ins.operand
+            code = OPCODE_INDEX.get(op)
+            if code is None:  # pragma: no cover - exhaustive enum
+                code = OP_DEFER
+            elif op in _JUMP_OPS:
+                # Resolve static control-transfer targets to indices.
+                # Targets the reference engine would fault on (or
+                # TypeError on) defer, preserving message and timing.
+                if (
+                    not isinstance(operand, int)
+                    or operand % INSTRUCTION_SIZE
+                    or not 0 <= operand < n * INSTRUCTION_SIZE
+                ):
+                    code = OP_DEFER
+                else:
+                    operand = operand // INSTRUCTION_SIZE
+            elif op in _LOCAL_OPS or op is Op.WORK:
+                if not isinstance(operand, int) or operand < 0:
+                    code = OP_DEFER
+            elif (
+                operand is None
+                and op in OPERAND_OPS
+                and op is not Op.PUSH
+            ):
+                # GLOAD/GSTORE/COUNT with a missing operand: the
+                # reference engine raises TypeError when (and only
+                # when) the instruction executes.
+                code = OP_DEFER
+            ops[i] = code
+            args[i] = operand
+            costs[i] = COSTS[op]
+        ops[n] = OP_OFFEND
+        self.ops = ops
+        self.args = args
+        self.costs = costs
+        self.length = n
+        self.source = exe.instructions
+
+
+def predecode(exe: Executable) -> Predecoded:
+    """Lower ``exe`` once; the result is cached on the executable.
+
+    The cache is validated by identity of the instruction list, so
+    rebinding ``exe.instructions`` invalidates it.  (In-place item
+    assignment does not — executables are treated as immutable after
+    assembly, as everywhere else in the code base.)
+    """
+    cached = getattr(exe, "_predecoded", None)
+    if cached is not None and cached.source is exe.instructions:
+        return cached
+    pre = Predecoded(exe)
+    exe._predecoded = pre
+    return pre
+
+
+class FastCPU(CPU):
+    """Drop-in replacement for :class:`CPU` with the fast run loop.
+
+    Construction, attributes, ``step()`` (single-instruction execution,
+    used by debuggers and tests), ``charge_overhead``, and
+    ``stack_functions`` are all inherited — only ``run()`` is
+    rewritten.  A CPU with a ``tracer`` installed falls back to
+    reference stepping so ``on_call``/``on_return`` observe
+    reference-exact intermediate state.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._handlers = self._build_handlers()
+
+    # -- the dispatch table -------------------------------------------------------
+
+    def _build_handlers(self) -> list:
+        """Bind one closure per plain opcode.
+
+        Handlers take ``(operand, index)`` and return the next
+        instruction index.  They mutate the same stack/frame/global
+        objects the reference engine uses and raise the same
+        :class:`MachineError` messages.  The reference helpers embed
+        ``self.pc`` *after* the fall-through advance for stack and
+        local-slot faults — hence ``(i + 1)`` in those formats — but
+        the pre-advance pc for arithmetic and global-slot faults.
+        Handlers never touch the clock; the run loop owns cycle
+        accounting.
+        """
+        isize = INSTRUCTION_SIZE
+        stack = self.stack
+        push = stack.append
+        pop = stack.pop
+        frames = self.frames
+        frames_append = frames.append
+        globals_ = self.globals
+        counters = self.counters
+        out_append = self.output.append
+        max_stack = self.MAX_STACK
+        max_frames = self.MAX_FRAMES
+        n_instr = len(self.exe.instructions)
+        cpu = self
+
+        def underflow(i: int) -> MachineError:
+            return MachineError(
+                f"operand stack underflow at pc {(i + 1) * isize:#x}"
+            )
+
+        def overflow(i: int) -> MachineError:
+            return MachineError(
+                f"operand stack overflow at pc {(i + 1) * isize:#x}"
+            )
+
+        def h_push(a, i):
+            if len(stack) >= max_stack:
+                raise overflow(i)
+            push(a)
+            return i + 1
+
+        def h_pop(a, i):
+            try:
+                pop()
+            except IndexError:
+                raise underflow(i) from None
+            return i + 1
+
+        def h_dup(a, i):
+            try:
+                v = pop()
+            except IndexError:
+                raise underflow(i) from None
+            push(v)
+            if len(stack) >= max_stack:
+                raise overflow(i)
+            push(v)
+            return i + 1
+
+        def h_swap(a, i):
+            try:
+                b, a2 = pop(), pop()
+            except IndexError:
+                raise underflow(i) from None
+            push(b)
+            push(a2)
+            return i + 1
+
+        def h_add(a, i):
+            try:
+                b, a2 = pop(), pop()
+            except IndexError:
+                raise underflow(i) from None
+            push(a2 + b)
+            return i + 1
+
+        def h_sub(a, i):
+            try:
+                b, a2 = pop(), pop()
+            except IndexError:
+                raise underflow(i) from None
+            push(a2 - b)
+            return i + 1
+
+        def h_mul(a, i):
+            try:
+                b, a2 = pop(), pop()
+            except IndexError:
+                raise underflow(i) from None
+            push(a2 * b)
+            return i + 1
+
+        def h_div(a, i):
+            try:
+                b, a2 = pop(), pop()
+            except IndexError:
+                raise underflow(i) from None
+            if b == 0:
+                raise MachineError(f"division by zero at pc {i * isize:#x}")
+            push(_trunc_div(a2, b))
+            return i + 1
+
+        def h_mod(a, i):
+            try:
+                b, a2 = pop(), pop()
+            except IndexError:
+                raise underflow(i) from None
+            if b == 0:
+                raise MachineError(f"modulo by zero at pc {i * isize:#x}")
+            push(a2 - _trunc_div(a2, b) * b)
+            return i + 1
+
+        def h_neg(a, i):
+            try:
+                push(-pop())
+            except IndexError:
+                raise underflow(i) from None
+            return i + 1
+
+        def _cmp(operator):
+            def h(a, i):
+                try:
+                    b, a2 = pop(), pop()
+                except IndexError:
+                    raise underflow(i) from None
+                push(1 if operator(a2, b) else 0)
+                return i + 1
+
+            return h
+
+        def h_load(a, i):
+            loc = frames[-1].locals
+            if len(loc) <= a:
+                loc.extend([0] * (a + 1 - len(loc)))
+            if len(stack) >= max_stack:
+                raise overflow(i)
+            push(loc[a])
+            return i + 1
+
+        def h_store(a, i):
+            try:
+                v = pop()
+            except IndexError:
+                raise underflow(i) from None
+            loc = frames[-1].locals
+            if len(loc) <= a:
+                loc.extend([0] * (a + 1 - len(loc)))
+            loc[a] = v
+            return i + 1
+
+        def h_gload(a, i):
+            if not 0 <= a < len(globals_):
+                raise MachineError(
+                    f"global slot {a} out of range at pc {i * isize:#x}"
+                )
+            if len(stack) >= max_stack:
+                raise overflow(i)
+            push(globals_[a])
+            return i + 1
+
+        def h_gstore(a, i):
+            try:
+                v = pop()
+            except IndexError:
+                raise underflow(i) from None
+            if not 0 <= a < len(globals_):
+                raise MachineError(
+                    f"global slot {a} out of range at pc {i * isize:#x}"
+                )
+            globals_[a] = v
+            return i + 1
+
+        def h_gloadi(a, i):
+            try:
+                slot = pop()
+            except IndexError:
+                raise underflow(i) from None
+            if not 0 <= slot < len(globals_):
+                raise MachineError(
+                    f"global slot {slot} out of range at pc {i * isize:#x}"
+                )
+            push(globals_[slot])
+            return i + 1
+
+        def h_gstorei(a, i):
+            try:
+                slot = pop()
+                v = pop()
+            except IndexError:
+                raise underflow(i) from None
+            if not 0 <= slot < len(globals_):
+                raise MachineError(
+                    f"global slot {slot} out of range at pc {i * isize:#x}"
+                )
+            globals_[slot] = v
+            return i + 1
+
+        def h_jmp(t, i):
+            return t
+
+        def h_jz(t, i):
+            try:
+                v = pop()
+            except IndexError:
+                raise underflow(i) from None
+            return t if v == 0 else i + 1
+
+        def h_jnz(t, i):
+            try:
+                v = pop()
+            except IndexError:
+                raise underflow(i) from None
+            return i + 1 if v == 0 else t
+
+        def h_call(t, i):
+            if len(frames) >= max_frames:
+                raise MachineError(
+                    f"call stack overflow ({max_frames} frames) calling "
+                    f"{t * isize:#x} from {i * isize:#x}"
+                )
+            frames_append(Frame(return_addr=(i + 1) * isize))
+            return t
+
+        def h_calli(a, i):
+            try:
+                target = pop()
+            except IndexError:
+                raise underflow(i) from None
+            if len(frames) >= max_frames:
+                raise MachineError(
+                    f"call stack overflow ({max_frames} frames) calling "
+                    f"{target:#x} from {i * isize:#x}"
+                )
+            q, rem = divmod(target, isize)
+            if rem or not 0 <= q < n_instr:
+                raise MachineError(f"call to bad address {target:#x}")
+            frames_append(Frame(return_addr=(i + 1) * isize))
+            return q
+
+        def h_ret(a, i):
+            frame = frames.pop()
+            if frame.interrupted:
+                cpu._irq_active = False
+                raise _Resync(frame.return_addr)
+            ra = frame.return_addr
+            if ra is None:
+                raise _HaltLoop
+            return ra // isize
+
+        def h_halt(a, i):
+            raise _HaltLoop
+
+        def h_nop(a, i):
+            return i + 1
+
+        def h_out(a, i):
+            try:
+                out_append(pop())
+            except IndexError:
+                raise underflow(i) from None
+            return i + 1
+
+        def h_count(a, i):
+            counters[a] += 1
+            return i + 1
+
+        table = {
+            Op.PUSH: h_push, Op.POP: h_pop, Op.DUP: h_dup, Op.SWAP: h_swap,
+            Op.ADD: h_add, Op.SUB: h_sub, Op.MUL: h_mul,
+            Op.DIV: h_div, Op.MOD: h_mod, Op.NEG: h_neg,
+            Op.EQ: _cmp(lambda a, b: a == b),
+            Op.NE: _cmp(lambda a, b: a != b),
+            Op.LT: _cmp(lambda a, b: a < b),
+            Op.LE: _cmp(lambda a, b: a <= b),
+            Op.GT: _cmp(lambda a, b: a > b),
+            Op.GE: _cmp(lambda a, b: a >= b),
+            Op.LOAD: h_load, Op.STORE: h_store,
+            Op.GLOAD: h_gload, Op.GSTORE: h_gstore,
+            Op.GLOADI: h_gloadi, Op.GSTOREI: h_gstorei,
+            Op.JMP: h_jmp, Op.JZ: h_jz, Op.JNZ: h_jnz,
+            Op.CALL: h_call, Op.CALLI: h_calli, Op.RET: h_ret,
+            Op.HALT: h_halt, Op.NOP: h_nop, Op.OUT: h_out,
+            Op.COUNT: h_count,
+        }
+        return [table[op] for op in _PLAIN_OPS]
+
+    # -- the run loop -------------------------------------------------------------
+
+    def run(
+        self,
+        max_instructions: int | None = None,
+        max_cycles: int | None = None,
+    ) -> "FastCPU":
+        """Run until HALT or a budget is exhausted; returns self.
+
+        Observably identical to :meth:`CPU.run` — the differential
+        suite pins clocks, histograms, arc tables, stats, and error
+        messages — but instructions between events dispatch through the
+        predecoded handler table with the clock batched against the
+        next event horizon.
+        """
+        if self.tracer is not None:
+            # Tracers observe per-instruction state; give them the
+            # reference engine verbatim.
+            return CPU.run(self, max_instructions, max_cycles)
+
+        exe = self.exe
+        pre = predecode(exe)
+        ops = pre.ops
+        args = pre.args
+        costs = pre.costs
+        n_instr = pre.length
+        handlers = self._handlers
+        isize = INSTRUCTION_SIZE
+        monitor = self.monitor
+        ticking = monitor is not None and self._tick_interval > 0
+        has_irqs = bool(self._interrupts)
+        frames = self.frames
+
+        # MCOUNT inlining is only sound against the stock table (the
+        # callee-keyed ablation lacks the site-keyed chain layout) and
+        # the stock monitoring routine (a subclass override must see
+        # every invocation); anything else routes through step().
+        arc_table = monitor.arc_table if monitor is not None else None
+        inline_mcount = (
+            type(arc_table) is ArcTable
+            and type(monitor).mcount is Monitor.mcount
+        )
+        stats = arc_table.stats if arc_table is not None else None
+        get_chain = arc_table._table.get if arc_table is not None else None
+
+        # Local mirrors of the mutable machine registers.  ``trap``
+        # holds a pc the reference engine would fault fetching; the
+        # fault is raised at the point the reference engine would
+        # reach it (after budget checks and interrupt delivery).
+        cycles = self.cycles
+        n = self.instructions_executed
+        stop_n = n + max_instructions if max_instructions is not None else -1
+        idx, rem = divmod(self.pc, isize)
+        trap = None
+        if rem or idx < 0 or idx > n_instr:
+            trap = self.pc
+            idx = 0
+        ref_state = False  # True while self.* is authoritative
+        c = cycles  # last attempted charge, for the halt paths
+
+        def careful(idx: int, cycles: int, n: int):
+            """Execute one instruction via the reference ``step()``.
+
+            Used for the instruction that crosses an event horizon
+            (so ticks fire at the right pc, checkpoints flush, stack
+            walks charge their overhead) and for everything predecode
+            lowered to DEFER.  Returns re-derived
+            ``(idx, cycles, n, trap)``.
+            """
+            nonlocal ref_state
+            self.pc = idx * isize
+            self.cycles = cycles
+            self.instructions_executed = n
+            ref_state = True
+            CPU.step(self)
+            ref_state = False
+            q, r = divmod(self.pc, isize)
+            if r or q < 0 or q > n_instr:
+                return 0, self.cycles, self.instructions_executed, self.pc
+            return q, self.cycles, self.instructions_executed, None
+
+        try:
+            while not self.halted:
+                # Budgets, then delivery, then the deferred fetch
+                # fault: the reference run()/step() ordering.
+                if n == stop_n:
+                    break
+                if max_cycles is not None and cycles >= max_cycles:
+                    break
+                if has_irqs and not self._irq_active:
+                    self.pc = trap if trap is not None else idx * isize
+                    self.cycles = cycles
+                    self._maybe_deliver_interrupt()
+                    if self._irq_active:
+                        idx = self.pc // isize
+                        trap = None
+                if trap is not None:
+                    self.pc = trap
+                    self.cycles = cycles
+                    self.instructions_executed = n
+                    ref_state = True
+                    exe.fetch(trap)  # raises the reference fetch fault
+                    raise AssertionError(  # pragma: no cover
+                        f"fetch accepted trap pc {trap:#x}"
+                    )
+
+                # The event horizon: the next cycle at which anything
+                # other than plain dispatch must happen.
+                next_event = _NO_EVENT
+                if ticking:
+                    next_event = self._next_tick
+                if has_irqs and not self._irq_active:
+                    due = min(self._next_irq)
+                    if due < next_event:
+                        next_event = due
+                if max_cycles is not None and max_cycles < next_event:
+                    next_event = max_cycles
+
+                try:
+                    while n != stop_n:
+                        op = ops[idx]
+                        c = cycles + costs[idx]
+                        if c >= next_event or op >= EVENT_MIN:
+                            if op < EVENT_MIN or op == OP_DEFER:
+                                idx, cycles, n, trap = careful(
+                                    idx, cycles, n
+                                )
+                                break
+                            if op == OP_MCOUNT:
+                                if monitor is None or not monitor.enabled:
+                                    # Zero cost: cannot cross an event.
+                                    n += 1
+                                    idx += 1
+                                    continue
+                                if not inline_mcount:
+                                    idx, cycles, n, trap = careful(
+                                        idx, cycles, n
+                                    )
+                                    break
+                                self_pc = idx * isize
+                                frame = frames[-1]
+                                ra = frame.return_addr
+                                if ra is None or frame.interrupted:
+                                    from_pc = None
+                                    chain = get_chain(0)
+                                else:
+                                    from_pc = ra - isize
+                                    chain = get_chain(from_pc)
+                                    if (
+                                        chain is not None
+                                        and chain[0][0] == self_pc
+                                    ):
+                                        # §3.1's "usually one": head
+                                        # bump, no scan, no allocation.
+                                        mc = (
+                                            MCOUNT_BASE_COST
+                                            + MCOUNT_PROBE_COST
+                                        )
+                                        if cycles + mc >= next_event:
+                                            idx, cycles, n, trap = (
+                                                careful(idx, cycles, n)
+                                            )
+                                            break
+                                        chain[0][1] += 1
+                                        stats.lookups += 1
+                                        stats.probes += 1
+                                        cycles += mc
+                                        n += 1
+                                        idx += 1
+                                        continue
+                                # First call from this site, secondary
+                                # collision, or spontaneous: peek the
+                                # probe count record() will report, to
+                                # price the crossing check, then commit
+                                # through the real monitoring routine.
+                                probes = 1
+                                if chain:
+                                    probes = len(chain) + 1
+                                    for j, entry in enumerate(chain):
+                                        if entry[0] == self_pc:
+                                            probes = j + 1
+                                            break
+                                mc = (
+                                    MCOUNT_BASE_COST
+                                    + MCOUNT_PROBE_COST * probes
+                                )
+                                if cycles + mc >= next_event:
+                                    idx, cycles, n, trap = careful(
+                                        idx, cycles, n
+                                    )
+                                    break
+                                n += 1
+                                monitor.mcount(from_pc, self_pc)
+                                cycles += mc
+                                idx += 1
+                                continue
+                            if op == OP_WORK:
+                                c += args[idx]
+                                if c >= next_event:
+                                    idx, cycles, n, trap = careful(
+                                        idx, cycles, n
+                                    )
+                                    break
+                                cycles = c
+                                n += 1
+                                idx += 1
+                                continue
+                            # OP_OFFEND: execution fell off the end of
+                            # the text segment.  Budgets were already
+                            # checked and no interrupt can be due here
+                            # (cycles < next_event), so the reference
+                            # engine would fault fetching right now.
+                            self.pc = idx * isize
+                            self.cycles = cycles
+                            self.instructions_executed = n
+                            ref_state = True
+                            exe.fetch(self.pc)  # raises
+                            raise AssertionError(  # pragma: no cover
+                                f"fetch accepted pc {self.pc:#x}"
+                            )
+                        n += 1
+                        idx = handlers[op](args[idx], idx)
+                        cycles = c
+                except _HaltLoop:
+                    # HALT (or RET from the entry frame) leaves the pc
+                    # advanced past the halting instruction, charged.
+                    cycles = c
+                    idx += 1
+                    self.halted = True
+                    break
+                except _Resync as resync:
+                    cycles = c
+                    q, r = divmod(resync.addr, isize)
+                    if r or q < 0 or q > n_instr:
+                        trap = resync.addr
+                        idx = 0
+                    else:
+                        idx = q
+                        trap = None
+                # Fall through: careful() executed the crossing
+                # instruction, the instruction budget ran out, or an
+                # interrupt handler returned — recompute and continue.
+        except BaseException:
+            if not ref_state:
+                # A dispatched handler faulted: the reference engine
+                # leaves the pc advanced past the faulting instruction
+                # and its cost uncharged.
+                self.pc = (idx + 1) * isize
+                self.cycles = cycles
+                self.instructions_executed = n
+            raise
+        self.pc = trap if trap is not None else idx * isize
+        self.cycles = cycles
+        self.instructions_executed = n
+        return self
+
+
+#: Engine registry for CLIs and helpers.
+ENGINES: dict[str, type[CPU]] = {"fast": FastCPU, "reference": CPU}
+
+
+def make_cpu(
+    exe: Executable,
+    monitor: Monitor | None = None,
+    interrupts=None,
+    engine: str = "fast",
+) -> CPU:
+    """Construct the requested interpreter engine for ``exe``.
+
+    ``fast`` (the default) is the predecoded threaded-dispatch engine;
+    ``reference`` is the readable baseline.  The two are observably
+    identical; ``reference`` exists as the debugging escape hatch and
+    the differential-testing oracle.
+    """
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise MachineError(
+            f"unknown engine {engine!r} (choose from {sorted(ENGINES)})"
+        ) from None
+    return cls(exe, monitor, interrupts=interrupts)

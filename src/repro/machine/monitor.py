@@ -54,6 +54,36 @@ class MonitorConfig:
     checkpoint_interval: int = 0
 
 
+def _fast_bucket_params(
+    histogram: Histogram,
+) -> tuple[int, int, int, list[int]] | None:
+    """Shift/mask parameters for the per-tick bucket computation.
+
+    Returns ``(low_pc, high_pc, shift, counts)`` when every bucket
+    covers exactly ``2**shift`` address units, so the tick hot path can
+    index with ``(pc - low_pc) >> shift`` instead of the float division
+    inside :meth:`Histogram.bucket_for`.  With an integral width that
+    exactly tiles the range, the maximum index is ``nbuckets - 1``, so
+    the reference path's last-bucket clamp can never fire and the two
+    computations agree on every address (a property the tests pin).
+    Returns None for geometries the shift cannot express; those fall
+    back to the reference computation.
+    """
+    span = histogram.high_pc - histogram.low_pc
+    nbuckets = len(histogram.counts)
+    if span <= 0 or nbuckets <= 0 or span % nbuckets:
+        return None
+    width = span // nbuckets
+    if width & (width - 1):
+        return None
+    return (
+        histogram.low_pc,
+        histogram.high_pc,
+        width.bit_length() - 1,
+        histogram.counts,
+    )
+
+
 class Monitor:
     """Per-execution profiling state, attached to a CPU.
 
@@ -68,6 +98,7 @@ class Monitor:
         self.histogram = Histogram.for_range(
             config.low_pc, config.high_pc, config.scale, config.profrate
         )
+        self._fast_bucket = _fast_bucket_params(self.histogram)
         self.arc_table = ArcTable()
         self.enabled = True
         self.ticks_dropped = 0
@@ -85,10 +116,23 @@ class Monitor:
     # -- the two data-gathering entry points ------------------------------------
 
     def tick(self, pc: int) -> None:
-        """Record one clock-tick PC sample (no cost to the program)."""
+        """Record one clock-tick PC sample (no cost to the program).
+
+        This is the per-tick hot path: when the histogram's bucket
+        width is an integral power of two (the default one-to-one
+        geometry included), the bucket index is a cached shift instead
+        of :meth:`Histogram.bucket_for`'s repeated float division.
+        """
         if not self.enabled:
             return
-        if not self.histogram.record(pc):
+        fast = self._fast_bucket
+        if fast is not None:
+            low, high, shift, counts = fast
+            if low <= pc < high:
+                counts[(pc - low) >> shift] += 1
+            else:
+                self.ticks_dropped += 1
+        elif not self.histogram.record(pc):
             self.ticks_dropped += 1
         if self._checkpoint_every:
             self._ticks_since_flush += 1

@@ -99,7 +99,16 @@ class TimeSharedMachine:
         return self.wall_cycles
 
     def run(self, max_wall_cycles: int | None = None) -> None:
-        """Run all processes to completion (or a wall-clock budget)."""
+        """Run all processes to completion (or a wall-clock budget).
+
+        Each slice is delegated to the process's own ``run`` with a
+        cycle budget, so a fast-engine process keeps its predecoded
+        dispatch loop across the whole quantum instead of paying
+        ``step()`` overhead per instruction.  Within a slice the wall
+        clock and the process clock advance in lockstep, so bounding
+        the slice at the remaining wall budget stops execution at the
+        same instruction the per-step accounting would have.
+        """
         while True:
             alive = [cpu for cpu in self.cpus if not cpu.halted]
             if not alive:
@@ -107,14 +116,15 @@ class TimeSharedMachine:
             for cpu in alive:
                 if cpu.halted:
                     continue
-                slice_end = cpu.cycles + self.quantum
-                while not cpu.halted and cpu.cycles < slice_end:
-                    before = cpu.cycles
-                    cpu.step()
-                    self.wall_cycles += cpu.cycles - before
-                    if (
-                        max_wall_cycles is not None
-                        and self.wall_cycles >= max_wall_cycles
-                    ):
-                        return
+                budget = self.quantum
+                if max_wall_cycles is not None:
+                    budget = min(budget, max_wall_cycles - self.wall_cycles)
+                before = cpu.cycles
+                cpu.run(max_cycles=before + max(budget, 1))
+                self.wall_cycles += cpu.cycles - before
+                if (
+                    max_wall_cycles is not None
+                    and self.wall_cycles >= max_wall_cycles
+                ):
+                    return
                 self.context_switches += 1

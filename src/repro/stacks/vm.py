@@ -86,7 +86,7 @@ def run_stack_profiled(
     support at all, one of the modern design's advantages.
     """
     from repro.machine.assembler import assemble
-    from repro.machine.cpu import CPU
+    from repro.machine.fastcpu import FastCPU
 
     exe = assemble(source, name=name, profile=False)
     monitor = VMStackMonitor(
@@ -98,7 +98,10 @@ def run_stack_profiled(
         ),
         stride=stride,
     )
-    cpu = CPU(exe, monitor)
+    # Stack walks fire at tick boundaries, which the fast engine runs
+    # through the reference step path — samples and charged walk costs
+    # are identical to a reference-engine run.
+    cpu = FastCPU(exe, monitor)
     monitor.bind(cpu)
     cpu.run()
     return cpu, monitor.stack_profile

@@ -1,0 +1,145 @@
+"""Regression tests for the fast-path micro-optimizations.
+
+Two of the hot-path rewrites have observable semantics worth pinning
+independently of the engine-equivalence suite:
+
+* ``_trunc_div`` grew a same-sign ``//`` fast path — truncation toward
+  zero (C semantics) on negative operands must survive it.
+* ``Monitor.tick`` caches the histogram bucket computation as a shift
+  when the geometry allows — bucket assignment must match
+  :meth:`Histogram.bucket_for` on every address, including the last
+  bucket's edges, and gracefully fall back when the geometry doesn't
+  tile in powers of two.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.histogram import Histogram
+from repro.machine.cpu import _trunc_div
+from repro.machine.monitor import Monitor, MonitorConfig, _fast_bucket_params
+
+
+# --------------------------------------------------------------------------
+# _trunc_div: truncation toward zero, both fast and corrected paths.
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "a,b,q",
+    [
+        # same-sign: the new `a // b` fast path
+        (17, 5, 3),
+        (-17, -5, 3),
+        (15, 5, 3),
+        (-15, -5, 3),
+        (0, 7, 0),
+        (0, -7, 0),
+        # mixed-sign: truncation toward zero, NOT floor
+        (-17, 5, -3),
+        (17, -5, -3),
+        (-15, 5, -3),
+        (15, -5, -3),
+        (-1, 2, 0),
+        (1, -2, 0),
+    ],
+)
+def test_trunc_div_truncates_toward_zero(a, b, q):
+    assert _trunc_div(a, b) == q
+
+
+@given(st.integers(-10**12, 10**12), st.integers(-10**6, 10**6).filter(bool))
+def test_trunc_div_matches_c_semantics(a, b):
+    q = _trunc_div(a, b)
+    r = a - q * b
+    # C99: (a/b)*b + a%b == a, |r| < |b|, and r has the dividend's sign
+    assert q * b + r == a
+    assert abs(r) < abs(b)
+    assert r == 0 or (r > 0) == (a > 0)
+    # and the quotient is the float quotient truncated toward zero
+    assert q == int(a / b) or abs(a) >= 2**52  # int(a/b) is exact below 2^52
+
+
+def test_mod_on_negatives_through_the_vm():
+    """C-style MOD survives the fast path end to end."""
+    from repro.machine import FastCPU, assemble
+
+    src = ".func main\n PUSH -17\n PUSH 5\n MOD\n OUT\n HALT\n.end\n"
+    cpu = FastCPU(assemble(src))
+    cpu.run()
+    assert cpu.output == [-2]  # not +3, which floor-mod would give
+
+
+# --------------------------------------------------------------------------
+# Monitor.tick bucket cache.
+# --------------------------------------------------------------------------
+
+
+def reference_counts(histogram_args, pcs):
+    hist = Histogram(*histogram_args)
+    for pc in pcs:
+        hist.record(pc)
+    return list(hist.counts), hist
+
+
+@pytest.mark.parametrize("scale", [1.0, 0.5, 0.25])
+def test_fast_bucket_matches_bucket_for_everywhere(scale):
+    low, high = 64, 64 + 512
+    mon = Monitor(MonitorConfig(low, high, scale=scale))
+    assert mon._fast_bucket is not None  # power-of-two geometry
+    ref = Histogram.for_range(low, high, scale, mon.config.profrate)
+    # every address in range, plus both out-of-range sides
+    for pc in range(low - 8, high + 8):
+        mon.tick(pc)
+        ref.record(pc)
+    assert mon.histogram.counts == ref.counts
+    # the last bucket's final address landed in the last bucket
+    assert ref.bucket_for(high - 1) == len(ref.counts) - 1
+    assert mon.histogram.counts[-1] > 0
+    # out-of-range ticks were dropped, not clamped into end buckets
+    assert mon.ticks_dropped == 16
+
+
+def test_fast_bucket_last_edge_never_clamps():
+    """With an exactly-tiling power-of-two width, the shift never
+    produces an index needing bucket_for's last-bucket clamp."""
+    mon = Monitor(MonitorConfig(0, 1024, scale=0.25))
+    low, high, shift, counts = mon._fast_bucket
+    assert (high - low) >> shift == len(counts)
+    for pc in range(low, high):
+        assert (pc - low) >> shift <= len(counts) - 1
+
+
+def test_non_power_of_two_geometry_falls_back():
+    """scale = 1/3 gives a bucket width the shift cannot express; the
+    monitor must fall back to the reference computation and still agree
+    with bucket_for."""
+    low, high = 0, 300
+    mon = Monitor(MonitorConfig(low, high, scale=1 / 3))
+    assert mon._fast_bucket is None
+    ref = Histogram.for_range(low, high, 1 / 3, mon.config.profrate)
+    for pc in range(low, high):
+        mon.tick(pc)
+        ref.record(pc)
+    assert mon.histogram.counts == ref.counts
+
+
+def test_fast_bucket_params_rejects_bad_geometries():
+    def hist(low, high, nbuckets):
+        return Histogram(low, high, [0] * nbuckets)
+
+    assert _fast_bucket_params(hist(0, 256, 64)) is not None  # width 4
+    assert _fast_bucket_params(hist(0, 256, 85)) is None  # doesn't tile
+    assert _fast_bucket_params(hist(0, 192, 16)) is None  # width 12
+    assert _fast_bucket_params(hist(0, 0, 0)) is None  # empty range
+
+
+def test_moncontrol_gates_fast_bucket_path():
+    mon = Monitor(MonitorConfig(0, 256))
+    mon.moncontrol(False)
+    mon.tick(8)
+    assert sum(mon.histogram.counts) == 0
+    mon.moncontrol(True)
+    mon.tick(8)
+    assert sum(mon.histogram.counts) == 1

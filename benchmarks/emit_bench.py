@@ -173,6 +173,12 @@ SUITES = {
         None,  # resolved lazily to avoid importing the VM for fleet runs
         "fast-engine gmon differs from reference engine",
     ),
+    "pipeline": (
+        "T-PIPE",
+        "BENCH_pipeline.json",
+        None,  # resolved lazily, same pattern as vm
+        "cached analysis listing differs from uncached",
+    ),
 }
 
 
@@ -181,6 +187,10 @@ def _suite_runner(name: str):
         from benchmarks.bench_vm import run_vm
 
         return run_vm
+    if name == "pipeline":
+        from benchmarks.bench_pipeline import run_pipeline
+
+        return run_pipeline
     return SUITES[name][2]
 
 

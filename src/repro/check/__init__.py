@@ -15,6 +15,9 @@ single heuristic into a proper static-analysis layer:
 * :mod:`repro.check.salvage` — GP4xx diagnostics translating a
   :class:`~repro.resilience.SalvageReport` (what the salvaging gmon
   reader dropped or repaired) into check findings;
+* :mod:`repro.check.pipelinelint` — GP5xx diagnostics from running the
+  staged analysis pipeline with tracing on and checking its stage
+  output invariants (topological descent, time conservation);
 * :mod:`repro.check.diagnostics` — the shared :class:`Diagnostic`
   record (stable ``GPnnn`` codes) with text and JSON renderers.
 
@@ -37,6 +40,7 @@ from repro.check.diagnostics import (
     make,
 )
 from repro.check.passes import profile_passes, static_passes
+from repro.check.pipelinelint import pipeline_passes
 from repro.check.salvage import degradation_passes, salvage_passes
 from repro.core.profiledata import ProfileData
 from repro.machine.executable import Executable
@@ -50,6 +54,7 @@ __all__ = [
     "consistency_passes",
     "degradation_passes",
     "make",
+    "pipeline_passes",
     "profile_passes",
     "salvage_passes",
     "static_passes",
@@ -78,7 +83,9 @@ def check_executable(
     while len(labels) < len(profiles):
         labels.append(f"profile[{len(labels)}]")
     diagnostics = static_passes(exe)
+    symbols = exe.symbol_table() if profiles else None
     for data in profiles:
         diagnostics += consistency_passes(exe, data)
         diagnostics += profile_passes(exe, data)
+        diagnostics += pipeline_passes(symbols, data)
     return CheckReport(exe.name, diagnostics, labels[: len(profiles)])

@@ -16,7 +16,11 @@ Codes are grouped the way the checks are layered:
   been produced by this executable;
 * ``GP4xx`` — salvage: what the salvaging gmon reader
   (:mod:`repro.resilience`) had to drop or repair to recover a
-  truncated/corrupted profile data file.
+  truncated/corrupted profile data file;
+* ``GP5xx`` — pipeline invariants: the staged §4 analysis
+  (:mod:`repro.pipeline`) ran with tracing on and one of its stage
+  output contracts did not hold (these indicate a bug in the analysis
+  itself, not in the user's program or data).
 
 Codes are append-only: once published, a code keeps its meaning so that
 suppressions and regression baselines stay valid across versions.
@@ -124,6 +128,22 @@ CODES: dict[str, tuple[Severity, str]] = {
               "comment bytes, trailing garbage, impossible profrate)"),
     "GP406": (Severity.WARNING,
               "profile declares runs == 0; treated as a single run"),
+    # -- GP5xx: pipeline invariants ----------------------------------------------
+    "GP501": (Severity.ERROR,
+              "pipeline invariant violated: propagated total time is "
+              "smaller than self time"),
+    "GP502": (Severity.ERROR,
+              "pipeline invariant violated: topological numbers are not "
+              "contiguous"),
+    "GP503": (Severity.ERROR,
+              "pipeline invariant violated: call graph arc does not "
+              "descend in topological number"),
+    "GP504": (Severity.ERROR,
+              "pipeline invariant violated: stages ran out of registered "
+              "order"),
+    "GP505": (Severity.WARNING,
+              "pipeline invariant violated: propagated time is not "
+              "conserved across the graph"),
 }
 
 

@@ -1,0 +1,149 @@
+"""GP5xx: lint the analysis pipeline's own stage invariants.
+
+The staged §4 pipeline (:mod:`repro.pipeline`) makes strong promises
+about its intermediates: every stage runs in registered order, the
+topological numbering is a contiguous descent (Figure 1), and the
+time-propagation recurrence never loses time or propagates less than a
+routine's own self time.  On healthy data these hold by construction —
+which is exactly why they are worth checking: a GP5xx finding means the
+*analysis* is wrong, not the user's program, and the CI self-lint gate
+should go red.
+
+:func:`pipeline_passes` runs the pipeline with tracing enabled and
+applies every checker.  The individual checkers
+(:func:`stage_order_findings`, :func:`topology_findings`,
+:func:`propagation_findings`, :func:`conservation_findings`) take the
+already-built artifacts, so tests can feed them doctored inputs.
+"""
+
+from __future__ import annotations
+
+from repro.check.diagnostics import Diagnostic, make
+from repro.core.cycles import NumberedGraph, condensation_arcs
+
+#: Tolerance for floating-point time comparisons.  Propagation sums
+#: tick-derived floats; anything past this is a real violation, not
+#: rounding.
+_EPSILON = 1e-9
+
+
+def stage_order_findings(trace) -> list[Diagnostic]:
+    """GP504: the trace must list the registered stages, in order.
+
+    Cached stages still appear in the trace (with their recorded
+    counters), so a healthy run — cold or warm — always matches the
+    registry exactly.
+    """
+    from repro.pipeline.stages import STAGES
+
+    expected = [s.name for s in STAGES]
+    actual = trace.stage_names()
+    if actual == expected:
+        return []
+    return [
+        make(
+            "GP504",
+            f"pipeline ran stages {actual} but the registry orders them "
+            f"{expected}",
+        )
+    ]
+
+
+def topology_findings(numbered: NumberedGraph) -> list[Diagnostic]:
+    """GP502 + GP503: contiguous numbers, every arc descending.
+
+    §4 propagates in increasing topological number, so the numbering
+    must be a contiguous run and every condensation arc must go from a
+    higher-numbered caller to a lower-numbered callee (Figure 1).
+    Static augmentation *after* numbering is the classic way to break
+    this — a zero-count arc completes a cycle the numbering never saw.
+    """
+    findings: list[Diagnostic] = []
+    numbers = sorted(numbered.topo_number[rep] for rep in numbered.topo_order)
+    if numbers:
+        lo = numbers[0]
+        if numbers != list(range(lo, lo + len(numbers))):
+            findings.append(
+                make(
+                    "GP502",
+                    f"topological numbers {numbers} are not the contiguous "
+                    f"run [{lo}..{lo + len(numbers) - 1}]",
+                )
+            )
+    number = numbered.topo_number
+    for src, dst in sorted(condensation_arcs(numbered)):
+        if number[src] <= number[dst]:
+            findings.append(
+                make(
+                    "GP503",
+                    f"arc {src} (#{number[src]}) -> {dst} (#{number[dst]}) "
+                    "does not descend in topological number",
+                    routine=src,
+                )
+            )
+    return findings
+
+
+def propagation_findings(prop) -> list[Diagnostic]:
+    """GP501: total time must never undershoot self time.
+
+    ``total_time = self_time + child_time`` with non-negative inherited
+    child time, so a representative whose total dips below its own self
+    time means the recurrence dropped (or negated) inherited seconds.
+    """
+    findings: list[Diagnostic] = []
+    for rep in prop.numbered.topo_order:
+        self_t = prop.self_time.get(rep, 0.0)
+        total_t = prop.total_time.get(rep, 0.0)
+        if total_t < self_t - _EPSILON:
+            findings.append(
+                make(
+                    "GP501",
+                    f"{rep}: propagated total {total_t:.6f}s is less than "
+                    f"self time {self_t:.6f}s",
+                    routine=rep,
+                )
+            )
+    return findings
+
+
+def conservation_findings(prop) -> list[Diagnostic]:
+    """GP505: propagation must conserve the sampled time.
+
+    The recurrence only moves seconds up the graph; summing every
+    representative's self time must reproduce the total program time
+    the percentages are computed against.
+    """
+    sampled = sum(prop.self_time.values())
+    total = prop.total_program_time
+    if abs(sampled - total) > max(_EPSILON, 1e-9 * max(abs(total), 1.0)):
+        return [
+            make(
+                "GP505",
+                f"representatives' self times sum to {sampled:.6f}s but "
+                f"total program time is {total:.6f}s",
+            )
+        ]
+    return []
+
+
+def pipeline_passes(symbols, data, options=None, cache=None) -> list[Diagnostic]:
+    """Run the pipeline with tracing on; flag violated stage invariants.
+
+    Arguments:
+        symbols: the image's symbol table.
+        data: the profile data to analyze.
+        options: optional :class:`~repro.core.AnalysisOptions`.
+        cache: optional :class:`~repro.pipeline.AnalysisCache`; invariants
+            are checked identically on cached intermediates.
+    """
+    from repro.core import analyze
+    from repro.pipeline import PipelineTrace
+
+    trace = PipelineTrace()
+    profile = analyze(data, symbols, options, trace=trace, cache=cache)
+    findings = stage_order_findings(trace)
+    findings += topology_findings(profile.numbered)
+    findings += propagation_findings(profile.propagation)
+    findings += conservation_findings(profile.propagation)
+    return findings

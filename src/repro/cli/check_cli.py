@@ -32,16 +32,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.check import (
-    CODES,
-    CheckReport,
-    check_executable,
-    degradation_passes,
-    salvage_passes,
-)
-from repro.check.diagnostics import merge_reports
+from repro.check import CODES
 from repro.errors import ReproError
-from repro.gmon import read_gmon, salvage_gmon
+from repro.pipeline import ProfileSession
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,21 +96,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cli.vm_cli import _load_program
 
         exe = _load_program(opts.target, profile=not opts.unprofiled)
-        profiles = []
-        gmon_diags = []
-        for path in opts.gmon:
-            if opts.salvage:
-                data, salvage_report = salvage_gmon(path)
-                gmon_diags += salvage_passes(salvage_report)
-            else:
-                data = read_gmon(path)
-                gmon_diags += degradation_passes(data)
-            profiles.append(data)
-        report = check_executable(exe, profiles, list(opts.gmon))
-        if gmon_diags:
-            report = merge_reports(
-                exe.name, [report, CheckReport(exe.name, gmon_diags)]
-            )
+        session = ProfileSession.from_executable(exe)
+        profiles = session.read_each(opts.gmon, salvage=opts.salvage)
+        report = session.lint(profiles, list(opts.gmon))
     except (ReproError, OSError) as exc:
         print(f"repro-check: {exc}", file=sys.stderr)
         return 2

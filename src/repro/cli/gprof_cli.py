@@ -33,7 +33,15 @@ Options mirror the features the paper and retrospective describe:
 * ``--salvage`` — read GMON files with the salvaging reader: corrupt
   or truncated files are recovered (maximal structurally-valid prefix)
   instead of aborting, each file's salvage report goes to stderr, and
-  the listings carry a degraded-input banner.
+  the listings carry a degraded-input banner;
+* ``--timings`` — print the pipeline's per-stage wall time and work
+  counters to stderr (the profiler profiling itself);
+* ``--trace FILE`` — write the structured pipeline trace as JSON
+  (deterministic modulo the timing fields).
+
+The heavy lifting — image loading, gmon reading/salvaging/merging,
+linting, and the staged analysis itself — rides
+:class:`repro.pipeline.ProfileSession`, shared by every frontend.
 """
 
 from __future__ import annotations
@@ -42,23 +50,20 @@ import argparse
 import json
 import sys
 
-from repro.core import AnalysisOptions, SymbolTable, analyze
+from repro.core import AnalysisOptions, SymbolTable
 from repro.core.filters import reachable_from
 from repro.errors import ReproError
-from repro.gmon import salvage_gmon, write_gmon
+from repro.gmon import write_gmon
 from repro.machine import Executable, static_call_graph
+from repro.pipeline import PipelineTrace, ProfileSession
 from repro.report import format_flat_profile, format_graph_profile
 from repro.report.dot import to_dot
 
 
 def load_image(path: str) -> tuple[SymbolTable, Executable | None]:
     """Load either a VM executable or a bare symbol table from ``path``."""
-    with open(path, encoding="utf-8") as f:
-        blob = json.load(f)
-    if isinstance(blob, dict) and blob.get("format") == "repro-vmexe-1":
-        exe = Executable.from_dict(blob)
-        return exe.symbol_table(), exe
-    return SymbolTable.from_dict(blob), None
+    session = ProfileSession.from_image(path)
+    return session.symbols, session.exe
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -136,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
              "salvage reports go to stderr and the listings are marked "
              "as degraded",
     )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print per-stage pipeline wall time and counters to stderr",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write the structured pipeline trace as JSON to FILE",
+    )
     return parser
 
 
@@ -143,41 +156,23 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit status."""
     opts = build_parser().parse_args(argv)
     try:
-        symbols, exe = load_image(opts.image)
-        from repro.fleet import ProfileAccumulator, expand_inputs, tree_reduce
-
-        gmon_paths = expand_inputs(opts.gmon)
-        salvage_diags = []
-        if opts.salvage:
-            acc = ProfileAccumulator()
-            for p in gmon_paths:
-                pdata, salvage_report = salvage_gmon(p)
-                if not salvage_report.clean:
-                    print(salvage_report.render_text(), end="",
-                          file=sys.stderr)
-                from repro.check import salvage_passes
-
-                salvage_diags += salvage_passes(salvage_report)
-                acc.add_profile(pdata, source=str(p))
-            data = acc.result()
-        else:
-            data = tree_reduce(gmon_paths, jobs=opts.jobs)
+        session = ProfileSession.from_image(opts.image)
+        exe = session.exe
+        data = session.load(opts.gmon, salvage=opts.salvage, jobs=opts.jobs)
+        for _path, salvage_report in session.salvage_reports:
+            if not salvage_report.clean:
+                print(salvage_report.render_text(), end="", file=sys.stderr)
         if opts.lint:
             if exe is None:
                 raise ReproError("--lint needs a VM executable image")
-            from repro.check import CheckReport, check_executable
-            from repro.check.diagnostics import merge_reports
-
-            report = check_executable(exe, [data], ["<summed gmon>"])
-            if salvage_diags:
-                report = merge_reports(
-                    exe.name, [report, CheckReport(exe.name, salvage_diags)]
-                )
+            report = session.lint([data], ["<summed gmon>"])
             if len(report):
                 print(report.render_text(), end="", file=sys.stderr)
         if opts.sum_file:
             write_gmon(data, opts.sum_file)
-            print(f"summed {len(gmon_paths)} profile(s) into {opts.sum_file}")
+            print(
+                f"summed {len(session.paths)} profile(s) into {opts.sum_file}"
+            )
             return 0
         deleted = []
         for spec in opts.delete_arcs:
@@ -190,9 +185,9 @@ def main(argv: list[str] | None = None) -> int:
             if exe is None:
                 raise ReproError("--static needs a VM executable image")
             static_pairs = sorted(static_call_graph(exe))
-        profile = analyze(
+        trace = PipelineTrace() if (opts.timings or opts.trace) else None
+        profile = session.analyze(
             data,
-            symbols,
             AnalysisOptions(
                 static_arcs=static_pairs,
                 deleted_arcs=deleted,
@@ -200,7 +195,14 @@ def main(argv: list[str] | None = None) -> int:
                 max_removed_arcs=opts.break_cycles or 10,
                 excluded=opts.exclude,
             ),
+            trace=trace,
         )
+        if trace is not None:
+            if opts.timings:
+                print(trace.render_text(), end="", file=sys.stderr)
+            if opts.trace:
+                with open(opts.trace, "w", encoding="utf-8") as f:
+                    f.write(trace.render_json())
         only = None
         if opts.focus:
             only = reachable_from(profile.graph, opts.focus)

@@ -33,8 +33,8 @@ import argparse
 import sys
 
 from repro.errors import ReproError
-from repro.fleet import expand_inputs, tree_reduce
 from repro.gmon import write_gmon
+from repro.pipeline import ProfileSession
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,12 +82,13 @@ def main(argv: list[str] | None = None) -> int:
         print("repro-merge: --jobs must be at least 1", file=sys.stderr)
         return 2
     try:
-        paths = expand_inputs(opts.inputs)
-        data = tree_reduce(
-            paths,
+        session = ProfileSession(None)
+        data = session.load(
+            opts.inputs,
             jobs=opts.jobs,
             salvage=opts.salvage,
             on_incompatible="skip" if opts.skip_incompatible else "error",
+            per_file_reports=False,
         )
         write_gmon(data, opts.output)
     except (ReproError, OSError) as exc:
@@ -97,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
         for w in data.warnings:
             print(f"repro-merge: warning: {w}", file=sys.stderr)
     skipped = sum(1 for w in data.warnings if ": skipped (layout" in w)
-    merged = len(paths) - skipped
+    merged = len(session.paths) - skipped
     if opts.stats:
         print(
             f"repro-merge: {merged} input(s) merged, {skipped} skipped, "

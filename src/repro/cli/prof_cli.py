@@ -16,10 +16,8 @@ import json
 import sys
 
 from repro.baseline import format_prof, prof_analyze
-from repro.core import merge_profiles
-from repro.cli.gprof_cli import load_image
 from repro.errors import ReproError
-from repro.gmon import read_gmon
+from repro.pipeline import ProfileSession
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,9 +29,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("gmon", nargs="+", help="profile data file(s); summed")
     opts = parser.parse_args(argv)
     try:
-        symbols, _ = load_image(opts.image)
-        data = merge_profiles([read_gmon(p) for p in opts.gmon])
-        print(format_prof(prof_analyze(data, symbols)), end="")
+        session = ProfileSession.from_image(opts.image)
+        data = session.load(opts.gmon)
+        print(format_prof(prof_analyze(data, session.symbols)), end="")
         return 0
     except (ReproError, OSError, json.JSONDecodeError) as exc:
         print(f"repro-prof: {exc}", file=sys.stderr)

@@ -1,7 +1,10 @@
 """The gprof analysis pipeline: profile data in, displayable profile out.
 
-This module strings together the post-processing passes in the order the
-paper prescribes (§4):
+:func:`analyze` runs the post-processing passes in the order the paper
+prescribes (§4).  The passes themselves are staged in
+:mod:`repro.pipeline` (named ``Stage`` objects with per-stage tracing
+and content-addressed caching); this module keeps the stable entry
+point plus the presentation-side data model and assembly:
 
 1. symbolize the raw arc table against the executable's symbol table;
 2. apply user exclusions and arc deletions;
@@ -21,17 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-from repro.core.arcs import ArcSet, RawArc, symbolize_arcs
-from repro.core.arcremoval import (
-    RemovedArc,
-    break_cycles_heuristic,
-    remove_arcs,
-)
+from repro.core.arcremoval import RemovedArc
 from repro.core.callgraph import CallGraph
-from repro.core.cycles import NumberedGraph, number_graph
+from repro.core.cycles import NumberedGraph
 from repro.core.profiledata import ProfileData
-from repro.core.propagate import Propagation, propagate
-from repro.core.staticgraph import augment_with_static_arcs
+from repro.core.propagate import Propagation
 from repro.core.symbols import SymbolTable
 
 
@@ -208,6 +205,9 @@ def analyze(
     data: ProfileData,
     symbols: SymbolTable,
     options: AnalysisOptions | None = None,
+    *,
+    trace=None,
+    cache=None,
 ) -> Profile:
     """Run the full gprof post-processing pipeline.
 
@@ -215,67 +215,25 @@ def analyze(
         data: the condensed output of one or more profiled runs.
         symbols: the executable's symbol table.
         options: pipeline knobs; defaults to a plain analysis.
+        trace: optional :class:`repro.pipeline.PipelineTrace`; each
+            stage appends its wall time and work counters to it.
+        cache: optional :class:`repro.pipeline.AnalysisCache`; repeated
+            analyses of unchanged inputs skip recomputed stages.  Cached
+            values (including the returned Profile on a full hit) are
+            shared and must be treated as immutable.
 
-    Returns the presentation-ready :class:`Profile`.
+    Returns the presentation-ready :class:`Profile`.  The pipeline
+    itself lives in :mod:`repro.pipeline` — this is the stable core
+    entry point the frontends and tests call.
     """
-    options = options or AnalysisOptions()
-    excluded = set(options.excluded)
+    from repro.pipeline.runner import run_analysis
 
-    # Degradation bookkeeping: inherit warnings from the data (salvaged
-    # input, clamped runs, ...) and collect what this pipeline skips.
-    warnings = list(data.warnings)
-
-    # 1. Symbolize arcs and apply exclusions.  Arcs whose callee
-    # resolves to no symbol are structurally impossible for this image;
-    # they are skipped with a collected warning instead of aborting the
-    # whole analysis (partial/salvaged data must still produce output).
-    if not options.keep_unknown:
-        unknown = sum(
-            1 for a in data.arcs if symbols.find(a.self_pc) is None
-        )
-        if unknown:
-            warnings.append(
-                f"skipped {unknown} arc(s) whose callee address matches "
-                "no symbol in this image"
-            )
-    arcs = ArcSet(
-        a
-        for a in symbolize_arcs(data.arcs, symbols, options.keep_unknown)
-        if a.callee not in excluded and a.caller not in excluded
+    return run_analysis(
+        data, symbols, options or AnalysisOptions(), trace=trace, cache=cache
     )
 
-    # 2. Per-routine self time from the histogram.
-    self_times = {
-        name: secs
-        for name, secs in data.histogram.assign_samples(symbols).items()
-        if name not in excluded
-    }
 
-    # 3. Build the graph over every routine that was called or sampled.
-    graph = CallGraph(arcs, extra_nodes=self_times)
-
-    # 4. Static augmentation precedes ordering (it can complete cycles).
-    static_pairs = [
-        (c, e)
-        for c, e in options.static_arcs
-        if c not in excluded and e not in excluded
-    ]
-    augment_with_static_arcs(graph, static_pairs)
-
-    # 5. Arc deletion: explicit first, then the bounded heuristic.
-    removed = remove_arcs(graph, options.deleted_arcs)
-    if options.auto_break_cycles:
-        removed += break_cycles_heuristic(graph, options.max_removed_arcs)
-
-    # 6–7. Cycles, numbering, propagation.
-    numbered = number_graph(graph)
-    prop = propagate(numbered, self_times)
-
-    # 8. Presentation-ready entries.
-    return _assemble(data, symbols, graph, numbered, prop, removed, warnings)
-
-
-def _assemble(
+def assemble_profile(
     data: ProfileData,
     symbols: SymbolTable,
     graph: CallGraph,

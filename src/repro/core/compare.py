@@ -81,11 +81,16 @@ class ProfileDelta:
         return self.total_before / self.total_after
 
     def routine(self, name: str) -> RoutineDelta | None:
-        """The delta for one routine, if it appears in either profile."""
-        for r in self.routines:
-            if r.name == name:
-                return r
-        return None
+        """The delta for one routine, if it appears in either profile.
+
+        O(1): a name index is built on first use and rebuilt if the
+        routine list changes size.
+        """
+        index = self.__dict__.get("_routine_index")
+        if index is None or len(index) != len(self.routines):
+            index = {r.name: r for r in self.routines}
+            self.__dict__["_routine_index"] = index
+        return index.get(name)
 
     def dominating_after(self, top: int = 3) -> list[str]:
         """What the §6 loop attacks next: the biggest remaining totals."""

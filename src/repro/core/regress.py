@@ -68,11 +68,19 @@ class Baseline:
     comment: str = ""
 
     def rule_for(self, name: str) -> Rule | None:
-        """The rule covering ``name``, if any."""
-        for rule in self.rules:
-            if rule.name == name:
-                return rule
-        return None
+        """The rule covering ``name``, if any.
+
+        O(1): a name index is built on first use and rebuilt if the
+        rule list changes size (first rule wins on duplicates, matching
+        the original scan order).
+        """
+        index = self.__dict__.get("_rule_index")
+        if index is None or len(index) != len(self.rules):
+            index = {}
+            for rule in self.rules:
+                index.setdefault(rule.name, rule)
+            self.__dict__["_rule_index"] = index
+        return index.get(name)
 
     # -- construction -----------------------------------------------------------
 

@@ -1,0 +1,96 @@
+"""The golden gate's shared driver: canned programs -> frozen listings.
+
+The pipeline refactor is behavior-preserving *by construction*: before
+``analyze()`` was decomposed into stages, every canned program was run
+and its flat + call-graph listings were frozen under ``tests/golden/``.
+``tests/test_pipeline_golden.py`` replays the same runs through the
+staged pipeline — with a cold cache and again with a warm one — and
+asserts the output is byte-identical to the frozen text.
+
+Regenerating the fixtures is a conscious act::
+
+    PYTHONPATH=src python -m tests.pipeline_golden
+
+(only legitimate after a deliberate, reviewed format change).
+
+Everything here is deterministic: the VM's sampling clock is driven by
+instruction cycles, not wall time, so the same program always produces
+the same gmon data and therefore the same listing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import AnalysisOptions, analyze
+from repro.machine import Monitor, MonitorConfig, assemble, make_cpu, static_call_graph
+from repro.machine.programs import PROGRAMS
+from repro.report import format_flat_profile, format_graph_profile
+
+#: Where the frozen listings live, one file per (program, variant).
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Cycles per profiling clock tick — the repro-vm default.
+CYCLES_PER_TICK = 100
+
+#: Analysis variants frozen per program.  ``default`` is the plain
+#: eight-stage analysis; ``static`` adds crawled static arcs (the §4
+#: augmentation path, which can change cycle membership).
+VARIANTS = ("default", "static")
+
+
+def canned_profile_data(name: str):
+    """Run canned program ``name`` under the monitor; return (exe, data)."""
+    exe = assemble(PROGRAMS[name](), name=name, profile=True)
+    monitor = Monitor(
+        MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=CYCLES_PER_TICK)
+    )
+    cpu = make_cpu(exe, monitor)
+    cpu.run()
+    return exe, monitor.mcleanup(comment=name)
+
+
+def analysis_options(exe, variant: str, **overrides) -> AnalysisOptions:
+    """The AnalysisOptions for one golden variant."""
+    if variant == "static":
+        overrides.setdefault("static_arcs", sorted(static_call_graph(exe)))
+    elif variant != "default":
+        raise ValueError(f"unknown golden variant {variant!r}")
+    return AnalysisOptions(**overrides)
+
+
+def listings(profile) -> str:
+    """Both listings, concatenated exactly like the repro-gprof output."""
+    return "\n".join(
+        [format_graph_profile(profile), format_flat_profile(profile)]
+    )
+
+
+def golden_path(name: str, variant: str) -> Path:
+    return GOLDEN_DIR / f"{name}.{variant}.txt"
+
+
+def compute_listing(name: str, variant: str, **analyze_kwargs) -> str:
+    """One program's listing text for one variant (fresh run)."""
+    exe, data = canned_profile_data(name)
+    profile = analyze(
+        data,
+        exe.symbol_table(),
+        analysis_options(exe, variant),
+        **analyze_kwargs,
+    )
+    return listings(profile)
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in sorted(PROGRAMS):
+        for variant in VARIANTS:
+            text = compute_listing(name, variant)
+            golden_path(name, variant).write_text(text, encoding="utf-8")
+            print(f"froze {golden_path(name, variant)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

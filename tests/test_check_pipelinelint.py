@@ -1,0 +1,165 @@
+"""GP5xx: the pipeline-invariant lint pass.
+
+Healthy data must come out clean (the invariants hold by construction
+— the CI self-lint gate depends on that), and each checker must fire
+on a doctored artifact that violates its invariant.
+"""
+
+from __future__ import annotations
+
+from repro.check import check_executable, pipeline_passes
+from repro.check.diagnostics import CODES, Severity
+from repro.check.pipelinelint import (
+    conservation_findings,
+    propagation_findings,
+    stage_order_findings,
+    topology_findings,
+)
+from repro.core import AnalysisOptions, analyze
+from repro.core.cycles import number_graph
+from repro.core.propagate import propagate
+from repro.pipeline import PipelineTrace, STAGES, StageTrace
+
+from tests.helpers import graph_from_edges, make_symbols, profile_data
+from tests.pipeline_golden import analysis_options, canned_profile_data
+
+
+def healthy():
+    symbols = make_symbols("main", "work", "leaf")
+    data = profile_data(
+        symbols,
+        [("<spontaneous>", "main", 1), ("main", "work", 4),
+         ("work", "leaf", 8)],
+        ticks={"main": 1, "work": 5, "leaf": 3},
+    )
+    return symbols, data
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_gp5_codes_are_registered():
+    for code in ("GP501", "GP502", "GP503", "GP504", "GP505"):
+        assert code in CODES
+    assert CODES["GP505"][0] is Severity.WARNING
+    assert CODES["GP501"][0] is Severity.ERROR
+
+
+def test_list_codes_table_includes_gp5(capsys):
+    from repro.cli.check_cli import main
+
+    assert main(["--list-codes"]) == 0
+    out = capsys.readouterr().out
+    for code in ("GP501", "GP502", "GP503", "GP504", "GP505"):
+        assert code in out
+
+
+# -- clean on healthy data ---------------------------------------------------
+
+
+def test_healthy_profile_yields_no_findings():
+    symbols, data = healthy()
+    assert pipeline_passes(symbols, data) == []
+
+
+def test_healthy_canned_programs_stay_clean_through_check_executable():
+    for name in ("fib", "even_odd", "netcycle"):
+        exe, data = canned_profile_data(name)
+        report = check_executable(exe, [data], [name])
+        assert not [d for d in report if d.code.startswith("GP5")]
+
+
+def test_findings_identical_with_warm_cache():
+    from repro.pipeline import AnalysisCache
+
+    symbols, data = healthy()
+    cache = AnalysisCache()
+    cold = pipeline_passes(symbols, data, cache=cache)
+    warm = pipeline_passes(symbols, data, cache=cache)
+    assert cold == warm == []
+
+
+def test_exercises_static_and_cycle_variants():
+    exe, data = canned_profile_data("netcycle")
+    options = analysis_options(exe, "static")
+    assert pipeline_passes(exe.symbol_table(), data, options) == []
+    assert pipeline_passes(
+        exe.symbol_table(), data,
+        AnalysisOptions(auto_break_cycles=True),
+    ) == []
+
+
+# -- each checker fires on a doctored artifact -------------------------------
+
+
+def test_stage_order_findings_flag_missing_or_reordered_stages():
+    good = PipelineTrace(
+        stages=[StageTrace(s.name) for s in STAGES]
+    )
+    assert stage_order_findings(good) == []
+
+    missing = PipelineTrace(stages=good.stages[:-1])
+    (finding,) = stage_order_findings(missing)
+    assert finding.code == "GP504"
+
+    swapped = list(good.stages)
+    swapped[4], swapped[6] = swapped[6], swapped[4]  # augment after number
+    (finding,) = stage_order_findings(PipelineTrace(stages=swapped))
+    assert finding.code == "GP504"
+    assert "augment" in finding.message
+
+
+def test_topology_findings_flag_non_contiguous_numbers():
+    numbered = number_graph(graph_from_edges(("a", "b"), ("b", "c")))
+    assert topology_findings(numbered) == []
+    victim = numbered.topo_order[0]
+    numbered.topo_number[victim] += 10  # punch a hole in the numbering
+    codes = {f.code for f in topology_findings(numbered)}
+    assert "GP502" in codes
+
+
+def test_topology_findings_flag_non_descending_arc():
+    numbered = number_graph(graph_from_edges(("a", "b"), ("b", "c")))
+    # Invert the numbering so every arc now ascends.
+    hi = max(numbered.topo_number.values())
+    for k in numbered.topo_number:
+        numbered.topo_number[k] = hi + 1 - numbered.topo_number[k]
+    findings = topology_findings(numbered)
+    assert any(f.code == "GP503" for f in findings)
+
+
+def test_propagation_findings_flag_total_below_self():
+    symbols, data = healthy()
+    profile = analyze(data, symbols)
+    prop = profile.propagation
+    assert propagation_findings(prop) == []
+    victim = prop.numbered.topo_order[0]
+    prop.total_time[victim] = prop.self_time[victim] / 2
+    (finding,) = propagation_findings(prop)
+    assert finding.code == "GP501"
+    assert finding.routine == victim
+
+
+def test_conservation_findings_flag_lost_time():
+    symbols, data = healthy()
+    prop = analyze(data, symbols).propagation
+    assert conservation_findings(prop) == []
+    prop.total_program_time *= 2  # percentages no longer add up
+    (finding,) = conservation_findings(prop)
+    assert finding.code == "GP505"
+
+
+def test_doctored_numbering_surfaces_through_propagate():
+    """End to end: a numbering broken before propagation produces
+    findings from the composed checkers, not an exception."""
+    graph = graph_from_edges(("a", "b", 3), ("b", "c", 2))
+    numbered = number_graph(graph)
+    hi = max(numbered.topo_number.values())
+    for k in numbered.topo_number:
+        numbered.topo_number[k] = hi + 1 - numbered.topo_number[k]
+    findings = topology_findings(numbered)
+    prop = propagate(
+        number_graph(graph), {"a": 1.0, "b": 1.0, "c": 1.0}
+    )
+    findings += propagation_findings(prop) + conservation_findings(prop)
+    assert {f.code for f in findings} == {"GP503"}

@@ -1,0 +1,151 @@
+"""The golden gate: the staged pipeline is behavior-preserving.
+
+The fixtures under ``tests/golden/`` were frozen from the pre-refactor
+monolithic ``analyze()`` (see :mod:`tests.pipeline_golden`).  Every
+canned program's flat + call-graph listing must be byte-identical to
+its fixture — with no cache, with a cold cache, and with a warm cache —
+and the JSON trace must be deterministic modulo its timing fields.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.machine.programs import PROGRAMS
+from repro.pipeline import AnalysisCache, PipelineTrace, STAGES
+
+from tests.pipeline_golden import (
+    VARIANTS,
+    analysis_options,
+    canned_profile_data,
+    compute_listing,
+    golden_path,
+    listings,
+)
+
+ALL_CASES = [
+    (name, variant) for name in sorted(PROGRAMS) for variant in VARIANTS
+]
+
+
+def golden_text(name: str, variant: str) -> str:
+    path = golden_path(name, variant)
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate deliberately with "
+        "`PYTHONPATH=src python -m tests.pipeline_golden`"
+    )
+    return path.read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("name,variant", ALL_CASES)
+def test_listing_matches_golden_without_cache(name, variant):
+    assert compute_listing(name, variant) == golden_text(name, variant)
+
+
+@pytest.mark.parametrize("name,variant", ALL_CASES)
+def test_listing_matches_golden_cold_and_warm(name, variant):
+    """One shared cache: first run cold, second fully warm — both must
+    render the frozen bytes, and the warm run must actually hit."""
+    want = golden_text(name, variant)
+    cache = AnalysisCache()
+    assert compute_listing(name, variant, cache=cache) == want
+
+    trace = PipelineTrace()
+    assert compute_listing(name, variant, cache=cache, trace=trace) == want
+    assert all(s.cached for s in trace.stages)
+    assert trace.cache_misses == 0
+    assert trace.cache_hits > 0
+
+
+def test_trace_records_every_stage_in_order():
+    exe, data = canned_profile_data("fib")
+    trace = PipelineTrace()
+    from repro.core import analyze
+
+    analyze(data, exe.symbol_table(), trace=trace)
+    assert trace.stage_names() == [s.name for s in STAGES]
+    assert all(s.seconds >= 0 for s in trace.stages)
+    assert not any(s.cached for s in trace.stages)
+    assert trace.total_seconds == sum(s.seconds for s in trace.stages)
+
+
+def test_trace_json_is_deterministic_modulo_timing():
+    """Two runs over identical inputs: stable dicts equal, full dicts
+    differ only in the timing fields."""
+    from repro.core import analyze
+
+    stable = []
+    for _ in range(2):
+        exe, data = canned_profile_data("even_odd")
+        trace = PipelineTrace()
+        analyze(data, exe.symbol_table(),
+                analysis_options(exe, "static"), trace=trace)
+        parsed = json.loads(trace.render_json())
+        parsed.pop("total_seconds")
+        for s in parsed["stages"]:
+            s.pop("seconds")
+        stable.append(parsed)
+        assert parsed == trace.stable_dict()
+    assert stable[0] == stable[1]
+
+
+def test_stage_counters_survive_caching():
+    """A cached stage replays the counters of the run that computed it."""
+    from repro.core import analyze
+
+    exe, data = canned_profile_data("deep")
+    cache = AnalysisCache()
+    cold_trace = PipelineTrace()
+    analyze(data, exe.symbol_table(), trace=cold_trace, cache=cache)
+    warm_trace = PipelineTrace()
+    analyze(data, exe.symbol_table(), trace=warm_trace, cache=cache)
+    assert warm_trace.stable_dict()["stages"] == [
+        {**s, "cached": True}
+        for s in cold_trace.stable_dict()["stages"]
+    ]
+
+
+def test_gprof_cli_timings_and_trace(tmp_path, capsys):
+    """repro-gprof --timings prints the stage table; --trace writes the
+    JSON trace; the listings on stdout stay untouched."""
+    from repro.cli.gprof_cli import main
+    from repro.gmon import write_gmon
+
+    exe, data = canned_profile_data("fib")
+    image = tmp_path / "fib.vmexe"
+    gmon = tmp_path / "gmon.out"
+    exe.save(image)
+    write_gmon(data, gmon)
+    trace_file = tmp_path / "trace.json"
+
+    assert main([str(image), str(gmon)]) == 0
+    plain = capsys.readouterr()
+
+    assert main([str(image), str(gmon), "--timings",
+                 "--trace", str(trace_file)]) == 0
+    traced = capsys.readouterr()
+
+    assert traced.out == plain.out  # listings unchanged
+    assert "pipeline timings" in traced.err
+    for stage in STAGES:
+        assert stage.name in traced.err
+
+    blob = json.loads(trace_file.read_text(encoding="utf-8"))
+    assert blob["format"] == "repro-pipeline-trace-1"
+    assert [s["name"] for s in blob["stages"]] == [s.name for s in STAGES]
+    assert all("seconds" in s and "counters" in s for s in blob["stages"])
+
+
+def test_cached_profile_is_shared_and_identical():
+    """A full-hit analyze returns the same Profile object (documented
+    shared/treat-as-immutable semantics)."""
+    from repro.core import analyze
+
+    exe, data = canned_profile_data("hanoi")
+    cache = AnalysisCache()
+    first = analyze(data, exe.symbol_table(), cache=cache)
+    second = analyze(data, exe.symbol_table(), cache=cache)
+    assert second is first
+    assert listings(second) == listings(first)

@@ -1,0 +1,198 @@
+"""ProfileSession: the shared frontend plumbing, plus the O(1) lookups.
+
+Covers the loader paths every CLI now rides (image loading, strict and
+salvaging reads, linting, cache-shared analysis) and the satellite
+regression tests pinning name lookups to dict indexes instead of
+linear scans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AnalysisOptions, analyze
+from repro.errors import ReproError
+from repro.gmon import dumps_gmon, write_gmon
+from repro.pipeline import AnalysisCache, ProfileSession
+
+from tests.helpers import make_symbols, profile_data
+from tests.pipeline_golden import canned_profile_data
+
+
+class NoIterList(list):
+    """A list that refuses to be scanned — the O(1) tripwire."""
+
+    def __iter__(self):
+        raise AssertionError("linear scan detected: lookup iterated the list")
+
+
+@pytest.fixture()
+def vm_setup(tmp_path):
+    exe, data = canned_profile_data("fib")
+    image = tmp_path / "fib.vmexe"
+    exe.save(image)
+    gmons = []
+    for i in range(3):
+        path = tmp_path / f"gmon.{i}"
+        write_gmon(data, path)
+        gmons.append(str(path))
+    return exe, data, str(image), gmons
+
+
+# -- loading ----------------------------------------------------------------
+
+
+def test_from_image_loads_vm_executable(vm_setup):
+    exe, _data, image, _gmons = vm_setup
+    session = ProfileSession.from_image(image)
+    assert session.exe is not None
+    assert session.exe.name == exe.name
+    assert set(s.name for s in session.symbols) == set(
+        s.name for s in exe.symbol_table()
+    )
+
+
+def test_from_image_loads_bare_symbol_table(tmp_path):
+    symbols = make_symbols("main", "leaf")
+    path = tmp_path / "syms.json"
+    symbols.save(path)
+    session = ProfileSession.from_image(str(path))
+    assert session.exe is None
+    assert "main" in session.symbols and "leaf" in session.symbols
+
+
+def test_load_merges_inputs_deterministically(vm_setup):
+    _exe, data, image, gmons = vm_setup
+    session = ProfileSession.from_image(image)
+    merged = session.load(gmons)
+    assert merged.runs == 3 * data.runs
+    assert session.paths == gmons
+    # Strict reads of clean files leave no degradation evidence behind.
+    assert session.salvage_reports == []
+    assert session.gmon_diagnostics == []
+
+
+def test_load_salvage_collects_reports_and_diagnostics(vm_setup, tmp_path):
+    _exe, data, image, gmons = vm_setup
+    blob = dumps_gmon(data)
+    corrupt = tmp_path / "gmon.corrupt"
+    corrupt.write_bytes(blob[: len(blob) - 7])  # tear the arc table
+    session = ProfileSession.from_image(image)
+    merged = session.load([gmons[0], str(corrupt)], salvage=True)
+    assert merged.warnings  # degraded input stays visibly degraded
+    assert [p for p, _ in session.salvage_reports] == [
+        gmons[0], str(corrupt)
+    ]
+    assert any(not r.clean for _, r in session.salvage_reports)
+    assert any(d.code.startswith("GP4") for d in session.gmon_diagnostics)
+
+
+def test_read_each_keeps_profiles_separate(vm_setup):
+    _exe, data, image, gmons = vm_setup
+    session = ProfileSession.from_image(image)
+    profiles = session.read_each(gmons)
+    assert len(profiles) == 3
+    assert all(p.runs == data.runs for p in profiles)
+
+
+# -- linting ----------------------------------------------------------------
+
+
+def test_lint_requires_an_executable(tmp_path):
+    symbols = make_symbols("main")
+    path = tmp_path / "syms.json"
+    symbols.save(path)
+    session = ProfileSession.from_image(str(path))
+    with pytest.raises(ReproError):
+        session.lint([], [])
+
+
+def test_lint_folds_in_reader_diagnostics(vm_setup, tmp_path):
+    _exe, data, image, gmons = vm_setup
+    blob = dumps_gmon(data)
+    corrupt = tmp_path / "gmon.corrupt"
+    corrupt.write_bytes(blob[: len(blob) - 7])
+    session = ProfileSession.from_image(image)
+    profiles = session.read_each([str(corrupt)], salvage=True)
+    report = session.lint(profiles, [str(corrupt)])
+    assert any(d.code.startswith("GP4") for d in report)
+
+
+# -- analysis and the session cache ----------------------------------------
+
+
+def test_session_analyze_shares_one_cache(vm_setup):
+    _exe, _data, image, gmons = vm_setup
+    session = ProfileSession.from_image(image)
+    data = session.load(gmons)
+    first = session.analyze(data)
+    second = session.analyze(data)
+    assert second is first  # full cache hit returns the shared Profile
+    assert session.cache.hits > 0
+
+
+def test_session_analyze_matches_plain_analyze(vm_setup):
+    _exe, _data, image, gmons = vm_setup
+    session = ProfileSession.from_image(image)
+    data = session.load(gmons)
+    options = AnalysisOptions(excluded=["fib"])
+    from repro.report import format_flat_profile
+
+    via_session = session.analyze(data, options)
+    plain = analyze(data, session.symbols, options)
+    assert format_flat_profile(via_session) == format_flat_profile(plain)
+
+
+def test_merge_only_session_needs_no_image(vm_setup):
+    _exe, data, image, gmons = vm_setup
+    session = ProfileSession(None)
+    merged = session.load(gmons)
+    assert merged.runs == 3 * data.runs
+
+
+# -- satellite: O(1) name lookups -------------------------------------------
+
+
+def big_profile(n: int = 400):
+    names = [f"fn{i:04d}" for i in range(n)]
+    symbols = make_symbols(*names)
+    arcs = [(names[i], names[i + 1], i + 1) for i in range(n - 1)]
+    ticks = {name: 1 for name in names}
+    return analyze(profile_data(symbols, arcs, ticks=ticks), symbols), names
+
+
+def test_profile_lookups_never_scan_the_entry_list():
+    profile, names = big_profile()
+    profile.graph_entries = NoIterList(profile.graph_entries)
+    for name in names:
+        idx = profile.index_of(name)
+        assert idx is not None
+        assert profile.entry(name).name == name
+        assert profile.entry(name).index == idx
+
+
+def test_delta_routine_lookup_is_indexed():
+    from repro.core.compare import compare_profiles
+
+    before, names = big_profile()
+    after, _ = big_profile()
+    delta = compare_profiles(before, after)
+    assert delta.routine(names[0]) is not None  # builds the index
+    delta.routines = NoIterList(delta.routines)
+    for name in names:
+        assert delta.routine(name) is not None
+    assert delta.routine("missing") is None
+
+
+def test_baseline_rule_lookup_is_indexed():
+    from repro.core.regress import Baseline
+
+    profile, names = big_profile()
+    baseline = Baseline.from_profile(profile)
+    covered = [rule.name for rule in baseline.rules]
+    assert covered
+    assert baseline.rule_for(covered[0]) is not None  # builds the index
+    baseline.rules = NoIterList(baseline.rules)
+    for name in covered:
+        assert baseline.rule_for(name) is not None
+    assert baseline.rule_for("missing") is None

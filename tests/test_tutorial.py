@@ -105,10 +105,29 @@ class TestTutorialSteps:
         out = capsys.readouterr().out
         assert "arcs removed from the analysis" in out
 
+    def test_step13_pipeline_timings(self, workdir, capsys):
+        import json
+
+        vm_main(["asm", "primes.rl", "-o", "primes-pg.vmexe", "--profile"])
+        vm_main(["run", "primes-pg.vmexe", "--profile", "--gmon", "primes.gmon"])
+        capsys.readouterr()
+        assert gprof_main(
+            ["primes-pg.vmexe", "primes.gmon",
+             "--timings", "--trace", "trace.json"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "pipeline timings" in err
+        for stage in ("symbolize", "propagate", "assemble"):
+            assert stage in err
+        blob = json.loads((workdir / "trace.json").read_text())
+        assert blob["format"] == "repro-pipeline-trace-1"
+
     def test_tutorial_mentions_only_real_commands(self):
         # every `repro-…` token in the tutorial names a shipped CLI
+        # (longer hyphenated tokens like the trace format tag are not
+        # commands)
         text = TUTORIAL.read_text()
-        commands = set(re.findall(r"\brepro-[a-z]+", text))
+        commands = set(re.findall(r"\brepro-[a-z]+(?![a-z-])", text))
         assert commands <= {
             "repro-vm", "repro-gprof", "repro-prof",
             "repro-kgmon", "repro-stacks", "repro-check", "repro-merge",

@@ -179,6 +179,13 @@ SUITES = {
         None,  # resolved lazily, same pattern as vm
         "cached analysis listing differs from uncached",
     ),
+    "check": (
+        "T-FLOW",
+        "BENCH_check.json",
+        None,  # resolved lazily, same pattern as vm
+        "flow report or predicted profile differs across runs or "
+        "cache replay",
+    ),
 }
 
 
@@ -191,6 +198,10 @@ def _suite_runner(name: str):
         from benchmarks.bench_pipeline import run_pipeline
 
         return run_pipeline
+    if name == "check":
+        from benchmarks.bench_check import run_check
+
+        return run_check
     return SUITES[name][2]
 
 

@@ -1,0 +1,676 @@
+"""Abstract interpretation over the VM ISA: stack effects and intervals.
+
+Two worklist analyses over the per-routine CFGs, both deterministic:
+
+**Stack-depth / effect analysis** (interprocedural).  Every opcode has
+a fixed ``(pops, pushes)`` effect (:data:`repro.machine.isa.STACK_EFFECTS`)
+except calls, whose net effect is the callee's *summary*: the depth
+delta from routine entry to ``RET`` plus how far below the entry the
+routine reaches (its arguments).  Summaries are solved by Kleene
+iteration over the whole program — recursion converges because a
+routine's base-case path defines its summary and the recursive paths
+must then agree.  The verifier proves **operand-stack balance**: every
+block is reached at one depth only and every ``RET`` leaves the same
+delta; a violation means the routine corrupts its caller's stack.
+
+**Constant / interval analysis** (intraprocedural).  Stack slots and
+frame locals carry integer intervals; the transfer functions mirror
+:meth:`repro.machine.cpu.CPU.step`.  Loop headers widen after a few
+visits, so the fixpoint terminates.  The results prove branches whose
+outcome never varies, blocks no concrete execution can reach (stronger
+than CFG reachability — GP101's), and — combined with the natural-loop
+structure — loops that provably never exit.
+
+Frame locals are per-activation (a callee cannot touch its caller's
+slots, see :class:`repro.machine.cpu.Frame`), so locals survive calls;
+globals are shared and are modelled as unknown throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.cfg import RoutineCFG
+from repro.machine.executable import Executable, Function
+from repro.machine.isa import INSTRUCTION_SIZE, STACK_EFFECTS, Op
+
+#: Widen a block's abstract state after this many joins at its entry.
+_WIDEN_AFTER = 3
+
+#: Fixpoint guard: the summary iteration is monotone (unknown -> known)
+#: so it needs at most one pass per routine, but cap it anyway.
+_MAX_SUMMARY_PASSES = 64
+
+
+# --------------------------------------------------------------- stack summaries
+
+
+@dataclass(frozen=True)
+class StackSummary:
+    """The interprocedural operand-stack effect of one routine.
+
+    Attributes:
+        delta: net depth change from entry to RET (e.g. ``0`` for a
+            routine that pops one argument and pushes one result).
+        reach: the lowest depth relative to the entry the routine ever
+            touches (``-1`` for a one-argument routine); never positive.
+    """
+
+    delta: int
+    reach: int
+
+
+@dataclass
+class BalanceResult:
+    """Stack-balance verification of one routine.
+
+    Attributes:
+        function: the routine.
+        entry_depths: depth (relative to routine entry) at each block's
+            entry, for blocks where it is known and unique.
+        conflicts: ``(block, depth_a, depth_b)`` triples for blocks
+            reached at two different depths — the balance violation.
+        ret_deltas: ``(ret_addr, delta)`` for each RET reached with a
+            known depth.
+        ret_conflict: True when two RETs leave different deltas.
+        reach: the lowest depth relative to the entry any explored
+            instruction touches (how many caller-pushed arguments the
+            routine consumes); never positive.
+        summary: the routine's solved :class:`StackSummary`, or None
+            when no RET path has a determinable depth (infinite loops,
+            HALT-only routines, paths through unresolvable calls).
+    """
+
+    function: Function
+    entry_depths: dict[int, int] = field(default_factory=dict)
+    conflicts: list[tuple[int, int, int]] = field(default_factory=list)
+    ret_deltas: list[tuple[int, int]] = field(default_factory=list)
+    ret_conflict: bool = False
+    reach: int = 0
+    summary: StackSummary | None = None
+
+    @property
+    def balanced(self) -> bool:
+        """No join conflict and no RET-delta disagreement."""
+        return not self.conflicts and not self.ret_conflict
+
+
+def address_taken(exe: Executable) -> set[str]:
+    """Routines whose entry address is pushed somewhere in the program —
+    the candidate targets of every ``CALLI`` (the §4 crawl heuristic)."""
+    names: set[str] = set()
+    for ins in exe.instructions:
+        if ins.op is not Op.PUSH or ins.operand is None:
+            continue
+        fn = exe.function_at(ins.operand)
+        if fn is not None and fn.entry == ins.operand:
+            names.add(fn.name)
+    return names
+
+
+def _call_effect(
+    op: Op,
+    operand: int | None,
+    exe: Executable,
+    summaries: dict[str, StackSummary | None],
+    calli_candidates: set[str],
+) -> StackSummary | None:
+    """The summary-shaped effect of a CALL/CALLI, or None if unknown."""
+    if op is Op.CALL:
+        callee = exe.function_at(operand) if operand is not None else None
+        if callee is None or callee.entry != operand:
+            return None
+        return summaries.get(callee.name)
+    # CALLI pops the target address, then behaves like its callee; the
+    # effect is known only when every candidate agrees.
+    cands = sorted(calli_candidates)
+    if not cands:
+        return None
+    effects = {summaries.get(name) for name in cands}
+    if len(effects) != 1 or None in effects:
+        return None
+    callee_sum = effects.pop()
+    return StackSummary(
+        callee_sum.delta - 1, min(-1, callee_sum.reach - 1)
+    )
+
+
+def _analyze_depths(
+    exe: Executable,
+    fn: Function,
+    cfg: RoutineCFG,
+    summaries: dict[str, StackSummary | None],
+    calli_candidates: set[str],
+) -> BalanceResult:
+    """One depth-flow pass over ``fn`` with the current summaries."""
+    result = BalanceResult(fn)
+    if cfg.entry not in cfg.blocks:
+        return result
+    entry_depth: dict[int, int] = {cfg.entry: 0}
+    reach = 0
+    work = [cfg.entry]
+    seen_conflicts: set[int] = set()
+    while work:
+        start = work.pop(0)
+        depth = entry_depth[start]
+        block = cfg.blocks[start]
+        known = True
+        addr = block.start
+        while addr < block.end:
+            ins = exe.fetch(addr)
+            op = ins.op
+            if op in (Op.CALL, Op.CALLI):
+                if op is Op.CALLI:
+                    reach = min(reach, depth - 1)
+                effect = _call_effect(
+                    op, ins.operand, exe, summaries, calli_candidates
+                )
+                if effect is None:
+                    known = False
+                    break
+                reach = min(reach, depth + effect.reach)
+                depth += effect.delta
+            elif op is Op.RET:
+                result.ret_deltas.append((addr, depth))
+                break
+            else:
+                pops, pushes = STACK_EFFECTS[op]
+                reach = min(reach, depth - pops)
+                depth += pushes - pops
+            addr += INSTRUCTION_SIZE
+        if not known:
+            continue  # depths downstream of an unresolved call are unknown
+        for succ in block.successors:
+            if succ not in cfg.blocks:
+                continue
+            if succ in entry_depth:
+                if entry_depth[succ] != depth and succ not in seen_conflicts:
+                    seen_conflicts.add(succ)
+                    result.conflicts.append(
+                        (succ, entry_depth[succ], depth)
+                    )
+            else:
+                entry_depth[succ] = depth
+                work.append(succ)
+    result.entry_depths = entry_depth
+    result.reach = min(reach, 0)
+    deltas = sorted({d for _addr, d in result.ret_deltas})
+    if len(deltas) > 1:
+        result.ret_conflict = True
+    elif deltas and result.balanced:
+        result.summary = StackSummary(deltas[0], min(reach, deltas[0]))
+    result.conflicts.sort()
+    result.ret_deltas.sort()
+    return result
+
+
+def stack_summaries(
+    exe: Executable, cfgs: dict[str, RoutineCFG]
+) -> dict[str, BalanceResult]:
+    """Solve every routine's stack summary by whole-program iteration.
+
+    Returns a :class:`BalanceResult` per routine (keyed by name).  The
+    iteration is optimistic: summaries start unknown, each pass may
+    determine more of them (a recursive routine's base path defines it,
+    after which its recursive paths are checked for agreement), and the
+    loop stops at the first pass that changes nothing.
+    """
+    summaries: dict[str, StackSummary | None] = {
+        fn.name: None for fn in exe.functions
+    }
+    calli_candidates = address_taken(exe)
+    results: dict[str, BalanceResult] = {}
+    for _ in range(_MAX_SUMMARY_PASSES):
+        changed = False
+        for fn in exe.functions:
+            cfg = cfgs.get(fn.name)
+            if cfg is None or not cfg.blocks:
+                results[fn.name] = BalanceResult(fn)
+                continue
+            res = _analyze_depths(exe, fn, cfg, summaries, calli_candidates)
+            results[fn.name] = res
+            if res.summary != summaries[fn.name]:
+                summaries[fn.name] = res.summary
+                changed = True
+        if not changed:
+            break
+    return results
+
+
+# ------------------------------------------------------------------- intervals
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly unbounded) integer interval.  ``None`` = unbounded."""
+
+    lo: int | None
+    hi: int | None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo},{hi}]"
+
+    @property
+    def constant(self) -> int | None:
+        """The single value of a singleton interval, else None."""
+        if self.lo is not None and self.lo == self.hi:
+            return self.lo
+        return None
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` may be in the interval."""
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def join(self, other: "Interval") -> "Interval":
+        """The convex hull of both intervals."""
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard widening: a growing bound jumps to unbounded."""
+        lo = self.lo
+        if newer.lo is None or (lo is not None and newer.lo < lo):
+            lo = None
+        hi = self.hi
+        if newer.hi is None or (hi is not None and newer.hi > hi):
+            hi = None
+        return Interval(lo, hi)
+
+
+TOP = Interval(None, None)
+
+
+def _const(value: int) -> Interval:
+    return Interval(value, value)
+
+
+def _add(a: Interval, b: Interval) -> Interval:
+    lo = None if a.lo is None or b.lo is None else a.lo + b.lo
+    hi = None if a.hi is None or b.hi is None else a.hi + b.hi
+    return Interval(lo, hi)
+
+
+def _sub(a: Interval, b: Interval) -> Interval:
+    lo = None if a.lo is None or b.hi is None else a.lo - b.hi
+    hi = None if a.hi is None or b.lo is None else a.hi - b.lo
+    return Interval(lo, hi)
+
+
+def _neg(a: Interval) -> Interval:
+    lo = None if a.hi is None else -a.hi
+    hi = None if a.lo is None else -a.lo
+    return Interval(lo, hi)
+
+
+def _compare(op: Op, a: Interval, b: Interval) -> Interval:
+    """Abstract comparison: 0, 1, or [0,1] when undecidable."""
+
+    def lt(x: Interval, y: Interval):
+        # definitely x < y / definitely not
+        if x.hi is not None and y.lo is not None and x.hi < y.lo:
+            return True
+        if x.lo is not None and y.hi is not None and x.lo >= y.hi:
+            return False
+        return None
+
+    def le(x: Interval, y: Interval):
+        if x.hi is not None and y.lo is not None and x.hi <= y.lo:
+            return True
+        if x.lo is not None and y.hi is not None and x.lo > y.hi:
+            return False
+        return None
+
+    def eq(x: Interval, y: Interval):
+        ca, cb = x.constant, y.constant
+        if ca is not None and cb is not None:
+            return ca == cb
+        # disjoint intervals can never be equal
+        if x.hi is not None and y.lo is not None and x.hi < y.lo:
+            return False
+        if y.hi is not None and x.lo is not None and y.hi < x.lo:
+            return False
+        return None
+
+    verdict = None
+    if op is Op.LT:
+        verdict = lt(a, b)
+    elif op is Op.LE:
+        verdict = le(a, b)
+    elif op is Op.GT:
+        verdict = lt(b, a)
+    elif op is Op.GE:
+        verdict = le(b, a)
+    elif op is Op.EQ:
+        verdict = eq(a, b)
+    elif op is Op.NE:
+        v = eq(a, b)
+        verdict = None if v is None else not v
+    if verdict is None:
+        return Interval(0, 1)
+    return _const(int(verdict))
+
+
+def _mul(a: Interval, b: Interval) -> Interval:
+    ca, cb = a.constant, b.constant
+    if ca is not None and cb is not None:
+        return _const(ca * cb)
+    return TOP
+
+
+def _divmod(op: Op, a: Interval, b: Interval) -> Interval:
+    ca, cb = a.constant, b.constant
+    if ca is not None and cb is not None and cb != 0:
+        if (ca >= 0) == (cb >= 0):
+            q = ca // cb
+        else:
+            q = ca // cb
+            if q * cb != ca:
+                q += 1
+        return _const(q if op is Op.DIV else ca - q * cb)
+    return TOP
+
+
+@dataclass
+class _State:
+    """One abstract machine state: operand stack + frame locals."""
+
+    stack: tuple[Interval, ...]
+    locals: dict[int, Interval] = field(default_factory=dict)
+
+    def local(self, slot: int) -> Interval:
+        # Frame locals grow zero-filled on demand (CPU._local), so an
+        # untouched slot is exactly 0.
+        return self.locals.get(slot, _const(0))
+
+    def copy(self) -> "_State":
+        return _State(self.stack, dict(self.locals))
+
+    def join(self, other: "_State", widen: bool) -> tuple["_State", bool]:
+        """Join (or widen) two states; returns (state, changed)."""
+        assert len(self.stack) == len(other.stack)
+        stack = []
+        changed = False
+        for mine, theirs in zip(self.stack, other.stack):
+            joined = mine.join(theirs)
+            if widen and joined != mine:
+                joined = mine.widen(joined)
+            stack.append(joined)
+            changed |= joined != mine
+        slots = set(self.locals) | set(other.locals)
+        locals_: dict[int, Interval] = {}
+        for slot in slots:
+            mine = self.local(slot)
+            joined = mine.join(other.local(slot))
+            if widen and joined != mine:
+                joined = mine.widen(joined)
+            locals_[slot] = joined
+            changed |= joined != mine
+        return _State(tuple(stack), locals_), changed
+
+
+@dataclass
+class BranchFact:
+    """A conditional branch whose outcome the intervals decide.
+
+    Attributes:
+        address: the JZ/JNZ instruction's address.
+        always_taken: True when the jump is always taken, False when it
+            can never be taken.
+        condition: the condition's abstract interval, rendered.
+    """
+
+    address: int
+    always_taken: bool
+    condition: str
+
+
+@dataclass
+class ValueResult:
+    """Interval analysis of one routine.
+
+    Attributes:
+        function: the routine.
+        reached: blocks the abstract execution reached.
+        unreachable: CFG-reachable blocks the abstract execution proves
+            no concrete run enters (dead branch arms), in address order.
+        constant_branches: decided JZ/JNZ outcomes, in address order.
+        dead_edges: CFG edges the analysis proves never taken.
+        aborted: True when an unresolvable call made depths unknown and
+            the analysis stopped early (results stay sound but partial).
+    """
+
+    function: Function
+    reached: set[int] = field(default_factory=set)
+    unreachable: list[int] = field(default_factory=list)
+    constant_branches: list[BranchFact] = field(default_factory=list)
+    dead_edges: set[tuple[int, int]] = field(default_factory=set)
+    aborted: bool = False
+
+
+def _exec_block(
+    exe: Executable,
+    block_start: int,
+    block_end: int,
+    state: _State,
+    summaries: dict[str, StackSummary | None],
+    calli_candidates: set[str],
+) -> tuple[_State | None, Interval | None, Op | None, int | None]:
+    """Abstractly execute one block.
+
+    Returns ``(out_state, branch_condition, ender_op, ender_addr)``;
+    ``out_state`` is None when an unresolved call clouds the depths.
+    The branch condition is the interval popped by a terminating
+    JZ/JNZ, already removed from ``out_state``.
+    """
+    stack = list(state.stack)
+    locals_ = dict(state.locals)
+
+    def local(slot: int) -> Interval:
+        return locals_.get(slot, _const(0))
+
+    addr = block_start
+    while addr < block_end:
+        ins = exe.fetch(addr)
+        op = ins.op
+        if op is Op.PUSH:
+            stack.append(_const(ins.operand))
+        elif op is Op.POP:
+            stack.pop()
+        elif op is Op.DUP:
+            stack.append(stack[-1])
+        elif op is Op.SWAP:
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+        elif op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD):
+            b, a = stack.pop(), stack.pop()
+            if op is Op.ADD:
+                stack.append(_add(a, b))
+            elif op is Op.SUB:
+                stack.append(_sub(a, b))
+            elif op is Op.MUL:
+                stack.append(_mul(a, b))
+            else:
+                stack.append(_divmod(op, a, b))
+        elif op is Op.NEG:
+            stack.append(_neg(stack.pop()))
+        elif op in (Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE):
+            b, a = stack.pop(), stack.pop()
+            stack.append(_compare(op, a, b))
+        elif op is Op.LOAD:
+            stack.append(local(ins.operand))
+        elif op is Op.STORE:
+            locals_[ins.operand] = stack.pop()
+        elif op in (Op.GLOAD, Op.GLOADI):
+            if op is Op.GLOADI:
+                stack.pop()
+            stack.append(TOP)  # globals are shared: unknown
+        elif op is Op.GSTORE:
+            stack.pop()
+        elif op is Op.GSTOREI:
+            stack.pop()
+            stack.pop()
+        elif op in (Op.JZ, Op.JNZ):
+            cond = stack.pop()
+            return _State(tuple(stack), locals_), cond, op, addr
+        elif op in (Op.JMP, Op.RET, Op.HALT):
+            return _State(tuple(stack), locals_), None, op, addr
+        elif op in (Op.CALL, Op.CALLI):
+            # For CALLI the effect already folds in the target-address
+            # pop (see _call_effect), so the summary is applied as-is.
+            effect = _call_effect(
+                op, ins.operand, exe, summaries, calli_candidates
+            )
+            if effect is None:
+                return None, None, None, None
+            keep = len(stack) + effect.reach
+            del stack[keep:]
+            stack.extend([TOP] * (effect.delta - effect.reach))
+        elif op is Op.OUT:
+            stack.pop()
+        else:  # NOP, WORK, MCOUNT, COUNT
+            pass
+        addr += INSTRUCTION_SIZE
+    return _State(tuple(stack), locals_), None, None, None
+
+
+def interpret_values(
+    exe: Executable,
+    fn: Function,
+    cfg: RoutineCFG,
+    balance: BalanceResult,
+    summaries: dict[str, StackSummary | None],
+    calli_candidates: set[str] | None = None,
+) -> ValueResult:
+    """Run the interval worklist over one routine.
+
+    ``balance`` must be the routine's (clean) :class:`BalanceResult` —
+    conflicted or depth-unknown routines are skipped wholesale, with
+    ``aborted`` set, because stack shapes are undefined there.
+    """
+    result = ValueResult(fn)
+    if calli_candidates is None:
+        calli_candidates = address_taken(exe)
+    if (
+        not cfg.blocks
+        or not balance.balanced
+        or cfg.entry not in balance.entry_depths
+    ):
+        result.aborted = True
+        return result
+
+    # Arguments live on the caller's stack below the entry depth; model
+    # them as |reach| unknown values so pops inside the routine resolve.
+    pad = -balance.reach
+    states: dict[int, _State] = {cfg.entry: _State(tuple([TOP] * pad))}
+    visits: dict[int, int] = {}
+    work = [cfg.entry]
+    branch_sites: dict[int, tuple[Op, int]] = {}  # block -> (op, addr)
+    conditions: dict[int, Interval] = {}  # block -> last seen condition
+
+    while work:
+        start = work.pop(0)
+        result.reached.add(start)
+        block = cfg.blocks[start]
+        out = _exec_block(
+            exe, block.start, block.end, states[start],
+            summaries, calli_candidates,
+        )
+        out_state, cond, ender, ender_addr = out
+        if out_state is None:
+            # Unresolved call: successor depths unknown; stop exploring
+            # this path but keep what we learned elsewhere.
+            result.aborted = True
+            for succ in block.successors:
+                if succ in cfg.blocks and succ not in result.reached:
+                    # propagate reachability conservatively, values TOP
+                    depth = balance.entry_depths.get(succ)
+                    if depth is None:
+                        continue
+                    top_state = _State(tuple([TOP] * (depth + pad)))
+                    _enqueue(
+                        states, visits, work, result, succ, top_state
+                    )
+            continue
+
+        # Decide which successor edges are live.
+        live: list[tuple[int, _State]] = []
+        if ender in (Op.JZ, Op.JNZ) and cond is not None:
+            assert ender_addr is not None
+            branch_sites[start] = (ender, ender_addr)
+            conditions[start] = (
+                conditions[start].join(cond) if start in conditions else cond
+            )
+            target = exe.fetch(ender_addr).operand
+            fall = block.end
+            may_zero = cond.contains(0)
+            may_nonzero = cond.constant != 0
+            take_on_zero = ender is Op.JZ
+            # A successor can be the branch target, the fall-through,
+            # or (target == fall-through) both; it is live when any of
+            # its roles is possible.
+            for succ in sorted(set(block.successors)):
+                possible = False
+                if succ == target:
+                    possible |= may_zero if take_on_zero else may_nonzero
+                if succ == fall:
+                    possible |= may_nonzero if take_on_zero else may_zero
+                if possible:
+                    live.append((succ, out_state))
+                    # An earlier, narrower visit may have judged this
+                    # edge dead; the join makes that verdict stale.
+                    result.dead_edges.discard((start, succ))
+                else:
+                    result.dead_edges.add((start, succ))
+        else:
+            live = [(succ, out_state) for succ in block.successors]
+
+        for succ, st in live:
+            if succ not in cfg.blocks:
+                continue
+            _enqueue(states, visits, work, result, succ, st)
+
+    for start in sorted(set(cfg.blocks) - result.reached):
+        if start in cfg.reachable():
+            result.unreachable.append(start)
+
+    for block_start, (op, addr) in sorted(branch_sites.items()):
+        cond = conditions[block_start]
+        may_zero = cond.contains(0)
+        may_nonzero = cond.constant != 0
+        taken = may_zero if op is Op.JZ else may_nonzero
+        not_taken = may_nonzero if op is Op.JZ else may_zero
+        if taken and not_taken:
+            continue  # outcome varies
+        result.constant_branches.append(
+            BranchFact(addr, always_taken=bool(taken), condition=str(cond))
+        )
+    result.dead_edges = {
+        e for e in result.dead_edges if e[0] in result.reached
+    }
+    return result
+
+
+def _enqueue(states, visits, work, result, succ, new_state) -> None:
+    """Join ``new_state`` into ``succ``'s entry state; requeue on change."""
+    old = states.get(succ)
+    if old is None:
+        states[succ] = new_state.copy()
+        work.append(succ)
+        return
+    if len(old.stack) != len(new_state.stack):
+        # Depth mismatch would have been reported by the balance pass;
+        # stop here rather than corrupt the analysis.
+        return
+    visits[succ] = visits.get(succ, 0) + 1
+    widen = visits[succ] >= _WIDEN_AFTER
+    joined, changed = old.join(new_state, widen)
+    if changed:
+        states[succ] = joined
+        if succ not in work:
+            work.append(succ)

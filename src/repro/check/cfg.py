@@ -41,6 +41,19 @@ _BLOCK_ENDERS = frozenset({Op.JMP, Op.JZ, Op.JNZ, Op.RET, Op.HALT})
 _BRANCH_OPS = frozenset({Op.JMP, Op.JZ, Op.JNZ})
 
 
+def branch_stays_inside(fn: Function, target: int) -> bool:
+    """Whether a branch target lies inside ``fn``'s own body.
+
+    The boundary case matters: ``fn.end`` is one *past* the routine's
+    last instruction, so a branch to exactly ``end`` lands on the next
+    routine's first instruction (or off the text segment entirely) and
+    must be classified as **escaping** — never as an intra-routine
+    successor.  Both CFG-construction sites below share this predicate
+    so the half-open ``[entry, end)`` test cannot drift between them.
+    """
+    return fn.entry <= target < fn.end
+
+
 @dataclass
 class BasicBlock:
     """A maximal straight-line run of instructions.
@@ -124,7 +137,7 @@ def build_cfg(exe: Executable, fn: Function) -> RoutineCFG:
     leaders: set[int] = {fn.entry}
     for addr, ins in body:
         if ins.op in _BRANCH_OPS and ins.operand is not None:
-            if fn.entry <= ins.operand < fn.end:
+            if branch_stays_inside(fn, ins.operand):
                 leaders.add(ins.operand)
             else:
                 cfg.escaping_branches.append((addr, ins.operand))
@@ -146,7 +159,7 @@ def build_cfg(exe: Executable, fn: Function) -> RoutineCFG:
         falls_off = False
         assert last is not None
         if last.op in _BRANCH_OPS and last.operand is not None:
-            if fn.entry <= last.operand < fn.end:
+            if branch_stays_inside(fn, last.operand):
                 successors.append(last.operand)
         if last.op not in _NO_FALLTHROUGH:
             if end < fn.end:

@@ -144,6 +144,31 @@ CODES: dict[str, tuple[Severity, str]] = {
     "GP505": (Severity.WARNING,
               "pipeline invariant violated: propagated time is not "
               "conserved across the graph"),
+    # -- GP6xx: dataflow analysis and static-vs-measured expectation --------------
+    "GP601": (Severity.WARNING,
+              "constant branch: conditional jump whose outcome provably "
+              "never varies"),
+    "GP602": (Severity.ERROR,
+              "stack imbalance: operand-stack depth conflicts between "
+              "paths, or RET paths disagree on the net effect"),
+    "GP603": (Severity.WARNING,
+              "provably-infinite loop: no live exit edge, return, or "
+              "halt anywhere in the loop body"),
+    "GP604": (Severity.WARNING,
+              "irreducible control flow: retreating edge enters a loop "
+              "body past its header"),
+    "GP605": (Severity.WARNING,
+              "statically-unreachable code: interval analysis proves no "
+              "execution enters the block"),
+    "GP610": (Severity.ERROR,
+              "impossible arc: measured call has no statically-possible "
+              "call site"),
+    "GP611": (Severity.ERROR,
+              "samples in dead code: histogram mass inside a "
+              "statically-unreachable block"),
+    "GP612": (Severity.WARNING,
+              "call-count contradiction: measured calls exceed static "
+              "call-site multiplicity times caller activations"),
 }
 
 
@@ -158,6 +183,9 @@ class Diagnostic:
         address: text address the finding anchors to, or None for
             program-level findings.
         routine: routine name the finding concerns, or None.
+        source: the artifact the finding is *about* — a gmon file label
+            for profile-derived findings, None for findings about the
+            executable itself.
     """
 
     code: str
@@ -165,10 +193,18 @@ class Diagnostic:
     message: str
     address: int | None = None
     routine: str | None = None
+    source: str | None = None
 
     def sort_key(self) -> tuple:
-        """Deterministic presentation order: address, code, routine."""
+        """Deterministic presentation order: (file, address, code).
+
+        Source-less (executable-level) findings sort first, then each
+        profile's findings grouped by label — so the listing is stable
+        no matter in which order the passes were registered or the
+        gmon files were named on the command line.
+        """
         return (
+            self.source or "",
             self.address if self.address is not None else -1,
             self.code,
             self.routine or "",
@@ -178,6 +214,8 @@ class Diagnostic:
     def render(self) -> str:
         """One terminal line, gcc-style: location, severity, code, text."""
         where = []
+        if self.source:
+            where.append(self.source)
         if self.address is not None:
             where.append(f"{self.address:#06x}")
         if self.routine:
@@ -193,6 +231,7 @@ class Diagnostic:
             "severity": self.severity.value,
             "address": self.address,
             "routine": self.routine,
+            "source": self.source,
             "message": self.message,
         }
 
@@ -202,10 +241,11 @@ def make(
     message: str,
     address: int | None = None,
     routine: str | None = None,
+    source: str | None = None,
 ) -> Diagnostic:
     """Build a diagnostic, taking the severity from the code registry."""
     severity, _summary = CODES[code]
-    return Diagnostic(code, severity, message, address, routine)
+    return Diagnostic(code, severity, message, address, routine, source)
 
 
 @dataclass

@@ -1,0 +1,279 @@
+"""Dominator trees and natural loops over :class:`RoutineCFG`.
+
+The static half of the profile-guided loop needs to know *where the
+time has to go*: which blocks guard which, where the loops are, and how
+deeply they nest.  This module computes, per routine:
+
+* the **dominator tree** via the Cooper–Harvey–Kennedy iterative
+  algorithm ("A Simple, Fast Dominance Algorithm") — two reverse
+  postorder sweeps on real programs, no Lengauer–Tarjan machinery;
+* **natural loops** from back edges (an edge ``t → h`` where ``h``
+  dominates ``t``): header, body, back edges, and nesting depth;
+* **irreducible control flow** detection: a retreating edge whose
+  target does not dominate its source has no natural loop, so any
+  loop-based analysis (frequency estimation, infinite-loop proofs)
+  must degrade to conservative answers for that routine.
+
+Only blocks reachable from the routine entry participate; unreachable
+blocks have no dominators (GP101 already reports them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.cfg import RoutineCFG
+
+
+@dataclass
+class DomTree:
+    """The dominance structure of one routine's reachable blocks.
+
+    Attributes:
+        entry: start address of the routine's entry block.
+        rpo: reachable block start addresses in reverse postorder
+            (the entry first; every non-loop predecessor before its
+            successors).
+        idom: immediate dominator of each reachable block; the entry
+            maps to itself.
+        children: dominator-tree children of each block, sorted.
+    """
+
+    entry: int
+    rpo: list[int] = field(default_factory=list)
+    idom: dict[int, int] = field(default_factory=dict)
+    children: dict[int, list[int]] = field(default_factory=dict)
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Whether block ``a`` dominates block ``b`` (reflexively)."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom.get(node)
+            if parent is None or parent == node:
+                return False
+            node = parent
+
+    def strictly_dominates(self, a: int, b: int) -> bool:
+        """Whether ``a`` dominates ``b`` and ``a != b``."""
+        return a != b and self.dominates(a, b)
+
+    def depth(self, block: int) -> int:
+        """Distance from the entry in the dominator tree (entry = 0)."""
+        d, node = 0, block
+        while node != self.entry:
+            node = self.idom[node]
+            d += 1
+        return d
+
+
+@dataclass
+class Loop:
+    """One natural loop.
+
+    Attributes:
+        header: the loop's single entry block (start address).
+        body: every block in the loop, header included.
+        back_edges: the ``(tail, header)`` edges that define the loop;
+            several back edges sharing a header are merged into one
+            loop, per the usual convention.
+        depth: nesting depth; an outermost loop has depth 1.
+        parent: header of the innermost enclosing loop, or None.
+    """
+
+    header: int
+    body: frozenset[int]
+    back_edges: tuple[tuple[int, int], ...]
+    depth: int = 1
+    parent: int | None = None
+
+
+@dataclass
+class LoopForest:
+    """Every natural loop of one routine, plus reducibility facts.
+
+    Attributes:
+        loops: loops keyed by header address.
+        irreducible_edges: retreating edges ``(src, dst)`` whose target
+            does not dominate their source — entries into a loop body
+            that bypass the header.  Non-empty means the routine's
+            control flow is irreducible and loop-based analyses are
+            conservative for it.
+    """
+
+    loops: dict[int, Loop] = field(default_factory=dict)
+    irreducible_edges: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def irreducible(self) -> bool:
+        """Whether any retreating edge lacks a dominating header."""
+        return bool(self.irreducible_edges)
+
+    def depth_of(self, block: int) -> int:
+        """Loop nesting depth of ``block`` (0 outside all loops)."""
+        return max(
+            (loop.depth for loop in self.loops.values() if block in loop.body),
+            default=0,
+        )
+
+    def innermost(self, block: int) -> Loop | None:
+        """The deepest loop containing ``block``, or None."""
+        best: Loop | None = None
+        for loop in self.loops.values():
+            if block in loop.body and (best is None or loop.depth > best.depth):
+                best = loop
+        return best
+
+
+def _reverse_postorder(cfg: RoutineCFG) -> list[int]:
+    """Reachable block start addresses, entry first, in reverse postorder.
+
+    Successors are visited in sorted order so the result — and
+    everything derived from it — is deterministic.
+    """
+    seen: set[int] = set()
+    order: list[int] = []
+    # Iterative DFS with an explicit stack: (block, successor iterator).
+    stack: list[tuple[int, list[int]]] = []
+    entry = cfg.entry
+    if entry not in cfg.blocks:
+        return []
+    seen.add(entry)
+    stack.append((entry, sorted(cfg.blocks[entry].successors, reverse=True)))
+    while stack:
+        block, succs = stack[-1]
+        advanced = False
+        while succs:
+            nxt = succs.pop()
+            if nxt in seen or nxt not in cfg.blocks:
+                continue
+            seen.add(nxt)
+            stack.append(
+                (nxt, sorted(cfg.blocks[nxt].successors, reverse=True))
+            )
+            advanced = True
+            break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def compute_dominators(cfg: RoutineCFG) -> DomTree:
+    """The Cooper–Harvey–Kennedy dominator tree of ``cfg``.
+
+    Iterates ``idom[b] = intersect(processed predecessors)`` over the
+    reverse postorder until a fixed point; on reducible flow graphs this
+    converges in two passes.
+    """
+    rpo = _reverse_postorder(cfg)
+    tree = DomTree(cfg.entry, rpo)
+    if not rpo:
+        return tree
+    index = {b: i for i, b in enumerate(rpo)}
+    reachable = set(rpo)
+    preds: dict[int, list[int]] = {b: [] for b in rpo}
+    for b in rpo:
+        for s in cfg.blocks[b].successors:
+            if s in reachable:
+                preds[s].append(b)
+
+    idom: dict[int, int] = {cfg.entry: cfg.entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for b in rpo[1:]:
+            candidates = [p for p in preds[b] if p in idom]
+            new = candidates[0]
+            for p in candidates[1:]:
+                new = intersect(new, p)
+            if idom.get(b) != new:
+                idom[b] = new
+                changed = True
+
+    tree.idom = idom
+    children: dict[int, list[int]] = {b: [] for b in rpo}
+    for b in rpo[1:]:
+        children[idom[b]].append(b)
+    tree.children = {b: sorted(c) for b, c in children.items()}
+    return tree
+
+
+def find_loops(cfg: RoutineCFG, dom: DomTree | None = None) -> LoopForest:
+    """Natural loops of ``cfg`` plus irreducible-edge detection.
+
+    A back edge is ``t → h`` with ``h`` dominating ``t``; its natural
+    loop is ``h`` plus every block that reaches ``t`` without passing
+    through ``h``.  A *retreating* edge (target earlier in reverse
+    postorder) that is not a back edge marks irreducible flow.
+    """
+    if dom is None:
+        dom = compute_dominators(cfg)
+    forest = LoopForest()
+    if not dom.rpo:
+        return forest
+    index = {b: i for i, b in enumerate(dom.rpo)}
+    reachable = set(dom.rpo)
+
+    back_edges: dict[int, list[int]] = {}
+    for b in dom.rpo:
+        for s in cfg.blocks[b].successors:
+            if s not in reachable:
+                continue
+            if dom.dominates(s, b):
+                back_edges.setdefault(s, []).append(b)
+            elif index[s] <= index[b]:
+                forest.irreducible_edges.append((b, s))
+    forest.irreducible_edges.sort()
+
+    preds: dict[int, list[int]] = {b: [] for b in dom.rpo}
+    for b in dom.rpo:
+        for s in cfg.blocks[b].successors:
+            if s in reachable:
+                preds[s].append(b)
+
+    for header in sorted(back_edges):
+        tails = sorted(back_edges[header])
+        body = {header}
+        work = [t for t in tails if t != header]
+        body.update(work)
+        while work:
+            node = work.pop()
+            for p in preds[node]:
+                if p not in body:
+                    body.add(p)
+                    work.append(p)
+        forest.loops[header] = Loop(
+            header,
+            frozenset(body),
+            tuple((t, header) for t in tails),
+        )
+
+    # Nesting: loop A encloses loop B when A's body contains B's header
+    # and A != B.  Depth = number of enclosing loops + 1.
+    headers = sorted(forest.loops)
+    for h in headers:
+        loop = forest.loops[h]
+        enclosing = [
+            other
+            for oh, other in forest.loops.items()
+            if oh != h and h in other.body
+        ]
+        loop.depth = len(enclosing) + 1
+        if enclosing:
+            # Innermost enclosing loop = the smallest body containing
+            # this header; ties broken by header address (determinism).
+            parent = min(enclosing, key=lambda l: (len(l.body), l.header))
+            loop.parent = parent.header
+    return forest

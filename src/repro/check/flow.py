@@ -1,0 +1,339 @@
+"""The flow battery: dataflow analysis passes over the VM text.
+
+Orchestrates the per-routine dataflow stack — CFG → dominator tree →
+natural loops → stack-balance summaries → interval interpretation →
+static frequency prediction — into one :class:`FlowAnalysis` object,
+and derives the GP6xx *static* diagnostics from it:
+
+* **GP601** — a conditional branch whose outcome provably never varies
+  (excluding decided *back edges*: a never-taken back edge just means
+  the loop body runs once under these build parameters, and an
+  always-taken one is GP603's infinite-loop case);
+* **GP602** — operand-stack imbalance: a block reachable at two
+  different stack depths, or RET paths disagreeing on the net effect;
+* **GP603** — a provably-infinite natural loop: live body, and no live
+  exit edge, return, halt, or escape anywhere in it;
+* **GP604** — irreducible control flow: a retreating edge whose target
+  does not dominate its source, so loop-based reasoning (frequency
+  estimation included) degrades to conservative answers;
+* **GP605** — a block the *interval* analysis proves no execution
+  reaches — strictly stronger than GP101's graph reachability, which
+  these blocks pass.
+
+Value-analysis facts (601/603/605) are only reported for routines the
+interpreter covered completely (``aborted`` unset); partial coverage
+stays silent rather than guessing.
+
+The measured-versus-predicted confrontation lives in
+:mod:`repro.check.expect`; the whole battery is surfaced as
+``repro-check --flow`` and cached as a pipeline stage group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.absint import (
+    BalanceResult,
+    StackSummary,
+    ValueResult,
+    address_taken,
+    interpret_values,
+    stack_summaries,
+)
+from repro.check.cfg import RoutineCFG, build_all_cfgs
+from repro.check.diagnostics import Diagnostic, make
+from repro.check.dominators import (
+    DomTree,
+    LoopForest,
+    compute_dominators,
+    find_loops,
+)
+from repro.check.staticprofile import StaticProfile, build_static_profile
+from repro.machine.executable import Executable, Function
+from repro.machine.isa import INSTRUCTION_SIZE, Op
+
+
+@dataclass
+class RoutineFlow:
+    """Every per-routine dataflow artifact, bundled."""
+
+    function: Function
+    cfg: RoutineCFG
+    dom: DomTree
+    loops: LoopForest
+    balance: BalanceResult
+    values: ValueResult
+
+
+@dataclass
+class FlowAnalysis:
+    """The whole-program dataflow analysis of one executable.
+
+    Attributes:
+        exe: the analyzed image.
+        routines: per-routine artifacts, in address order.
+        summaries: solved stack summaries by routine name (None where
+            no RET path has a determinable depth).
+        calli_candidates: the program-wide address-taken set.
+        prediction: the static predicted profile.
+    """
+
+    exe: Executable
+    routines: dict[str, RoutineFlow] = field(default_factory=dict)
+    summaries: dict[str, StackSummary | None] = field(default_factory=dict)
+    calli_candidates: set[str] = field(default_factory=set)
+    prediction: StaticProfile | None = None
+
+
+def analyze_flow(exe: Executable) -> FlowAnalysis:
+    """Run the full dataflow stack over ``exe``."""
+    flow = FlowAnalysis(exe)
+    cfgs = build_all_cfgs(exe)
+    balances = stack_summaries(exe, cfgs)
+    flow.summaries = {n: b.summary for n, b in balances.items()}
+    flow.calli_candidates = address_taken(exe)
+    doms: dict[str, DomTree] = {}
+    forests: dict[str, LoopForest] = {}
+    values: dict[str, ValueResult] = {}
+    for fn in exe.functions:
+        cfg = cfgs[fn.name]
+        dom = compute_dominators(cfg)
+        forest = find_loops(cfg, dom)
+        val = interpret_values(
+            exe, fn, cfg, balances[fn.name], flow.summaries,
+            flow.calli_candidates,
+        )
+        doms[fn.name] = dom
+        forests[fn.name] = forest
+        values[fn.name] = val
+        flow.routines[fn.name] = RoutineFlow(
+            fn, cfg, dom, forest, balances[fn.name], val
+        )
+    flow.prediction = build_static_profile(exe, cfgs, doms, forests, values)
+    return flow
+
+
+# ------------------------------------------------------------------ diagnostics
+
+
+def _back_edge_set(forest: LoopForest) -> set[tuple[int, int]]:
+    return {
+        edge for loop in forest.loops.values() for edge in loop.back_edges
+    }
+
+
+def _block_of(cfg: RoutineCFG, addr: int) -> int | None:
+    """Start address of the block containing ``addr``."""
+    for start, block in cfg.blocks.items():
+        if addr in block:
+            return start
+    return None
+
+
+def check_constant_branches(rf: RoutineFlow) -> list[Diagnostic]:
+    """GP601: conditional branches with a provably-fixed outcome."""
+    if rf.values.aborted:
+        return []
+    diags: list[Diagnostic] = []
+    back = _back_edge_set(rf.loops)
+    for fact in rf.values.constant_branches:
+        blk = _block_of(rf.cfg, fact.address)
+        if blk is None:
+            continue
+        # Decided back edges are excluded: see the module docstring.
+        target = None
+        block = rf.cfg.blocks[blk]
+        for succ in block.successors:
+            if (blk, succ) in back:
+                target = succ
+                break
+        if target is not None:
+            continue
+        outcome = "always taken" if fact.always_taken else "never taken"
+        diags.append(make(
+            "GP601",
+            f"branch at {fact.address:#06x} in '{rf.function.name}' is "
+            f"{outcome}: its condition is provably {fact.condition}; "
+            "the untaken arm is dead weight",
+            address=fact.address, routine=rf.function.name,
+        ))
+    return diags
+
+
+def check_stack_balance(rf: RoutineFlow) -> list[Diagnostic]:
+    """GP602: operand-stack balance violations."""
+    diags: list[Diagnostic] = []
+    name = rf.function.name
+    for block, depth_a, depth_b in rf.balance.conflicts:
+        diags.append(make(
+            "GP602",
+            f"block at {block:#06x} in '{name}' is reachable at operand-"
+            f"stack depths {depth_a} and {depth_b}; the routine corrupts "
+            "its caller's stack on one of the paths",
+            address=block, routine=name,
+        ))
+    if rf.balance.ret_conflict:
+        deltas = ", ".join(
+            f"{d:+d} at {addr:#06x}" for addr, d in rf.balance.ret_deltas
+        )
+        diags.append(make(
+            "GP602",
+            f"RET paths of '{name}' disagree on the net stack effect "
+            f"({deltas}); callers cannot rely on its result",
+            address=rf.function.entry, routine=name,
+        ))
+    return diags
+
+
+def check_infinite_loops(exe: Executable, rf: RoutineFlow) -> list[Diagnostic]:
+    """GP603: natural loops with no live way out."""
+    diags: list[Diagnostic] = []
+    cfg, values = rf.cfg, rf.values
+    live_blocks = (
+        set(cfg.blocks) if values.aborted else set(values.reached)
+    )
+    dead_edges = set() if values.aborted else values.dead_edges
+    escapes_from = {addr for addr, _t in cfg.escaping_branches}
+    for header in sorted(rf.loops.loops):
+        loop = rf.loops.loops[header]
+        body_live = sorted(loop.body & live_blocks)
+        if not body_live:
+            continue
+        has_exit = False
+        for start in body_live:
+            block = cfg.blocks[start]
+            ender = None
+            if block.end - INSTRUCTION_SIZE >= block.start:
+                ender = exe.fetch(block.end - INSTRUCTION_SIZE).op
+            if ender in (Op.RET, Op.HALT):
+                has_exit = True
+                break
+            if block.falls_off_end:
+                has_exit = True  # conservatively an exit
+                break
+            if any(
+                block.start <= a < block.end for a in escapes_from
+            ):
+                has_exit = True
+                break
+            for succ in block.successors:
+                if succ not in loop.body and (start, succ) not in dead_edges:
+                    has_exit = True
+                    break
+            if has_exit:
+                break
+        if not has_exit:
+            diags.append(make(
+                "GP603",
+                f"loop headed at {header:#06x} in '{rf.function.name}' "
+                "has no live exit: no reachable path leaves the loop "
+                "body and no body block returns or halts",
+                address=header, routine=rf.function.name,
+            ))
+    return diags
+
+
+def check_irreducible(rf: RoutineFlow) -> list[Diagnostic]:
+    """GP604: retreating edges without a dominating header."""
+    if not rf.loops.irreducible:
+        return []
+    edges = ", ".join(
+        f"{src:#06x}->{dst:#06x}" for src, dst in rf.loops.irreducible_edges
+    )
+    return [make(
+        "GP604",
+        f"control flow in '{rf.function.name}' is irreducible "
+        f"(retreating edge(s) {edges} enter a loop body past its "
+        "header); loop-based estimates are conservative here",
+        address=rf.loops.irreducible_edges[0][0],
+        routine=rf.function.name,
+    )]
+
+
+def check_absint_unreachable(rf: RoutineFlow) -> list[Diagnostic]:
+    """GP605: blocks only the interval analysis proves dead."""
+    if rf.values.aborted:
+        return []
+    return [
+        make(
+            "GP605",
+            f"block at {start:#06x} in '{rf.function.name}' is "
+            "reachable in the CFG but no execution can enter it: every "
+            "path to it crosses a provably-decided branch",
+            address=start, routine=rf.function.name,
+        )
+        for start in rf.values.unreachable
+    ]
+
+
+def flow_passes(
+    exe: Executable, flow: FlowAnalysis | None = None
+) -> list[Diagnostic]:
+    """All static GP6xx passes over one executable."""
+    if flow is None:
+        flow = analyze_flow(exe)
+    diags: list[Diagnostic] = []
+    for name in flow.routines:
+        rf = flow.routines[name]
+        diags += check_stack_balance(rf)
+        diags += check_constant_branches(rf)
+        diags += check_infinite_loops(exe, rf)
+        diags += check_irreducible(rf)
+        diags += check_absint_unreachable(rf)
+    return diags
+
+
+# ------------------------------------------------------------------ text report
+
+
+def render_flow_report(flow: FlowAnalysis) -> str:
+    """A readable per-routine dataflow summary (the golden format).
+
+    Deterministic: routines in address order, loops by header, call
+    sites by address.
+    """
+    lines = [f"flow report: {flow.exe.name}", ""]
+    prediction = flow.prediction
+    for name, rf in flow.routines.items():
+        fn = rf.function
+        summary = flow.summaries.get(name)
+        if summary is None:
+            effect = "effect ?"
+        else:
+            effect = f"effect {summary.delta:+d} (reach {summary.reach})"
+        lines.append(
+            f"{name}: [{fn.entry:#06x}, {fn.end:#06x}) "
+            f"{len(rf.cfg.blocks)} block(s), {effect}"
+        )
+        for header in sorted(rf.loops.loops):
+            loop = rf.loops.loops[header]
+            body = ", ".join(f"{b:#06x}" for b in sorted(loop.body))
+            lines.append(
+                f"  loop @{header:#06x} depth {loop.depth}: {{{body}}}"
+            )
+        if rf.loops.irreducible:
+            lines.append(
+                "  irreducible edges: "
+                + ", ".join(
+                    f"{s:#06x}->{d:#06x}"
+                    for s, d in rf.loops.irreducible_edges
+                )
+            )
+        if prediction is not None:
+            pred = prediction.routines[name]
+            lines.append(
+                f"  predicted: {pred.activations:.2f} activation(s) x "
+                f"{pred.cycles_per_activation:.2f} cycles = "
+                f"{100.0 * prediction.share(name):.1f}% of static weight"
+            )
+            for site in pred.call_sites:
+                kind = "calli" if site.indirect else "call"
+                lines.append(
+                    f"  {kind} @{site.address:#06x} -> {site.callee} "
+                    f"(x{site.frequency:.2f}/activation"
+                    + (f", loop depth {site.loop_depth})" if site.loop_depth
+                       else ")")
+                )
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"

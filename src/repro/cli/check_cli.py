@@ -14,6 +14,9 @@ profile-consistency checks and the static-vs-dynamic cross-checks.
 
 Options:
 
+* ``--flow`` — additionally run the dataflow battery (dominators,
+  loops, abstract interpretation: GP601–GP605) and, for each GMON
+  file, the static-vs-measured expectation checks (GP610–GP612);
 * ``--json`` — emit the report as deterministic JSON instead of text;
 * ``--strict`` — exit nonzero on warnings, not just errors (the CI
   self-lint gate runs with this);
@@ -53,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--unprofiled", action="store_true",
         help="build canned programs / sources without MCOUNT prologues",
+    )
+    parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the dataflow battery (GP601-GP605) and the "
+             "static-vs-measured expectation checks (GP610-GP612)",
     )
     parser.add_argument(
         "--json", action="store_true",
@@ -98,7 +106,7 @@ def main(argv: list[str] | None = None) -> int:
         exe = _load_program(opts.target, profile=not opts.unprofiled)
         session = ProfileSession.from_executable(exe)
         profiles = session.read_each(opts.gmon, salvage=opts.salvage)
-        report = session.lint(profiles, list(opts.gmon))
+        report = session.lint(profiles, list(opts.gmon), flow=opts.flow)
     except (ReproError, OSError) as exc:
         print(f"repro-check: {exc}", file=sys.stderr)
         return 2

@@ -30,6 +30,11 @@ Options mirror the features the paper and retrospective describe:
 * ``--lint`` — run the :mod:`repro.check` battery (instrumentation,
   CFG, and gmon-consistency checks) before reporting; findings go to
   stderr so the listings stay pipeable (VM images only);
+* ``--expect`` — confront the measured profile with the *static
+  prediction* (``--lint`` plus the dataflow battery and the
+  GP610–GP612 expectation checks, VM images only), and annotate every
+  flat-profile line with its §6 sampling confidence (expected error
+  ∝ √samples) so statistically-meaningless numbers are visible;
 * ``--salvage`` — read GMON files with the salvaging reader: corrupt
   or truncated files are recovered (maximal structurally-valid prefix)
   instead of aborting, each file's salvage report goes to stderr, and
@@ -136,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
              "reporting (VM images only); findings are printed to stderr",
     )
     parser.add_argument(
+        "--expect", action="store_true",
+        help="confront measurement with the static prediction: --lint "
+             "plus the dataflow battery and GP610-GP612, and annotate "
+             "flat-profile lines with their sampling confidence "
+             "(VM images only)",
+    )
+    parser.add_argument(
         "--salvage", action="store_true",
         help="recover corrupt/truncated gmon files instead of aborting; "
              "salvage reports go to stderr and the listings are marked "
@@ -162,10 +174,13 @@ def main(argv: list[str] | None = None) -> int:
         for _path, salvage_report in session.salvage_reports:
             if not salvage_report.clean:
                 print(salvage_report.render_text(), end="", file=sys.stderr)
-        if opts.lint:
+        if opts.lint or opts.expect:
             if exe is None:
-                raise ReproError("--lint needs a VM executable image")
-            report = session.lint([data], ["<summed gmon>"])
+                flag = "--expect" if opts.expect else "--lint"
+                raise ReproError(f"{flag} needs a VM executable image")
+            report = session.lint(
+                [data], ["<summed gmon>"], flow=opts.expect
+            )
             if len(report):
                 print(report.render_text(), end="", file=sys.stderr)
         if opts.sum_file:
@@ -222,12 +237,18 @@ def main(argv: list[str] | None = None) -> int:
                 from repro.report.explain import GRAPH_BLURB
 
                 out.append(GRAPH_BLURB)
+        confidence = None
+        if opts.expect:
+            from repro.check import sampling_confidence
+
+            confidence = sampling_confidence(exe, data)
         if not opts.graph_only:
             out.append(
                 format_flat_profile(
                     profile,
                     show_never_called=opts.zero,
                     min_percent=opts.min_percent,
+                    confidence=confidence,
                 )
             )
             if opts.explain:

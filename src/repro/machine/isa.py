@@ -107,6 +107,26 @@ OPERAND_OPS = frozenset(
 #: Opcodes whose operand is a code address (assembler resolves labels).
 ADDRESS_OPS = frozenset({Op.JMP, Op.JZ, Op.JNZ, Op.CALL})
 
+#: Operand-stack effect of each opcode as ``(pops, pushes)``, the raw
+#: material of the stack-balance verifier (:mod:`repro.check.absint`).
+#: ``CALL``/``CALLI``/``RET`` are absent on purpose: a call's net effect
+#: is the callee's summary (computed interprocedurally) and ``RET``
+#: leaves the operand stack to the caller, so neither is a fixed
+#: (pops, pushes) pair.  ``MCOUNT`` runs entirely in the monitor and
+#: never touches the operand stack.
+STACK_EFFECTS: dict[Op, tuple[int, int]] = {
+    Op.PUSH: (0, 1), Op.POP: (1, 0), Op.DUP: (1, 2), Op.SWAP: (2, 2),
+    Op.ADD: (2, 1), Op.SUB: (2, 1), Op.MUL: (2, 1), Op.DIV: (2, 1),
+    Op.MOD: (2, 1), Op.NEG: (1, 1),
+    Op.EQ: (2, 1), Op.NE: (2, 1), Op.LT: (2, 1), Op.LE: (2, 1),
+    Op.GT: (2, 1), Op.GE: (2, 1),
+    Op.LOAD: (0, 1), Op.STORE: (1, 0), Op.GLOAD: (0, 1), Op.GSTORE: (1, 0),
+    Op.GLOADI: (1, 1), Op.GSTOREI: (2, 0),
+    Op.JMP: (0, 0), Op.JZ: (1, 0), Op.JNZ: (1, 0),
+    Op.HALT: (0, 0), Op.NOP: (0, 0), Op.WORK: (0, 0), Op.OUT: (1, 0),
+    Op.MCOUNT: (0, 0), Op.COUNT: (0, 0),
+}
+
 
 @dataclass(frozen=True)
 class Instruction:

@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.histogram import Histogram
     from repro.core.profiledata import ProfileData
     from repro.core.symbols import SymbolTable
+    from repro.machine.executable import Executable
 
 _DIGEST_SIZE = 16
 
@@ -117,6 +118,37 @@ def digest_options(options: "AnalysisOptions") -> str:
     return h.hexdigest()
 
 
+def digest_executable(exe: "Executable") -> str:
+    """Content digest of a whole executable image, memoized.
+
+    Covers everything the dataflow battery reads: the text segment,
+    the function records (name, bounds, profiled flag), the entry
+    point, and the globals count.  Two identical images loaded twice
+    collide, so a shared cache replays their flow analysis.
+    """
+    cached = getattr(exe, "_pipeline_digest", None)
+    if cached is not None:
+        return cached
+    h = _new_hash()
+    _digest_strs(h, (exe.name,))
+    h.update(struct.pack("<qqq", exe.entry_point, exe.num_globals,
+                         len(exe.instructions)))
+    for ins in exe.instructions:
+        operand = ins.operand if ins.operand is not None else -1
+        _digest_strs(h, (ins.op.value,))
+        h.update(struct.pack("<q", operand))
+    h.update(struct.pack("<q", len(exe.functions)))
+    for fn in exe.functions:
+        _digest_strs(h, (fn.name,))
+        h.update(struct.pack("<qq?", fn.entry, fn.end, fn.profiled))
+    digest = h.hexdigest()
+    try:
+        exe._pipeline_digest = digest
+    except AttributeError:  # pragma: no cover - frozen/slots images
+        pass
+    return digest
+
+
 def combine(*parts: str) -> str:
     """Fold several digests/tokens into one key."""
     h = _new_hash()
@@ -129,7 +161,8 @@ class AnalysisCache:
 
     Entries are keyed by ``(kind, key)`` where ``kind`` names the
     intermediate (``"arcs"``, ``"self_times"``, ``"numbered"``,
-    ``"prop"``, ``"profile"``) and ``key`` is the blake2b digest of the
+    ``"prop"``, ``"profile"``, ``"flow"``) and ``key`` is the blake2b
+    digest of the
     stage inputs that produced it.  Eviction is LRU with a fixed entry
     bound so a long-lived session (a fleet cron job, a test driver)
     cannot grow without limit.

@@ -149,11 +149,14 @@ class ProfileSession:
 
     # -- checking --------------------------------------------------------
 
-    def lint(self, profiles, labels):
+    def lint(self, profiles, labels, *, flow: bool = False):
         """Run the full :mod:`repro.check` battery against this image.
 
         Requires a VM executable.  The report folds in every GP4xx
-        diagnostic the session's readers collected.
+        diagnostic the session's readers collected.  With ``flow``
+        set, the dataflow battery (GP601–GP605) and the per-profile
+        expectation checks (GP610–GP612) run too, reusing this
+        session's memoized :meth:`flow` analysis.
         """
         from repro.check import CheckReport, check_executable
         from repro.check.diagnostics import merge_reports
@@ -161,13 +164,39 @@ class ProfileSession:
 
         if self.exe is None:
             raise ReproError("linting needs a VM executable image")
-        report = check_executable(self.exe, profiles, labels)
+        report = check_executable(
+            self.exe, profiles, labels, flow=flow,
+            flow_analysis=self.flow() if flow else None,
+        )
         if self.gmon_diagnostics:
             report = merge_reports(
                 self.exe.name,
                 [report, CheckReport(self.exe.name, self.gmon_diagnostics)],
             )
         return report
+
+    def flow(self):
+        """The dataflow analysis of this image, memoized in the cache.
+
+        The whole :class:`~repro.check.flow.FlowAnalysis` — CFGs,
+        dominator trees, loops, stack summaries, interval results, and
+        the static predicted profile — is one cacheable stage group
+        keyed by the image's content digest, so linting and rendering
+        in the same session analyze once.
+        """
+        from repro.check.flow import analyze_flow
+        from repro.errors import ReproError
+        from repro.pipeline.cache import digest_executable
+
+        if self.exe is None:
+            raise ReproError("flow analysis needs a VM executable image")
+        key = digest_executable(self.exe)
+        cached = self.cache.get("flow", key)
+        if cached is not None:
+            return cached
+        flow = analyze_flow(self.exe)
+        self.cache.put("flow", key, flow)
+        return flow
 
     # -- analyzing -------------------------------------------------------
 

@@ -28,6 +28,7 @@ def format_flat_profile(
     profile: Profile,
     show_never_called: bool = True,
     min_percent: float = 0.0,
+    confidence: dict[str, float] | None = None,
 ) -> str:
     """Render the flat profile as a fixed-width text listing.
 
@@ -37,6 +38,11 @@ def format_flat_profile(
             paper's completeness check).
         min_percent: hide rows whose self-time share is below this
             percentage (the "show only hot functions" filter).
+        confidence: per-routine expected sampling error in seconds (the
+            §6 √samples bound, see
+            :func:`repro.check.expect.sampling_confidence`); when
+            given, each row gains a ``±`` annotation.  None (the
+            default) keeps the classic listing byte-identical.
 
     Notice the §5.1 invariant: the ``self seconds`` column sums to the
     total execution time.
@@ -63,9 +69,15 @@ def format_flat_profile(
             if row.total_ms_per_call is not None
             else " " * 8
         )
+        suffix = ""
+        if confidence is not None:
+            err = confidence.get(row.name, 0.0)
+            suffix = f"  (±{err:.2f}s)"
+            if err > 0.0 and row.self_seconds <= err:
+                suffix += " <- below sampling noise"
         lines.append(
             f"{row.percent:5.1f} {cumulative:10.2f} {row.self_seconds:9.2f} "
-            f"{calls:>8} {self_ms} {total_ms}  {row.name}"
+            f"{calls:>8} {self_ms} {total_ms}  {row.name}{suffix}"
         )
     if show_never_called and profile.never_called:
         lines.append("")

@@ -1,0 +1,52 @@
+"""Frozen flow reports: canned programs -> dataflow summary text.
+
+Same contract as :mod:`tests.pipeline_golden`: the dataflow battery is
+deterministic by construction (sorted successor visits, address-ordered
+rendering), so each program's :func:`repro.check.flow.render_flow_report`
+text is frozen under ``tests/golden/`` and replayed byte-for-byte.
+
+Regenerating the fixtures is a conscious act::
+
+    PYTHONPATH=src python -m tests.flow_golden
+
+(only legitimate after a deliberate, reviewed format change).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.check.flow import analyze_flow, render_flow_report
+from repro.machine import assemble
+from repro.machine.programs import PROGRAMS
+
+#: Where the frozen reports live.
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The programs frozen: a recursion-heavy one, a CALLI fan-out, and a
+#: nested-loop data mover.
+FLOW_PROGRAMS = ("fib", "dispatch", "insertion_sort")
+
+
+def compute_flow_report(name: str) -> str:
+    """One program's flow report text (fresh analysis)."""
+    exe = assemble(PROGRAMS[name](), name=name, profile=True)
+    return render_flow_report(analyze_flow(exe))
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"flow_{name}.txt"
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in FLOW_PROGRAMS:
+        golden_path(name).write_text(
+            compute_flow_report(name), encoding="utf-8"
+        )
+        print(f"froze {golden_path(name)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

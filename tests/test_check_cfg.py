@@ -1,7 +1,8 @@
 """Tests for basic-block CFG recovery from VM text segments."""
 
-from repro.check.cfg import build_all_cfgs, build_cfg
+from repro.check.cfg import branch_stays_inside, build_all_cfgs, build_cfg
 from repro.machine import assemble
+from repro.machine.executable import Function
 from repro.machine.programs import PROGRAMS
 
 
@@ -89,6 +90,52 @@ class TestExits:
         assert cfg.escaping_branches == [(0, f_entry)]
         # No intra-routine successor is fabricated for the escape.
         assert cfg.blocks[0].successors == ()
+
+    def test_branch_stays_inside_is_half_open(self):
+        fn = Function("f", 8, 16)
+        assert branch_stays_inside(fn, 8)  # the entry itself
+        assert branch_stays_inside(fn, 12)  # last instruction
+        assert not branch_stays_inside(fn, 16)  # == end: next routine
+        assert not branch_stays_inside(fn, 4)  # before the entry
+
+    def test_jump_to_exact_end_is_escaping(self):
+        """A branch to ``fn.end`` lands on the *next* routine's first
+        instruction — it must be an escape, never a successor."""
+        src = ".func f\n JMP g\n.end\n.func g\n HALT\n.end\n"
+        exe = assemble(src)
+        f = exe.function_named("f")
+        assert exe.function_named("g").entry == f.end  # the boundary case
+        cfg = build_cfg(exe, f)
+        assert cfg.escaping_branches == [(f.entry, f.end)]
+        assert cfg.blocks[f.entry].successors == ()
+
+    def test_conditional_branch_to_end_keeps_only_fallthrough(self):
+        src = (
+            ".func f\n GLOAD 0\n JZ g\n RET\n.end\n"
+            ".func g\n HALT\n.end\n"
+        )
+        exe = assemble(src)
+        f = exe.function_named("f")
+        cfg = build_cfg(exe, f)
+        branch_addr = f.entry + 4  # the JZ
+        assert cfg.escaping_branches == [(branch_addr, f.end)]
+        # The entry block keeps its fall-through edge and nothing else.
+        assert cfg.blocks[f.entry].successors == (f.entry + 8,)
+
+    def test_branch_to_end_as_last_instruction(self):
+        """The pass-2 wiring site hits the same boundary: a routine
+        whose last instruction conditionally jumps to its own end."""
+        src = (
+            ".func f\n GLOAD 0\n JNZ g\n.end\n"
+            ".func g\n HALT\n.end\n"
+        )
+        exe = assemble(src)
+        f = exe.function_named("f")
+        cfg = build_cfg(exe, f)
+        assert cfg.escaping_branches == [(f.entry + 4, f.end)]
+        (block,) = cfg.blocks.values()
+        assert block.successors == ()
+        assert block.falls_off_end  # the untaken arm runs past end too
 
     def test_empty_routine_has_no_blocks(self):
         src = ".func f\n.end\n.func main\n HALT\n.end\n"

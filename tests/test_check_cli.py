@@ -152,3 +152,55 @@ class TestGprofLintFlag:
         write_gmon(data, str(gmon))
         assert gprof_main(["--lint", str(table), str(gmon)]) == 1
         assert "--lint" in capsys.readouterr().err
+
+
+class TestFlowFlag:
+    def test_flow_clean_on_canned_program(self, capsys):
+        assert check_main(["--flow", "--strict", "fib"]) == 0
+        assert "no problems found" in capsys.readouterr().out
+
+    def test_flow_surfaces_gp6_findings(self, tmp_path, capsys):
+        src = tmp_path / "const.s"
+        src.write_text(
+            ".func main\n PUSH 1\n JNZ skip\n WORK 5\nskip:\n HALT\n.end\n"
+        )
+        assert check_main(["--flow", str(src)]) == 0  # warnings only
+        out = capsys.readouterr().out
+        assert "GP601" in out and "GP605" in out
+        # Without the flag the dataflow battery stays off.
+        assert check_main([str(src)]) == 0
+        assert "GP601" not in capsys.readouterr().out
+
+    def test_flow_with_matching_gmon_stays_clean(self, profiled_fib, capsys):
+        assert check_main(
+            ["--flow", "--strict", "fib", str(profiled_fib)]
+        ) == 0
+        assert "no problems found" in capsys.readouterr().out
+
+
+class TestGprofExpectFlag:
+    def test_expect_annotates_flat_profile(self, tmp_path, capsys):
+        src = PROGRAMS["fib"]()
+        exe = assemble(src, name="fib", profile=True)
+        _, data = run_profiled(src, name="fib")
+        image = tmp_path / "fib.vmexe"
+        exe.save(str(image))
+        gmon = tmp_path / "fib.gmon"
+        write_gmon(data, str(gmon))
+        assert gprof_main(
+            ["--expect", "--flat-only", str(image), str(gmon)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "(±" in captured.out
+        assert "GP6" not in captured.err  # healthy data: no findings
+
+    def test_expect_requires_vm_image(self, tmp_path, capsys):
+        src = PROGRAMS["fib"]()
+        exe = assemble(src, name="fib", profile=True)
+        _, data = run_profiled(src, name="fib")
+        table = tmp_path / "fib.sym"
+        exe.symbol_table().save(str(table))
+        gmon = tmp_path / "fib.gmon"
+        write_gmon(data, str(gmon))
+        assert gprof_main(["--expect", str(table), str(gmon)]) == 1
+        assert "--expect" in capsys.readouterr().err

@@ -1,0 +1,199 @@
+"""Dominator trees and natural loops: units plus property checks.
+
+The property half cross-checks Cooper-Harvey-Kennedy against the
+textbook definition on random flow graphs: brute-force dominator sets
+by iterated intersection, then demand that ``DomTree.dominates`` agrees
+exactly, that immediate dominators strictly dominate, and that every
+natural loop body is dominated by its header.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.check.cfg import BasicBlock, RoutineCFG
+from repro.check.dominators import compute_dominators, find_loops
+from repro.machine.executable import Function
+from repro.machine.isa import INSTRUCTION_SIZE
+
+
+def make_cfg(n: int, edges: list[tuple[int, int]]) -> RoutineCFG:
+    """A synthetic CFG with ``n`` one-instruction blocks.
+
+    Block ``i`` lives at address ``i * INSTRUCTION_SIZE``; ``edges``
+    are (from_index, to_index) pairs.  Block 0 is the entry.
+    """
+    w = INSTRUCTION_SIZE
+    fn = Function("f", 0, n * w)
+    cfg = RoutineCFG(fn)
+    succs: dict[int, set[int]] = {i: set() for i in range(n)}
+    for a, b in edges:
+        succs[a].add(b)
+    for i in range(n):
+        cfg.blocks[i * w] = BasicBlock(
+            i * w, i * w + w, tuple(s * w for s in sorted(succs[i]))
+        )
+    return cfg
+
+
+def brute_dominators(cfg: RoutineCFG) -> dict[int, set[int]]:
+    """Dominator *sets* by the definitional fixpoint iteration."""
+    reached = cfg.reachable()
+    preds: dict[int, list[int]] = {b: [] for b in reached}
+    for b in reached:
+        for s in cfg.blocks[b].successors:
+            if s in reached:
+                preds[s].append(b)
+    doms = {b: set(reached) for b in reached}
+    doms[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for b in reached:
+            if b == cfg.entry:
+                continue
+            new = set.intersection(*(doms[p] for p in preds[b])) | {b}
+            if new != doms[b]:
+                doms[b] = new
+                changed = True
+    return doms
+
+
+@st.composite
+def random_cfgs(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            max_size=2 * n,
+        )
+    )
+    return make_cfg(n, edges)
+
+
+# -- units -------------------------------------------------------------------
+
+
+class TestDominatorUnits:
+    def test_diamond(self):
+        cfg = make_cfg(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        dom = compute_dominators(cfg)
+        w = INSTRUCTION_SIZE
+        assert dom.idom[1 * w] == 0
+        assert dom.idom[2 * w] == 0
+        assert dom.idom[3 * w] == 0  # neither arm dominates the join
+        assert dom.depth(3 * w) == 1
+
+    def test_chain_depths(self):
+        cfg = make_cfg(3, [(0, 1), (1, 2)])
+        dom = compute_dominators(cfg)
+        w = INSTRUCTION_SIZE
+        assert dom.idom[2 * w] == 1 * w
+        assert [dom.depth(i * w) for i in range(3)] == [0, 1, 2]
+
+    def test_unreachable_blocks_have_no_dominators(self):
+        cfg = make_cfg(3, [(0, 1)])  # block 2 is disconnected
+        dom = compute_dominators(cfg)
+        assert 2 * INSTRUCTION_SIZE not in dom.idom
+        assert set(dom.rpo) == {0, INSTRUCTION_SIZE}
+
+
+class TestLoopUnits:
+    def test_self_loop(self):
+        cfg = make_cfg(2, [(0, 0), (0, 1)])
+        forest = find_loops(cfg)
+        assert list(forest.loops) == [0]
+        loop = forest.loops[0]
+        assert loop.body == frozenset({0})
+        assert loop.back_edges == ((0, 0),)
+        assert loop.depth == 1
+
+    def test_nested_loops(self):
+        # 0 -> 1 -> 2; 2 -> 2 (inner); 2 -> 1 (outer); 1 -> 3.
+        cfg = make_cfg(4, [(0, 1), (1, 2), (2, 2), (2, 1), (1, 3)])
+        forest = find_loops(cfg)
+        w = INSTRUCTION_SIZE
+        inner, outer = forest.loops[2 * w], forest.loops[1 * w]
+        assert inner.depth == 2 and inner.parent == outer.header
+        assert outer.depth == 1 and outer.parent is None
+        assert forest.depth_of(2 * w) == 2
+        assert forest.innermost(2 * w) is inner
+
+    def test_irreducible_edge_detected(self):
+        # Two entries into the {1, 2} cycle: classic irreducible flow.
+        cfg = make_cfg(3, [(0, 1), (0, 2), (1, 2), (2, 1)])
+        forest = find_loops(cfg)
+        assert forest.irreducible
+        assert forest.loops == {}  # no natural loop for either edge
+
+    def test_two_back_edges_one_loop(self):
+        cfg = make_cfg(3, [(0, 1), (1, 2), (1, 0), (2, 0)])
+        forest = find_loops(cfg)
+        (loop,) = forest.loops.values()
+        assert loop.header == 0
+        assert len(loop.back_edges) == 2
+
+
+# -- properties on random graphs ---------------------------------------------
+
+
+@settings(deadline=None, max_examples=120)
+@given(random_cfgs())
+def test_chk_matches_bruteforce_dominators(cfg):
+    dom = compute_dominators(cfg)
+    brute = brute_dominators(cfg)
+    blocks = set(dom.rpo)
+    assert blocks == cfg.reachable()
+    for b in blocks:
+        chk = {a for a in blocks if dom.dominates(a, b)}
+        assert chk == brute[b]
+
+
+@settings(deadline=None, max_examples=120)
+@given(random_cfgs())
+def test_entry_dominates_everything_reachable(cfg):
+    dom = compute_dominators(cfg)
+    for b in dom.rpo:
+        assert dom.dominates(cfg.entry, b)
+
+
+@settings(deadline=None, max_examples=120)
+@given(random_cfgs())
+def test_idom_is_a_strict_dominator(cfg):
+    dom = compute_dominators(cfg)
+    for b in dom.rpo:
+        if b == cfg.entry:
+            assert dom.idom[b] == b
+            continue
+        assert dom.strictly_dominates(dom.idom[b], b)
+        assert dom.depth(b) == dom.depth(dom.idom[b]) + 1
+
+
+@settings(deadline=None, max_examples=120)
+@given(random_cfgs())
+def test_loop_bodies_are_dominated_by_their_header(cfg):
+    dom = compute_dominators(cfg)
+    forest = find_loops(cfg, dom)
+    for header, loop in forest.loops.items():
+        assert header in loop.body
+        assert loop.depth >= 1
+        for tail, h in loop.back_edges:
+            assert h == header and tail in loop.body
+            assert dom.dominates(header, tail)
+        for b in loop.body:
+            assert dom.dominates(header, b)
+        if loop.parent is not None:
+            assert header in forest.loops[loop.parent].body
+
+
+@settings(deadline=None, max_examples=120)
+@given(random_cfgs())
+def test_irreducible_edges_are_retreating_non_back_edges(cfg):
+    dom = compute_dominators(cfg)
+    forest = find_loops(cfg, dom)
+    index = {b: i for i, b in enumerate(dom.rpo)}
+    for src, dst in forest.irreducible_edges:
+        assert index[dst] <= index[src]  # retreating in RPO
+        assert not dom.dominates(dst, src)  # ... but not a back edge

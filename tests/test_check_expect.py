@@ -1,0 +1,283 @@
+"""GP610-GP612 and the §6 confidence: measurement vs. static prediction.
+
+Each expectation checker must fire on a doctored gmon artifact and stay
+silent on data the image really could have produced; the sampling
+confidence must follow the paper's error-proportional-to-sqrt(samples)
+statement; and per-profile findings must group deterministically by
+their source label.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.check import check_executable, sampling_confidence
+from repro.check.diagnostics import CheckReport, make
+from repro.check.expect import (
+    check_call_count_bounds,
+    check_impossible_arcs,
+    check_samples_in_dead_code,
+    expect_passes,
+)
+from repro.check.flow import analyze_flow
+from repro.core import Histogram, ProfileData, RawArc, analyze
+from repro.machine import assemble
+from repro.machine.isa import Op
+
+from tests.helpers import make_symbols, profile_data
+
+DISPATCH_SRC = (
+    ".func main\n PUSH &f\n CALLI\n HALT\n.end\n"
+    ".func f\n RET\n.end\n"
+    ".func g\n RET\n.end\n"
+)
+
+TWO_CALLS_SRC = (
+    ".func main\n CALL f\n CALL f\n HALT\n.end\n"
+    ".func f\n RET\n.end\n"
+)
+
+LOOPED_CALL_SRC = (
+    ".func main\n CALL f\n GLOAD 0\n JNZ main\n HALT\n.end\n"
+    ".func f\n RET\n.end\n"
+)
+
+DEAD_ARM_SRC = (
+    ".func main\n PUSH 1\n JNZ skip\n WORK 5\nskip:\n HALT\n.end\n"
+)
+
+
+def empty_data(exe) -> ProfileData:
+    hist = Histogram.for_range(exe.low_pc, exe.high_pc, 1.0, 100)
+    return ProfileData(hist)
+
+
+def calli_address(exe) -> int:
+    from repro.machine.isa import INSTRUCTION_SIZE
+
+    return next(
+        i * INSTRUCTION_SIZE
+        for i, ins in enumerate(exe.instructions)
+        if ins.op is Op.CALLI
+    )
+
+
+# -- GP610: impossible arcs ---------------------------------------------------
+
+
+class TestImpossibleArcs:
+    def test_fires_on_non_candidate_callee(self):
+        exe = assemble(DISPATCH_SRC)
+        flow = analyze_flow(exe)
+        data = empty_data(exe)
+        data.arcs.append(
+            RawArc(calli_address(exe), exe.function_named("g").entry, 3)
+        )
+        (finding,) = check_impossible_arcs(exe, data, flow)
+        assert finding.code == "GP610"
+        assert "address-taken" in finding.message
+        assert finding.routine == "main"
+
+    def test_silent_on_candidate_callee(self):
+        exe = assemble(DISPATCH_SRC)
+        flow = analyze_flow(exe)
+        data = empty_data(exe)
+        data.arcs.append(
+            RawArc(calli_address(exe), exe.function_named("f").entry, 3)
+        )
+        assert check_impossible_arcs(exe, data, flow) == []
+
+    def test_silent_when_no_addresses_are_taken(self):
+        # Opaque indirect calls are GP104's gap, not GP610's claim.
+        exe = assemble(
+            ".func main\n GLOAD 0\n CALLI\n HALT\n.end\n"
+            ".func f\n RET\n.end\n"
+        )
+        flow = analyze_flow(exe)
+        data = empty_data(exe)
+        data.arcs.append(
+            RawArc(calli_address(exe), exe.function_named("f").entry, 1)
+        )
+        assert check_impossible_arcs(exe, data, flow) == []
+
+    def test_direct_calls_left_to_gp307(self):
+        exe = assemble(TWO_CALLS_SRC)
+        flow = analyze_flow(exe)
+        data = empty_data(exe)
+        data.arcs.append(RawArc(0, exe.function_named("f").entry, 1))
+        assert check_impossible_arcs(exe, data, flow) == []
+
+
+# -- GP611: samples in dead code ----------------------------------------------
+
+
+class TestSamplesInDeadCode:
+    def test_fires_on_tick_inside_dead_block(self):
+        exe = assemble(DEAD_ARM_SRC)
+        flow = analyze_flow(exe)
+        data = empty_data(exe)
+        assert data.histogram.record(9)  # inside the dead WORK block
+        (finding,) = check_samples_in_dead_code(exe, data, flow)
+        assert finding.code == "GP611"
+        assert "cannot have been there" in finding.message
+
+    def test_silent_on_ticks_in_live_code(self):
+        exe = assemble(DEAD_ARM_SRC)
+        flow = analyze_flow(exe)
+        data = empty_data(exe)
+        assert data.histogram.record(0)
+        assert check_samples_in_dead_code(exe, data, flow) == []
+
+    def test_straddling_bucket_gets_the_benefit_of_the_doubt(self):
+        exe = assemble(DEAD_ARM_SRC)
+        flow = analyze_flow(exe)
+        # One bucket spanning the whole text: it overlaps live code,
+        # so its ticks could legitimately belong to the live side.
+        hist = Histogram.for_range(
+            exe.low_pc, exe.high_pc, 1.0 / (exe.high_pc - exe.low_pc), 100
+        )
+        assert hist.num_buckets == 1
+        assert hist.record(9)
+        data = ProfileData(hist)
+        assert check_samples_in_dead_code(exe, data, flow) == []
+
+
+# -- GP612: call-count bounds -------------------------------------------------
+
+
+class TestCallCountBounds:
+    def test_fires_on_inflated_loop_free_arc(self):
+        exe = assemble(TWO_CALLS_SRC)
+        flow = analyze_flow(exe)
+        data = empty_data(exe)
+        f = exe.function_named("f").entry
+        data.arcs += [RawArc(0, f, 3), RawArc(4, f, 3)]
+        (finding,) = check_call_count_bounds(exe, data, flow)
+        assert finding.code == "GP612"
+        assert "at most 2 call(s) possible" in finding.message
+
+    def test_silent_within_the_bound(self):
+        exe = assemble(TWO_CALLS_SRC)
+        flow = analyze_flow(exe)
+        data = empty_data(exe)
+        f = exe.function_named("f").entry
+        data.arcs += [RawArc(0, f, 1), RawArc(4, f, 1)]
+        assert check_call_count_bounds(exe, data, flow) == []
+
+    def test_looped_sites_are_unbounded(self):
+        exe = assemble(LOOPED_CALL_SRC)
+        flow = analyze_flow(exe)
+        data = empty_data(exe)
+        data.arcs.append(RawArc(0, exe.function_named("f").entry, 100000))
+        assert check_call_count_bounds(exe, data, flow) == []
+
+    def test_activations_scale_the_bound(self):
+        exe = assemble(TWO_CALLS_SRC)
+        flow = analyze_flow(exe)
+        data = empty_data(exe)
+        data.runs = 3  # three summed runs: 2 sites x 3 activations
+        f = exe.function_named("f").entry
+        data.arcs += [RawArc(0, f, 3), RawArc(4, f, 3)]
+        assert check_call_count_bounds(exe, data, flow) == []
+
+
+# -- wiring ------------------------------------------------------------------
+
+
+def test_expect_passes_compose_all_three():
+    exe = assemble(DEAD_ARM_SRC)
+    data = empty_data(exe)
+    assert data.histogram.record(9)
+    findings = expect_passes(exe, data)
+    assert {d.code for d in findings} == {"GP611"}
+
+
+def test_check_executable_labels_profile_findings_with_source():
+    exe = assemble(DEAD_ARM_SRC)
+    bad = empty_data(exe)
+    assert bad.histogram.record(9)
+    good = empty_data(exe)
+    report = check_executable(
+        exe, [good, bad], ["good.gmon", "bad.gmon"], flow=True
+    )
+    gp611 = [d for d in report if d.code == "GP611"]
+    (finding,) = gp611
+    assert finding.source == "bad.gmon"
+    # The image-level GP601/GP605 findings carry no source label.
+    assert all(
+        d.source is None for d in report if d.code in ("GP601", "GP605")
+    )
+
+
+def test_diagnostics_sort_by_source_then_address_then_code():
+    exe_level = make("GP101", "m", address=8)
+    b_file = make("GP301", "m", address=4, source="b.gmon")
+    a_late = make("GP611", "m", address=4, source="a.gmon")
+    a_early = make("GP601", "m", address=4, source="a.gmon")
+    a_first = make("GP612", "m", source="a.gmon")  # no address: first
+    report = CheckReport(
+        "p", [b_file, a_late, exe_level, a_early, a_first]
+    )
+    assert [(d.source, d.address, d.code) for d in report] == [
+        (None, 8, "GP101"),
+        ("a.gmon", None, "GP612"),
+        ("a.gmon", 4, "GP601"),
+        ("a.gmon", 4, "GP611"),
+        ("b.gmon", 4, "GP301"),
+    ]
+
+
+def test_render_prefixes_the_source_label():
+    d = make("GP611", "boom", address=8, routine="main", source="x.gmon")
+    assert d.render().startswith("x.gmon:0x0008:main: error: GP611:")
+    assert d.to_dict()["source"] == "x.gmon"
+
+
+# -- §6 sampling confidence ---------------------------------------------------
+
+
+class TestSamplingConfidence:
+    def test_error_is_sqrt_of_samples_periods(self):
+        symbols = make_symbols("main", "leaf")
+        data = profile_data(
+            symbols, [("<spontaneous>", "main", 1)],
+            ticks={"main": 100, "leaf": 1}, profrate=100,
+        )
+        exe = _exe_like(symbols)
+        confidence = sampling_confidence(exe, data)
+        assert confidence["main"] == pytest.approx(math.sqrt(100) / 100)
+        assert confidence["leaf"] == pytest.approx(math.sqrt(1) / 100)
+
+    def test_empty_histogram_has_no_confidence(self):
+        exe = assemble(TWO_CALLS_SRC)
+        hist = Histogram(0, 0, [], 100)
+        assert sampling_confidence(exe, ProfileData(hist)) == {}
+
+    def test_flat_profile_annotates_uncertain_rows(self):
+        from repro.report import format_flat_profile
+
+        symbols = make_symbols("main", "leaf")
+        data = profile_data(
+            symbols, [("<spontaneous>", "main", 1), ("main", "leaf", 2)],
+            ticks={"main": 100, "leaf": 1}, profrate=100,
+        )
+        profile = analyze(data, symbols)
+        exe = _exe_like(symbols)
+        confidence = sampling_confidence(exe, data)
+        text = format_flat_profile(profile, confidence=confidence)
+        assert "(±0.10s)" in text  # main: 100 ticks at 100 Hz
+        assert "below sampling noise" in text  # leaf: 1 tick
+        plain = format_flat_profile(profile)
+        assert "±" not in plain  # None keeps the classic listing
+
+
+def _exe_like(symbols):
+    """A stand-in with just the symbol_table() the confidence math uses."""
+
+    class _Stub:
+        def symbol_table(self):
+            return symbols
+
+    return _Stub()

@@ -1,0 +1,268 @@
+"""GP601-GP605: the static dataflow battery.
+
+The gate has two halves, mirroring the GP5xx suite: every canned
+program must come out clean (the CI self-lint runs ``repro-check
+--flow`` over all of them), and each checker must fire on a doctored
+fixture that violates exactly its property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import check_executable
+from repro.check.absint import stack_summaries
+from repro.check.cfg import build_all_cfgs
+from repro.check.diagnostics import CODES, Severity
+from repro.check.flow import analyze_flow, flow_passes, render_flow_report
+from repro.lang import REL_PROGRAMS, compile_source
+from repro.lang.optimize import optimize  # noqa: F401  (re-exported surface)
+from repro.machine import assemble
+from repro.machine.programs import PROGRAMS
+
+from tests.flow_golden import FLOW_PROGRAMS, compute_flow_report, golden_path
+from tests.pipeline_golden import canned_profile_data
+
+
+def codes_of(src: str) -> set[str]:
+    exe = assemble(src)
+    return {d.code for d in flow_passes(exe)}
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_gp6_codes_are_registered():
+    for code in ("GP601", "GP602", "GP603", "GP604", "GP605",
+                 "GP610", "GP611", "GP612"):
+        assert code in CODES
+    assert CODES["GP602"][0] is Severity.ERROR
+    assert CODES["GP601"][0] is Severity.WARNING
+    assert CODES["GP610"][0] is Severity.ERROR
+
+
+def test_list_codes_table_includes_gp6(capsys):
+    from repro.cli.check_cli import main
+
+    assert main(["--list-codes"]) == 0
+    out = capsys.readouterr().out
+    for code in ("GP601", "GP602", "GP603", "GP604", "GP605",
+                 "GP610", "GP611", "GP612"):
+        assert code in out
+
+
+# -- clean on healthy programs ----------------------------------------------
+
+
+@pytest.mark.parametrize("profile", [True, False])
+def test_every_canned_program_is_flow_clean(profile):
+    """The zero-false-positive gate: no GP6xx on any canned program."""
+    for name, builder in sorted(PROGRAMS.items()):
+        exe = assemble(builder(), name=name, profile=profile)
+        assert flow_passes(exe) == [], name
+
+
+def test_flow_battery_clean_through_check_executable():
+    for name in ("fib", "dispatch", "insertion_sort"):
+        exe, data = canned_profile_data(name)
+        report = check_executable(exe, [data], [name], flow=True)
+        assert not [d for d in report if d.code.startswith("GP6")], name
+
+
+# -- each checker fires on a doctored fixture --------------------------------
+
+
+def test_gp601_fires_on_always_taken_forward_branch():
+    diags = [
+        d for d in flow_passes(assemble(
+            ".func main\n PUSH 1\n JNZ skip\n WORK 5\nskip:\n HALT\n.end\n"
+        ))
+        if d.code == "GP601"
+    ]
+    (finding,) = diags
+    assert "always taken" in finding.message
+    assert finding.routine == "main"
+
+
+def test_gp601_fires_on_never_taken_branch():
+    codes = codes_of(
+        ".func main\n PUSH 0\n JNZ skip\n WORK 5\nskip:\n HALT\n.end\n"
+    )
+    # The fall-through arm stays live, so only the constant branch fires.
+    assert codes == {"GP601"}
+
+
+def test_gp601_spares_varying_conditions():
+    codes = codes_of(
+        ".func main\n GLOAD 0\n JNZ skip\n WORK 5\nskip:\n HALT\n.end\n"
+    )
+    assert "GP601" not in codes
+
+
+def test_gp602_fires_on_depth_conflict():
+    src = (
+        ".func main\n GLOAD 0\n JZ a\n PUSH 1\n PUSH 2\n JMP join\n"
+        "a:\n PUSH 1\njoin:\n HALT\n.end\n"
+    )
+    diags = [d for d in flow_passes(assemble(src)) if d.code == "GP602"]
+    (finding,) = diags
+    assert "depths" in finding.message
+
+
+def test_gp602_fires_on_ret_disagreement():
+    src = (
+        ".func f\n GLOAD 0\n JZ a\n PUSH 1\n RET\na:\n RET\n.end\n"
+        ".func main\n CALL f\n HALT\n.end\n"
+    )
+    diags = [d for d in flow_passes(assemble(src)) if d.code == "GP602"]
+    assert any("RET paths" in d.message for d in diags)
+    assert all(d.routine == "f" for d in diags)
+
+
+def test_gp603_fires_on_loop_without_exit():
+    src = ".func main\ntop:\n GLOAD 0\n POP\n JMP top\n.end\n"
+    diags = [d for d in flow_passes(assemble(src)) if d.code == "GP603"]
+    (finding,) = diags
+    assert finding.address == 0  # the loop header
+
+
+def test_gp603_fires_when_the_only_exit_edge_is_dead():
+    """An always-taken back edge: GP603's case, explicitly not GP601's."""
+    src = (
+        ".func main\ntop:\n GLOAD 0\n POP\n PUSH 1\n JNZ top\n HALT\n.end\n"
+    )
+    codes = codes_of(src)
+    assert "GP603" in codes
+    assert "GP605" in codes  # the HALT block is provably never entered
+    assert "GP601" not in codes  # decided back edges are exempt
+
+
+def test_gp603_spares_terminating_loops():
+    src = (
+        ".func main\n PUSH 3\n STORE 0\ntop:\n LOAD 0\n PUSH 1\n SUB\n"
+        " STORE 0\n LOAD 0\n JNZ top\n HALT\n.end\n"
+    )
+    assert "GP603" not in codes_of(src)
+
+
+def test_gp604_fires_on_irreducible_flow():
+    src = (
+        ".func main\n GLOAD 0\n JZ mid\nhead:\n WORK 1\nmid:\n WORK 1\n"
+        " GLOAD 0\n JNZ head\n HALT\n.end\n"
+    )
+    diags = [d for d in flow_passes(assemble(src)) if d.code == "GP604"]
+    (finding,) = diags
+    assert "irreducible" in finding.message
+
+
+def test_gp605_fires_on_interval_dead_block():
+    src = ".func main\n PUSH 1\n JNZ skip\n WORK 5\nskip:\n HALT\n.end\n"
+    diags = [d for d in flow_passes(assemble(src)) if d.code == "GP605"]
+    (finding,) = diags
+    assert finding.address == 8  # the WORK block the branch jumps over
+
+
+def test_aborted_value_analysis_stays_silent():
+    """An unbalanced routine reports GP602 only — no value-domain
+    guesses (GP601/603/605) on top of a broken stack model."""
+    src = (
+        ".func main\n GLOAD 0\n JZ a\n PUSH 1\n PUSH 2\n JMP join\n"
+        "a:\n PUSH 1\njoin:\n POP\n HALT\n.end\n"
+    )
+    codes = codes_of(src)
+    assert codes == {"GP602"}
+
+
+# -- golden flow reports -----------------------------------------------------
+
+
+@pytest.mark.parametrize("name", FLOW_PROGRAMS)
+def test_flow_report_matches_golden(name):
+    frozen = golden_path(name).read_text(encoding="utf-8")
+    assert compute_flow_report(name) == frozen
+
+
+def test_flow_report_is_deterministic():
+    name = FLOW_PROGRAMS[0]
+    assert compute_flow_report(name) == compute_flow_report(name)
+
+
+# -- the static prediction ---------------------------------------------------
+
+
+def test_prediction_shares_sum_to_one():
+    exe = assemble(PROGRAMS["fib"](), name="fib", profile=True)
+    flow = analyze_flow(exe)
+    prediction = flow.prediction
+    assert prediction is not None
+    assert prediction.total_weight > 0
+    total = sum(prediction.share(n) for n in prediction.routines)
+    assert total == pytest.approx(1.0)
+
+
+def test_prediction_multiplies_recursion():
+    exe = assemble(PROGRAMS["fib"](), name="fib", profile=True)
+    prediction = analyze_flow(exe).prediction
+    # fib is recursive: its predicted activations must exceed main's.
+    assert prediction.routines["fib"].activations > \
+        prediction.routines["main"].activations
+
+
+def test_prediction_json_is_byte_deterministic():
+    exe = assemble(PROGRAMS["dispatch"](), name="dispatch", profile=True)
+    one = analyze_flow(exe).prediction.render_json()
+    two = analyze_flow(exe).prediction.render_json()
+    assert one == two
+
+
+def test_nested_loops_are_detected():
+    exe = assemble(
+        PROGRAMS["insertion_sort"](), name="insertion_sort", profile=True
+    )
+    flow = analyze_flow(exe)
+    depths = [
+        loop.depth
+        for rf in flow.routines.values()
+        for loop in rf.loops.loops.values()
+    ]
+    assert max(depths) >= 2
+
+
+# -- session caching ---------------------------------------------------------
+
+
+def test_session_flow_is_memoized():
+    from repro.pipeline import ProfileSession
+
+    exe = assemble(PROGRAMS["fib"](), name="fib", profile=True)
+    session = ProfileSession.from_executable(exe)
+    assert session.flow() is session.flow()
+
+
+def test_warm_cache_replay_is_identical():
+    from repro.pipeline import ProfileSession
+
+    exe = assemble(PROGRAMS["dispatch"](), name="dispatch", profile=True)
+    session = ProfileSession.from_executable(exe)
+    cold = render_flow_report(session.flow())
+    warm = render_flow_report(session.flow())
+    fresh = render_flow_report(analyze_flow(exe))
+    assert cold == warm == fresh
+
+
+# -- the compiler's output is balanced ---------------------------------------
+
+
+@pytest.mark.parametrize("level", [0, 1, 2])
+def test_rel_codegen_is_stack_balanced(level):
+    """Every routine the Rel compiler emits keeps the operand stack
+    balanced — before and after the optimizer's passes."""
+    for name, builder in sorted(REL_PROGRAMS.items()):
+        exe = compile_source(
+            builder(), name=name, profile=True, optimize_level=level
+        )
+        balances = stack_summaries(exe, build_all_cfgs(exe))
+        for fn_name, balance in balances.items():
+            assert balance.balanced, f"{name}:{fn_name} at -O{level}"
+        gp602 = [d for d in flow_passes(exe) if d.code == "GP602"]
+        assert gp602 == [], f"{name} at -O{level}"

@@ -186,6 +186,13 @@ SUITES = {
         "flow report or predicted profile differs across runs or "
         "cache replay",
     ),
+    "serve": (
+        "T-SERVE",
+        "BENCH_serve.json",
+        None,  # resolved lazily, same pattern as vm
+        "recovered merged profile differs from the offline merge of "
+        "the uploaded inputs",
+    ),
 }
 
 
@@ -202,6 +209,10 @@ def _suite_runner(name: str):
         from benchmarks.bench_check import run_check
 
         return run_check
+    if name == "serve":
+        from benchmarks.bench_serve import run_serve
+
+        return run_serve
     return SUITES[name][2]
 
 

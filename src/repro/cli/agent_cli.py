@@ -1,0 +1,115 @@
+"""The repro-agent command: upload profiles to a repro-serve endpoint.
+
+Usage::
+
+    repro-agent --server HOST:PORT --tenant NAME GMON [GMON ...]
+
+Each ``GMON`` file is uploaded with the full retry discipline of
+:class:`repro.serve.AgentClient`: per-request timeouts, capped
+exponential backoff with deterministic seeded jitter, and a
+content-digest idempotency key — so re-running the same command after
+a network blip or a server crash re-uploads nothing the server already
+folded.
+
+Options:
+
+* ``--server HOST:PORT`` — the ingest endpoint (required);
+* ``--tenant NAME`` — the tenant to file uploads under (required);
+* ``--timeout SECONDS`` — per-request timeout (default 10);
+* ``--retries N`` — retry attempts after the first try (default 5);
+* ``--backoff SECONDS`` — base backoff delay, doubled per attempt and
+  capped at ``--backoff-cap`` (defaults 0.1 / 5.0);
+* ``--seed N`` — jitter seed (default 0; same seed, same schedule);
+* ``--no-dedup`` — omit the idempotency key (each retry may fold again);
+* ``-q`` — print nothing but errors.
+
+Exit status: 0 when every file is acknowledged, 1 when any upload
+fails for good, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.agent import AgentClient, AgentError, RetryPolicy
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-agent",
+        description="retrying profile uploader for repro-serve",
+    )
+    parser.add_argument("inputs", nargs="+", metavar="GMON",
+                        help="profile data file(s) to upload")
+    parser.add_argument("--server", required=True, metavar="HOST:PORT",
+                        help="ingest endpoint")
+    parser.add_argument("--tenant", required=True,
+                        help="tenant name to file uploads under")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-request timeout in seconds")
+    parser.add_argument("--retries", type=int, default=5,
+                        help="retry attempts after the first try")
+    parser.add_argument("--backoff", type=float, default=0.1,
+                        help="base backoff delay in seconds")
+    parser.add_argument("--backoff-cap", type=float, default=5.0,
+                        help="largest backoff delay in seconds")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="jitter seed (deterministic schedule)")
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="omit the idempotency key")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="print nothing but errors")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    opts = build_parser().parse_args(argv)
+    host, sep, port_text = opts.server.rpartition(":")
+    if not sep or not port_text.isdigit():
+        print(f"repro-agent: --server must be HOST:PORT, got {opts.server!r}",
+              file=sys.stderr)
+        return 2
+    if opts.retries < 0:
+        print("repro-agent: --retries must not be negative", file=sys.stderr)
+        return 2
+    client = AgentClient(
+        host, int(port_text),
+        timeout=opts.timeout,
+        policy=RetryPolicy(
+            retries=opts.retries,
+            base_delay=opts.backoff,
+            max_delay=opts.backoff_cap,
+            seed=opts.seed,
+        ),
+    )
+    failures = 0
+    for path in opts.inputs:
+        try:
+            with open(path, "rb") as f:
+                blob = f.read()
+            result = client.upload(
+                opts.tenant, blob, key="" if opts.no_dedup else None
+            )
+        except AgentError as exc:
+            print(f"repro-agent: {path}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        except OSError as exc:
+            print(f"repro-agent: {path}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        if not opts.quiet:
+            extra = " (salvaged)" if result.salvaged else ""
+            retried = (f" after {result.attempts} attempts"
+                       if result.attempts > 1 else "")
+            print(f"{path}: {result.status} as seq {result.seq}"
+                  f"{extra}{retried}")
+            for w in result.warnings:
+                print(f"repro-agent: warning: {w}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

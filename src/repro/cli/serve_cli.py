@@ -1,0 +1,140 @@
+"""The repro-serve command: the continuous-profiling ingest daemon.
+
+Usage::
+
+    repro-serve --root DIR [options]
+
+Boots the :mod:`repro.serve` service: recovers every tenant found under
+``DIR`` from its checkpoint and journal, then listens for profile
+uploads (``POST /v1/profiles/{tenant}``) and merged-view queries
+(``GET /v1/profiles/{tenant}/{sum,flat,graph}``).  ``kill -9`` is a
+supported shutdown method — restart with the same ``--root`` and the
+service resumes from the last fsync'd acknowledgement.
+
+Options:
+
+* ``--root DIR`` — state directory: journals, checkpoints, quarantine
+  (required; created if missing);
+* ``--host H`` / ``--port P`` — bind address (default 127.0.0.1:8947;
+  port 0 picks a free port, announced on stdout);
+* ``--image VMEXE`` — program image for the ``/flat`` and ``/graph``
+  report endpoints (without it only ``/sum`` works);
+* ``--shards N`` — ingest worker shards (default 4);
+* ``--queue-depth N`` — per-tenant inflight uploads before 429
+  (default 64);
+* ``--max-body BYTES`` — largest accepted upload (default 8 MiB);
+* ``--checkpoint-every N`` — journal records folded between checkpoint
+  compactions (default 64);
+* ``--retention SECONDS`` — window length kept for ``?window=`` queries
+  (default 3600);
+* ``--no-fsync`` — trade the durability guarantee for ingest speed
+  (benchmarks only; acknowledged uploads may be lost on power failure);
+* ``--announce FILE`` — atomically write ``host port`` to FILE once
+  listening, for supervisors and test harnesses.
+
+Exit status: 0 on clean shutdown (SIGINT/SIGTERM), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.errors import ReproError
+from repro.resilience.atomic import atomic_write_bytes
+from repro.serve import ReproServer, ServeConfig
+
+DEFAULT_PORT = 8947
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="fault-tolerant continuous-profiling ingest service",
+    )
+    parser.add_argument(
+        "--root", required=True,
+        help="state directory (journals, checkpoints, quarantine)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"bind port (default {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--image", default=None,
+        help="program image backing the /flat and /graph endpoints",
+    )
+    parser.add_argument("--shards", type=int, default=4,
+                        help="ingest worker shards")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="per-tenant inflight uploads before 429")
+    parser.add_argument("--max-body", type=int, default=8 << 20,
+                        help="largest accepted upload body in bytes")
+    parser.add_argument("--checkpoint-every", type=int, default=64,
+                        help="journal records between checkpoint compactions")
+    parser.add_argument("--retention", type=float, default=3600.0,
+                        help="seconds of uploads kept for ?window= queries")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip fsync on journal appends (benchmarks only)")
+    parser.add_argument(
+        "--announce", default=None, metavar="FILE",
+        help="write 'host port' to FILE once listening",
+    )
+    return parser
+
+
+async def _serve(opts) -> int:
+    config = ServeConfig(
+        root=opts.root,
+        host=opts.host,
+        port=opts.port,
+        image=opts.image,
+        shards=opts.shards,
+        queue_depth=opts.queue_depth,
+        max_body=opts.max_body,
+        checkpoint_every=opts.checkpoint_every,
+        retention_seconds=opts.retention,
+        fsync=not opts.no_fsync,
+    )
+    server = ReproServer(config)
+    host, port = await server.start()
+    print(f"repro-serve: listening on {host}:{port} (root {opts.root})",
+          flush=True)
+    if opts.announce:
+        atomic_write_bytes(opts.announce, f"{host} {port}\n".encode("ascii"))
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        print("repro-serve: shutting down (checkpointing tenants)",
+              flush=True)
+        await server.stop()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    opts = build_parser().parse_args(argv)
+    if opts.shards < 1 or opts.queue_depth < 1 or opts.checkpoint_every < 1:
+        print("repro-serve: --shards, --queue-depth and --checkpoint-every "
+              "must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        return asyncio.run(_serve(opts))
+    except (ReproError, OSError) as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

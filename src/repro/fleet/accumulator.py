@@ -157,6 +157,16 @@ class ProfileAccumulator:
             self.add(item)
         return self
 
+    def add_warning(self, warning: str) -> "ProfileAccumulator":
+        """Attach a degradation warning to the eventual result.
+
+        The ingest service uses this to restore warnings recorded in a
+        journal or checkpoint — evidence that must survive a recovery
+        even though the gmon wire format does not carry it.
+        """
+        self._warnings.append(warning)
+        return self
+
     def merge_from(self, other: "ProfileAccumulator") -> "ProfileAccumulator":
         """Fold another (partial) accumulator into this one.
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import os
 import struct
+import threading
 from dataclasses import dataclass
 
 from repro.gmon.format import GmonHeader, peek_gmon_header
@@ -58,11 +59,27 @@ class HeaderKey:
         )
 
 
+#: Read/stat retries :meth:`HeaderCache.peek` makes while the file on
+#: disk keeps being replaced under it before giving up on caching.
+_PEEK_RETRIES = 8
+
+
 class HeaderCache:
-    """Stat-validated memo of peeked headers, keyed by path."""
+    """Stat-validated memo of peeked headers, keyed by path.
+
+    Safe for concurrent use from several threads, and safe against the
+    stat/read race: a file atomically rewritten *between* the stat and
+    the header read must never leave the cache pairing one version's
+    stat identity with another version's header (a "torn" entry that
+    would then be served as a hit for the new file).  ``peek`` brackets
+    every read with two stats and only caches when they agree; if the
+    file keeps changing it returns the freshest header it read without
+    caching it at all.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[str, tuple[int, int, GmonHeader]] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -70,17 +87,29 @@ class HeaderCache:
         """Header of ``path``, re-read only when the file changed."""
         spath = os.fspath(path)
         st = os.stat(spath)
-        cached = self._entries.get(spath)
-        if cached is not None and cached[0] == st.st_size and cached[1] == st.st_mtime_ns:
-            self.hits += 1
-            return cached[2]
-        self.misses += 1
-        header = peek_gmon_header(spath)
-        self._entries[spath] = (st.st_size, st.st_mtime_ns, header)
-        return header
+        ident = (st.st_size, st.st_mtime_ns)
+        with self._lock:
+            cached = self._entries.get(spath)
+            if cached is not None and (cached[0], cached[1]) == ident:
+                self.hits += 1
+                return cached[2]
+            self.misses += 1
+        for _ in range(_PEEK_RETRIES):
+            header = peek_gmon_header(spath)
+            st2 = os.stat(spath)
+            after = (st2.st_size, st2.st_mtime_ns)
+            if after == ident:
+                # The stat identity bracketed the read unchanged: this
+                # header really belongs to this (size, mtime) pair.
+                with self._lock:
+                    self._entries[spath] = (ident[0], ident[1], header)
+                return header
+            ident = after  # the file was replaced mid-peek; try again
+        return header  # still changing: serve it fresh, cache nothing
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 def scan_headers(

@@ -42,6 +42,44 @@ from repro.fleet.headers import HeaderCache, HeaderKey
 #: the driver stays in-process even when ``jobs`` allows more.
 MIN_FILES_PER_WORKER = 32
 
+#: Seconds a partial merge may take before the driver gives up on its
+#: worker and re-merges the chunk sequentially (see :func:`tree_reduce`).
+DEFAULT_WORKER_TIMEOUT = 300.0
+
+#: Test seam: when set, every worker calls this with its chunk's paths
+#: before merging — the regression suite uses it to make a worker
+#: ``os._exit`` or hang, in the spirit of
+#: :class:`repro.resilience.FaultInjector`.  Propagates to workers via
+#: the ``fork`` start method.
+_chunk_fault_hook = None
+
+
+def _dedup_by_inode(matches: list[str]) -> list[str]:
+    """Collapse paths that name the same physical file, deterministically.
+
+    Recursive globs can reach one file through many paths when a
+    symlink cycle is present (``a/loop -> ..`` makes ``a/loop/a/f``,
+    ``a/loop/a/loop/a/f``, ... all resolve to ``a/f`` until the kernel's
+    ELOOP limit); merging the same samples dozens of times would be
+    silently wrong.  Paths are visited in sorted order and the first
+    name for each ``(st_dev, st_ino)`` wins, so the result is a pure
+    function of the directory contents, never of enumeration order.
+    """
+    seen: set[tuple[int, int]] = set()
+    kept: list[str] = []
+    for p in sorted(matches):
+        try:
+            st = os.stat(p)
+            key = (st.st_dev, st.st_ino)
+        except OSError:
+            kept.append(p)  # surfaces as the usual error at read time
+            continue
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(p)
+    return kept
+
 
 def expand_inputs(specs: Sequence[str]) -> list[str]:
     """Expand files, glob patterns, and directories into a path list.
@@ -54,12 +92,14 @@ def expand_inputs(specs: Sequence[str]) -> list[str]:
     * a glob pattern (``*``, ``?``, ``[``, including ``**``)
       contributes its matches sorted by name; a pattern matching
       nothing is an error — a typo should not silently merge fewer
-      runs.
+      runs.  Recursive (``**``) matches that reach the same physical
+      file through several paths — a symlink cycle — are merged once,
+      under the lexicographically first name.
 
     The expansion preserves the order of ``specs``; within one
-    directory or glob the order is lexicographic, so the same fleet
-    always merges in the same order (the determinism contract depends
-    on it).
+    directory or glob the order is lexicographic (sorted here, not
+    taken from filesystem enumeration), so the same fleet always merges
+    in the same order (the determinism contract depends on it).
     """
     paths: list[str] = []
     for spec in specs:
@@ -74,11 +114,13 @@ def expand_inputs(specs: Sequence[str]) -> list[str]:
                 raise MergeError("directory holds no profile files", path=spec)
             paths.extend(entries)
         elif glob.has_magic(spec):
-            matches = sorted(p for p in glob.glob(spec, recursive=True)
-                             if os.path.isfile(p))
+            matches = [p for p in glob.glob(spec, recursive=True)
+                       if os.path.isfile(p)]
+            if "**" in spec:
+                matches = _dedup_by_inode(matches)
             if not matches:
                 raise MergeError("glob pattern matched no files", path=spec)
-            paths.extend(matches)
+            paths.extend(sorted(matches))
         else:
             paths.append(spec)
     return paths
@@ -138,6 +180,8 @@ def precheck_headers(
 def _merge_chunk(args: tuple[list[str], bool]) -> ProfileAccumulator:
     """Worker body: stream one chunk of paths into a fresh accumulator."""
     paths, salvage = args
+    if _chunk_fault_hook is not None:
+        _chunk_fault_hook(paths)
     acc = ProfileAccumulator()
     for path in paths:
         if salvage:
@@ -168,6 +212,7 @@ def tree_reduce(
     precheck: bool = True,
     on_incompatible: str = "error",
     cache: HeaderCache | None = None,
+    worker_timeout: float | None = None,
 ) -> ProfileData:
     """Merge many gmon files into one ProfileData, possibly in parallel.
 
@@ -180,10 +225,17 @@ def tree_reduce(
             files contribute their recovered prefix plus warnings.
         precheck: peek all headers first and fail (or skip) early.
         on_incompatible: ``"error"`` (default) or ``"skip"``.
+        worker_timeout: seconds to wait for each worker's partial
+            before declaring it crashed or hung (default
+            :data:`DEFAULT_WORKER_TIMEOUT`).  A chunk whose worker
+            never answers — killed, ``os._exit``, wedged — is
+            re-merged sequentially in-process with a warning on the
+            result, so a dying worker can neither hang the merge nor
+            lose its chunk.
 
     Returns data equal to ``merge_profiles([read_gmon(p) for p in
     paths])`` — byte-identical after :func:`~repro.gmon.write_gmon` —
-    for every worker count.
+    for every worker count, including runs where workers crashed.
     """
     paths = [os.fspath(p) for p in paths]
     if not paths:
@@ -201,22 +253,50 @@ def tree_reduce(
     if jobs is None:
         jobs = os.cpu_count() or 1
     jobs = min(jobs, max(len(paths) // MIN_FILES_PER_WORKER, 1))
+    fallback_warnings: list[str] = []
     if jobs <= 1:
         acc = _merge_chunk((paths, salvage))
     else:
         import multiprocessing
 
+        if worker_timeout is None:
+            worker_timeout = DEFAULT_WORKER_TIMEOUT
         # ~4 chunks per worker keeps the pool busy even when some
-        # chunks hit slower storage; order is restored by pool.map.
+        # chunks hit slower storage; results are collected per chunk so
+        # one dead worker costs one bounded wait, not a hang.
         chunks = _chunked(paths, jobs * 4)
+        partials: list[ProfileAccumulator | None] = [None] * len(chunks)
+        failed: list[int] = []
         with multiprocessing.Pool(jobs) as pool:
-            partials = pool.map(_merge_chunk, [(c, salvage) for c in chunks])
+            pending = [
+                pool.apply_async(_merge_chunk, ((c, salvage),))
+                for c in chunks
+            ]
+            for i, res in enumerate(pending):
+                try:
+                    partials[i] = res.get(worker_timeout)
+                except multiprocessing.TimeoutError:
+                    # The worker crashed (its task is lost forever) or
+                    # is wedged; either way the chunk is re-merged
+                    # below and the pool is torn down on context exit
+                    # (terminate, bounded), not joined indefinitely.
+                    failed.append(i)
+        for i in failed:
+            fallback_warnings.append(
+                f"merge worker for chunk {i + 1}/{len(chunks)} "
+                f"({len(chunks[i])} file(s)) did not answer within "
+                f"{worker_timeout:g}s (crashed or hung); chunk re-merged "
+                "sequentially in-process"
+            )
+            partials[i] = _merge_chunk((chunks[i], salvage))
         acc = ProfileAccumulator()
         for partial in partials:  # chunk order == input order: deterministic
             acc.merge_from(partial)
     data = acc.result()
     if skip_warnings:
         data.warnings.extend(skip_warnings)
+    if fallback_warnings:
+        data.warnings.extend(fallback_warnings)
     return data
 
 

@@ -15,6 +15,8 @@ from repro.gmon.format import (
     parse_gmon,
     parse_gmon_raw,
     peek_gmon_header,
+    peek_gmon_header_bytes,
+    peek_needed_len,
     read_gmon,
     salvage_gmon,
     salvage_gmon_bytes,
@@ -28,6 +30,8 @@ __all__ = [
     "parse_gmon",
     "parse_gmon_raw",
     "peek_gmon_header",
+    "peek_gmon_header_bytes",
+    "peek_needed_len",
     "read_gmon",
     "salvage_gmon",
     "salvage_gmon_bytes",

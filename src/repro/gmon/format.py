@@ -186,6 +186,72 @@ class GmonHeader(NamedTuple):
     profrate: int
 
 
+#: Bytes of prefix needed before the comment length is known.
+PEEK_PREFIX_LEN = len(MAGIC) + _COMMENT_LEN.size
+
+#: Upper bound on the prefix any header peek can need (worst-case
+#: comment).  A consumer holding this many bytes — or the whole file,
+#: whichever is shorter — can always run :func:`peek_gmon_header_bytes`.
+PEEK_MAX_LEN = PEEK_PREFIX_LEN + 0xFFFF + _HEADER.size
+
+
+def peek_needed_len(prefix: bytes) -> int:
+    """Total prefix bytes a header peek needs, given the first 8 bytes.
+
+    Raises :class:`GmonFormatError` on bad magic or a prefix too short
+    to hold the comment length field — the same failures
+    :func:`peek_gmon_header_bytes` would report.
+    """
+    if prefix[: len(MAGIC)] != MAGIC:
+        if len(prefix) < len(MAGIC):
+            raise GmonFormatError(
+                f"truncated file: wanted {len(MAGIC)} bytes of magic, "
+                f"got {len(prefix)}"
+            )
+        raise GmonFormatError(
+            f"bad magic {prefix[:len(MAGIC)]!r}: not a profile data file "
+            "or wrong version"
+        )
+    if len(prefix) < PEEK_PREFIX_LEN:
+        raise GmonFormatError(
+            "truncated file: wanted 2 bytes of comment length, "
+            f"got {len(prefix) - len(MAGIC)}"
+        )
+    comment_len = _COMMENT_LEN.unpack_from(prefix, len(MAGIC))[0]
+    return PEEK_PREFIX_LEN + comment_len + _HEADER.size
+
+
+def peek_gmon_header_bytes(prefix: bytes) -> GmonHeader:
+    """Parse a gmon header from an in-memory file prefix.
+
+    ``prefix`` must hold at least :func:`peek_needed_len` bytes of the
+    file (extra bytes beyond the header are ignored).  This is the
+    front-door validation primitive for consumers that receive files as
+    byte streams — the ingest service peeks an upload's first bytes
+    before buffering the body.  Raises :class:`GmonFormatError` exactly
+    as the path-based :func:`peek_gmon_header` would.
+    """
+    needed = peek_needed_len(prefix)
+    comment_len = needed - PEEK_PREFIX_LEN - _HEADER.size
+    body = prefix[PEEK_PREFIX_LEN:]
+    if len(body) < comment_len:
+        raise GmonFormatError(
+            f"truncated file: wanted {comment_len} bytes of comment, "
+            f"got {len(body)}"
+        )
+    comment = _decode_comment(body[:comment_len])
+    if len(body) < comment_len + _HEADER.size:
+        raise GmonFormatError(
+            f"truncated file: wanted {_HEADER.size} bytes of header, "
+            f"got {len(body) - comment_len}"
+        )
+    runs, low_pc, high_pc, nbuckets, profrate = _HEADER.unpack_from(
+        body, comment_len
+    )
+    _validate_header(low_pc, high_pc, nbuckets, profrate)
+    return GmonHeader(comment, runs, low_pc, high_pc, nbuckets, profrate)
+
+
 def peek_gmon_header(path) -> GmonHeader:
     """Read only the magic/comment/header prefix of a gmon file.
 
@@ -194,42 +260,11 @@ def peek_gmon_header(path) -> GmonHeader:
     parse would report for those bytes — without touching the bucket
     counters or arc records at all.
     """
-    prefix_len = len(MAGIC) + _COMMENT_LEN.size
     with open(path, "rb") as f:
-        head = f.read(prefix_len)
-        if head[: len(MAGIC)] != MAGIC:
-            if len(head) < len(MAGIC):
-                raise GmonFormatError(
-                    f"truncated file: wanted {len(MAGIC)} bytes of magic, "
-                    f"got {len(head)}"
-                )
-            raise GmonFormatError(
-                f"bad magic {head[:len(MAGIC)]!r}: not a profile data file "
-                "or wrong version"
-            )
-        if len(head) < prefix_len:
-            raise GmonFormatError(
-                "truncated file: wanted 2 bytes of comment length, "
-                f"got {len(head) - len(MAGIC)}"
-            )
-        comment_len = _COMMENT_LEN.unpack_from(head, len(MAGIC))[0]
-        rest = f.read(comment_len + _HEADER.size)
-    if len(rest) < comment_len:
-        raise GmonFormatError(
-            f"truncated file: wanted {comment_len} bytes of comment, "
-            f"got {len(rest)}"
-        )
-    comment = _decode_comment(rest[:comment_len])
-    if len(rest) < comment_len + _HEADER.size:
-        raise GmonFormatError(
-            f"truncated file: wanted {_HEADER.size} bytes of header, "
-            f"got {len(rest) - comment_len}"
-        )
-    runs, low_pc, high_pc, nbuckets, profrate = _HEADER.unpack_from(
-        rest, comment_len
-    )
-    _validate_header(low_pc, high_pc, nbuckets, profrate)
-    return GmonHeader(comment, runs, low_pc, high_pc, nbuckets, profrate)
+        head = f.read(PEEK_PREFIX_LEN)
+        needed = peek_needed_len(head)
+        head += f.read(needed - len(head))
+    return peek_gmon_header_bytes(head)
 
 
 def _validate_header(

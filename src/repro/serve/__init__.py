@@ -1,0 +1,79 @@
+"""repro.serve: a fault-tolerant continuous-profiling ingest service.
+
+The batch tools (``repro-merge``, ``repro-fleet``) assume their inputs
+sit still on disk.  A fleet that profiles continuously needs the
+opposite: a long-running daemon that accepts ``gmon.out`` uploads as
+they happen, survives crashes of itself and of its clients, and serves
+merged views while ingesting.  This package is that daemon, built on
+the stdlib alone:
+
+* :mod:`repro.serve.http` — a hardened hand-rolled HTTP/1.1 layer;
+* :mod:`repro.serve.journal` — the length-prefixed, checksummed
+  append-only write-ahead journal (maximal-valid-prefix recovery);
+* :mod:`repro.serve.quarantine` — where rejected uploads go instead
+  of /dev/null;
+* :mod:`repro.serve.state` — per-tenant durable state: journal +
+  atomic checkpoint + in-memory :class:`~repro.fleet.ProfileAccumulator`;
+* :mod:`repro.serve.server` — the asyncio front door: validation,
+  backpressure, sharded workers, query endpoints;
+* :mod:`repro.serve.agent` — the retrying uploader client
+  (``repro-agent``).
+
+The durability contract: an acknowledged upload is on fsync'd disk
+before the acknowledgement is written, so ``kill -9`` at any byte
+boundary loses only unacknowledged work, and a restart recovers the
+byte-identical merged profile.
+"""
+
+from repro.serve.agent import (
+    AgentClient,
+    AgentError,
+    RetryPolicy,
+    UploadResult,
+    content_key,
+    wait_until_healthy,
+)
+from repro.serve.http import HttpError, Request, read_request, render_response
+from repro.serve.journal import (
+    JournalRecord,
+    JournalWriter,
+    ReplayReport,
+    encode_frame,
+    replay_journal,
+)
+from repro.serve.quarantine import Quarantine
+from repro.serve.server import ReproServer, ServerStats, run_server
+from repro.serve.state import (
+    Outcome,
+    ServeConfig,
+    TenantStore,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+
+__all__ = [
+    "AgentClient",
+    "AgentError",
+    "HttpError",
+    "JournalRecord",
+    "JournalWriter",
+    "Outcome",
+    "Quarantine",
+    "ReplayReport",
+    "ReproServer",
+    "Request",
+    "RetryPolicy",
+    "ServeConfig",
+    "ServerStats",
+    "TenantStore",
+    "UploadResult",
+    "content_key",
+    "decode_checkpoint",
+    "encode_checkpoint",
+    "encode_frame",
+    "read_request",
+    "render_response",
+    "replay_journal",
+    "run_server",
+    "wait_until_healthy",
+]

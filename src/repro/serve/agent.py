@@ -1,0 +1,243 @@
+"""repro-agent: the uploader client half of the ingest contract.
+
+A fleet agent is the *polite* kind of hostile traffic: it retries.
+This client implements the retry discipline the server's robustness
+depends on:
+
+* **timeouts** on connect and response, so a wedged server never wedges
+  the agent;
+* **capped exponential backoff with deterministic jitter** — the delay
+  schedule is a pure function of the seed, so tests (and incident
+  reconstructions) can replay it exactly; a ``Retry-After`` header from
+  a 429 overrides the computed delay (capped);
+* **idempotency keys** — by default the blake2b digest of the body, so
+  however many times an upload is retried, the server folds it exactly
+  once and every retry gets the original sequence number back;
+* **typed outcomes** — permanent rejections (400/404/409/422) are not
+  retried; only overload (429), server errors (5xx), timeouts, and
+  connection failures are.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import random
+import socket
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+class AgentError(ReproError):
+    """An upload that failed for good (retries exhausted or rejected)."""
+
+    def __init__(self, message: str, *, status: int | None = None,
+                 attempts: int = 0, payload: dict | None = None):
+        self.status = status
+        self.attempts = attempts
+        self.payload = payload or {}
+        super().__init__(message)
+
+
+@dataclass
+class RetryPolicy:
+    """Deterministic capped-exponential-backoff schedule."""
+
+    retries: int = 5
+    base_delay: float = 0.1
+    max_delay: float = 5.0
+    seed: int = 0
+
+    def delays(self) -> list[float]:
+        """The full jittered schedule, a pure function of the seed."""
+        rng = random.Random(self.seed)
+        out = []
+        for attempt in range(self.retries):
+            delay = min(self.max_delay, self.base_delay * (2 ** attempt))
+            out.append(delay * (0.5 + rng.random() / 2))
+        return out
+
+
+@dataclass
+class UploadResult:
+    """A server acknowledgement, plus how hard it was to get."""
+
+    status: str  # "merged" | "duplicate"
+    seq: int
+    salvaged: bool = False
+    attempts: int = 1
+    warnings: list[str] = field(default_factory=list)
+
+
+def content_key(blob: bytes) -> str:
+    """The default idempotency key: a stable digest of the body."""
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+#: Statuses that no retry will ever fix.
+PERMANENT = frozenset({400, 404, 405, 409, 411, 413, 422, 501})
+
+
+class AgentClient:
+    """Uploads profiles to one repro-serve endpoint, with retries."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        policy: RetryPolicy | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._sleep = sleep
+
+    # -- low-level one-shot request ---------------------------------------
+
+    def request(
+        self, method: str, path: str, body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One HTTP exchange; raises ``OSError`` flavors on transport loss."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            resp = conn.getresponse()
+            payload = resp.read()
+            resp_headers = {k.lower(): v for k, v in resp.getheaders()}
+            return resp.status, resp_headers, payload
+        finally:
+            conn.close()
+
+    # -- the retrying upload ----------------------------------------------
+
+    def upload(
+        self, tenant: str, blob: bytes, *, key: str | None = None,
+    ) -> UploadResult:
+        """Upload one profile body; retries per the policy.
+
+        ``key=None`` uses the content digest (exactly-once across
+        retries); ``key=""`` explicitly disables deduplication.
+        """
+        if key is None:
+            key = content_key(blob)
+        headers = {"Content-Type": "application/octet-stream"}
+        if key:
+            headers["X-Idempotency-Key"] = key
+        delays = self.policy.delays()
+        last_error = "no attempt made"
+        last_status: int | None = None
+        for attempt in range(len(delays) + 1):
+            if attempt:
+                self._sleep(self._delay_for(attempt - 1, delays))
+            try:
+                status, _rheaders, payload = self.request(
+                    "POST", f"/v1/profiles/{tenant}", blob, headers
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = f"transport failure: {exc}"
+                last_status = None
+                self._last_retry_after = None
+                continue
+            self._last_retry_after = _rheaders.get("retry-after")
+            doc = _json_or_empty(payload)
+            if status == 200:
+                return UploadResult(
+                    status=doc.get("status", "merged"),
+                    seq=int(doc.get("seq", 0)),
+                    salvaged=bool(doc.get("salvaged", False)),
+                    warnings=list(doc.get("warnings", [])),
+                    attempts=attempt + 1,
+                )
+            if status in PERMANENT:
+                raise AgentError(
+                    f"upload permanently rejected "
+                    f"({status}): {doc.get('error') or doc.get('reason') or payload[:200]!r}",
+                    status=status, attempts=attempt + 1, payload=doc,
+                )
+            last_error = f"retryable status {status}: {doc.get('error', '')}"
+            last_status = status
+        raise AgentError(
+            f"upload failed after {len(delays) + 1} attempt(s): {last_error}",
+            status=last_status, attempts=len(delays) + 1,
+        )
+
+    _last_retry_after: str | None = None
+
+    def _delay_for(self, index: int, delays: list[float]) -> float:
+        """The scheduled delay, unless the server asked for a longer hold."""
+        delay = delays[index]
+        if self._last_retry_after:
+            try:
+                delay = max(delay, min(float(self._last_retry_after),
+                                       self.policy.max_delay))
+            except ValueError:
+                pass
+        return delay
+
+    # -- convenience wrappers ---------------------------------------------
+
+    def upload_file(self, tenant: str, path: str) -> UploadResult:
+        with open(path, "rb") as f:
+            return self.upload(tenant, f.read())
+
+    def stats(self) -> dict:
+        status, _, payload = self.request("GET", "/v1/stats")
+        if status != 200:
+            raise AgentError(f"stats query failed ({status})", status=status)
+        return _json_or_empty(payload)
+
+    def merged_sum(self, tenant: str, window: float | None = None) -> bytes:
+        path = f"/v1/profiles/{tenant}/sum"
+        if window is not None:
+            path += f"?window={window:g}"
+        status, _, payload = self.request("GET", path)
+        if status != 200:
+            raise AgentError(
+                f"sum query failed ({status}): "
+                f"{_json_or_empty(payload).get('error', '')}",
+                status=status,
+            )
+        return payload
+
+    def healthy(self) -> bool:
+        try:
+            status, _, _ = self.request("GET", "/healthz")
+        except (OSError, http.client.HTTPException):
+            return False
+        return status == 200
+
+
+def _json_or_empty(payload: bytes) -> dict:
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+        return doc if isinstance(doc, dict) else {}
+    except (ValueError, UnicodeDecodeError):
+        return {}
+
+
+def wait_until_healthy(
+    host: str, port: int, *, timeout: float = 10.0, interval: float = 0.05
+) -> bool:
+    """Poll ``/healthz`` until it answers or ``timeout`` elapses."""
+    client = AgentClient(host, port, timeout=1.0)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if client.healthy():
+            return True
+        time.sleep(interval)
+    return False
+
+
+# Quiet the linter: socket is imported for the ConnectionError aliases
+# some Python builds route through it.
+_ = socket

@@ -1,0 +1,167 @@
+"""A minimal, hostile-input-hardened HTTP/1.1 layer on asyncio streams.
+
+Hand-rolled on purpose: the ingest service must run on the stdlib
+alone, and its robustness story starts at the byte level — bounded
+request lines, bounded header blocks, bounded bodies, typed failures.
+Everything a client can send wrong maps to an :class:`HttpError` with
+a status code; nothing maps to an unhandled exception.
+
+Only what the service needs is implemented: request-line + headers
+parsing, ``Content-Length`` bodies (chunked transfer is refused with
+501), keep-alive, and a response serializer.  Query strings are parsed
+with the stdlib ``urllib.parse``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Longest accepted request line (method + target + version).
+MAX_REQUEST_LINE = 8 * 1024
+#: Longest accepted header block, and most header lines.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_HEADER_COUNT = 64
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Content",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be served, with the status to say so."""
+
+    def __init__(self, status: int, message: str,
+                 headers: dict[str, str] | None = None):
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+        super().__init__(message)
+
+
+@dataclass
+class Request:
+    """One parsed request head (the body is read separately)."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+    def content_length(self, max_body: int) -> int:
+        """The declared body length, validated.
+
+        Raises :class:`HttpError` 501 for chunked transfer, 411 when a
+        body-carrying method declares no length, 400 for an unparseable
+        length, and 413 when the declaration exceeds ``max_body`` —
+        *before* any body byte is read, which is the front door's
+        no-unbounded-buffering guarantee.
+        """
+        if "transfer-encoding" in self.headers:
+            raise HttpError(501, "chunked transfer encoding not supported")
+        raw = self.headers.get("content-length")
+        if raw is None:
+            if self.method in ("POST", "PUT"):
+                raise HttpError(411, "Content-Length required")
+            return 0
+        try:
+            length = int(raw)
+        except ValueError:
+            raise HttpError(400, f"unparseable Content-Length {raw!r}")
+        if length < 0:
+            raise HttpError(400, f"negative Content-Length {length}")
+        if length > max_body:
+            raise HttpError(
+                413,
+                f"body of {length} bytes exceeds the {max_body} byte limit",
+            )
+        return length
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request head; None on clean EOF before any byte.
+
+    Malformed input raises :class:`HttpError` (400/413 flavors); the
+    connection handler turns that into a response and closes.
+    """
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client closed between requests: normal
+        raise HttpError(400, "connection closed inside the request line")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request line too long")
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(413, "request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(400, "connection closed inside the headers")
+        if line == b"\r\n":
+            break
+        total += len(line)
+        if total > MAX_HEADER_BYTES or len(headers) >= MAX_HEADER_COUNT:
+            raise HttpError(413, "header block too large")
+        text = line.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep or not name or name != name.strip():
+            raise HttpError(400, f"malformed header line {text!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(method, target, path, query, headers, version)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one HTTP/1.1 response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body

@@ -1,0 +1,274 @@
+"""The per-tenant write-ahead journal: length-prefixed, checksummed, append-only.
+
+Every upload the ingest service accepts is appended here — as one
+self-delimiting *frame* — before it is folded into the in-memory
+accumulator and before the client sees an acknowledgement.  That
+ordering is the durability contract: an acknowledged upload is on disk,
+fsynced, and a ``kill -9`` at any byte boundary loses at most the
+frame being written — which, by the same ordering, was never
+acknowledged.
+
+Frame layout (all integers little-endian, unsigned)::
+
+    magic        4   b"RSJ1"
+    payload_len  4   bytes of payload that follow the checksum
+    checksum     8   blake2b-64 of the payload
+    payload      var (see JournalRecord)
+
+Record payload::
+
+    rtype        1   record type (1 = accepted upload)
+    seq          8   per-tenant monotonic sequence number
+    key_len      2   idempotency key length (0 = none)
+    key          var UTF-8 idempotency key
+    nwarn        2   count of attached warning strings
+    warnings     var (u16 length + UTF-8 bytes) each
+    blob         var the accepted profile, canonical gmon bytes
+
+:func:`replay_journal` recovers the **maximal valid prefix**: it walks
+frames until the first bad magic, impossible length, truncated frame,
+or checksum mismatch, and reports exactly how many bytes it kept and
+why it stopped — in the same no-crash/no-silent-lie spirit as
+:mod:`repro.resilience.salvage`.  Sequence numbers make replay
+idempotent against checkpoint compaction: a record whose ``seq`` the
+checkpoint already covers is skipped, so any crash ordering between
+"write checkpoint" and "truncate journal" double-counts nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import BinaryIO, Iterator
+
+from repro.resilience.faults import FaultInjector
+
+FRAME_MAGIC = b"RSJ1"
+_FRAME_HEAD = struct.Struct("<4sI8s")  # magic, payload_len, checksum
+_REC_HEAD = struct.Struct("<BQH")  # rtype, seq, key_len
+_U16 = struct.Struct("<H")
+
+#: The only record type so far: an accepted (possibly salvaged) upload.
+RECORD_UPLOAD = 1
+
+#: Hard ceiling on one frame's payload; anything larger is structural
+#: corruption (the service bounds uploads far below this).
+MAX_PAYLOAD = 256 << 20
+
+
+def _checksum(payload: bytes) -> bytes:
+    import hashlib
+
+    return hashlib.blake2b(payload, digest_size=8).digest()
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One accepted upload, as journaled."""
+
+    seq: int
+    key: str
+    blob: bytes
+    warnings: tuple[str, ...] = ()
+    rtype: int = RECORD_UPLOAD
+
+    def encode(self) -> bytes:
+        key = self.key.encode("utf-8")
+        if len(key) > 0xFFFF:
+            raise ValueError("idempotency key longer than 65535 bytes")
+        if len(self.warnings) > 0xFFFF:
+            raise ValueError("too many warnings for one record")
+        parts = [_REC_HEAD.pack(self.rtype, self.seq, len(key)), key,
+                 _U16.pack(len(self.warnings))]
+        for w in self.warnings:
+            wb = w.encode("utf-8")
+            if len(wb) > 0xFFFF:
+                wb = wb[:0xFFFF]
+            parts.append(_U16.pack(len(wb)))
+            parts.append(wb)
+        parts.append(self.blob)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "JournalRecord":
+        """Parse a frame payload; raises ``ValueError`` on malformation."""
+        if len(payload) < _REC_HEAD.size:
+            raise ValueError("record shorter than its fixed header")
+        rtype, seq, key_len = _REC_HEAD.unpack_from(payload, 0)
+        if rtype != RECORD_UPLOAD:
+            raise ValueError(f"unknown record type {rtype}")
+        pos = _REC_HEAD.size
+        if len(payload) - pos < key_len + _U16.size:
+            raise ValueError("record ends inside the idempotency key")
+        key = payload[pos : pos + key_len].decode("utf-8", errors="replace")
+        pos += key_len
+        (nwarn,) = _U16.unpack_from(payload, pos)
+        pos += _U16.size
+        warnings = []
+        for _ in range(nwarn):
+            if len(payload) - pos < _U16.size:
+                raise ValueError("record ends inside a warning length")
+            (wlen,) = _U16.unpack_from(payload, pos)
+            pos += _U16.size
+            if len(payload) - pos < wlen:
+                raise ValueError("record ends inside a warning string")
+            warnings.append(
+                payload[pos : pos + wlen].decode("utf-8", errors="replace")
+            )
+            pos += wlen
+        return cls(seq, key, payload[pos:], tuple(warnings), rtype)
+
+
+def encode_frame(record: JournalRecord) -> bytes:
+    """The on-disk bytes of one journal frame."""
+    payload = record.encode()
+    return _FRAME_HEAD.pack(FRAME_MAGIC, len(payload), _checksum(payload)) + payload
+
+
+@dataclass
+class ReplayReport:
+    """What :func:`replay_journal` kept and why it stopped."""
+
+    total_bytes: int = 0
+    consumed_bytes: int = 0
+    frames: int = 0
+    torn_reason: str | None = None
+
+    @property
+    def clean(self) -> bool:
+        return self.torn_reason is None
+
+    @property
+    def dropped_bytes(self) -> int:
+        return self.total_bytes - self.consumed_bytes
+
+
+def iter_frames(blob: bytes) -> Iterator[tuple[int, bytes]]:
+    """Yield ``(offset, payload)`` for every structurally valid frame.
+
+    Stops silently at the first malformation; :func:`replay_journal`
+    wraps this with the full accounting.
+    """
+    pos = 0
+    while len(blob) - pos >= _FRAME_HEAD.size:
+        magic, length, checksum = _FRAME_HEAD.unpack_from(blob, pos)
+        if magic != FRAME_MAGIC or length > MAX_PAYLOAD:
+            return
+        start = pos + _FRAME_HEAD.size
+        if len(blob) - start < length:
+            return
+        payload = blob[start : start + length]
+        if _checksum(payload) != checksum:
+            return
+        yield pos, payload
+        pos = start + length
+
+
+def replay_journal(path) -> tuple[list[JournalRecord], ReplayReport]:
+    """Recover the maximal valid prefix of records from ``path``.
+
+    Never raises on malformed content: a missing file is an empty
+    journal, and the first torn/corrupt frame ends the replay with the
+    reason recorded in the report.  ``report.consumed_bytes`` is the
+    safe truncation point — everything after it is debris from a crash
+    mid-append (which, per the ack-after-fsync contract, no client was
+    ever told about).
+    """
+    report = ReplayReport()
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except FileNotFoundError:
+        return [], report
+    report.total_bytes = len(blob)
+    records: list[JournalRecord] = []
+    pos = 0
+    while True:
+        remaining = len(blob) - pos
+        if remaining == 0:
+            break
+        if remaining < _FRAME_HEAD.size:
+            report.torn_reason = (
+                f"file ends inside a frame header ({remaining}/"
+                f"{_FRAME_HEAD.size} bytes)"
+            )
+            break
+        magic, length, checksum = _FRAME_HEAD.unpack_from(blob, pos)
+        if magic != FRAME_MAGIC:
+            report.torn_reason = f"bad frame magic {magic!r}"
+            break
+        if length > MAX_PAYLOAD:
+            report.torn_reason = f"impossible frame length {length}"
+            break
+        start = pos + _FRAME_HEAD.size
+        if len(blob) - start < length:
+            report.torn_reason = (
+                f"file ends inside a frame payload "
+                f"({len(blob) - start}/{length} bytes)"
+            )
+            break
+        payload = blob[start : start + length]
+        if _checksum(payload) != checksum:
+            report.torn_reason = "frame checksum mismatch"
+            break
+        try:
+            records.append(JournalRecord.decode(payload))
+        except ValueError as exc:
+            report.torn_reason = f"undecodable record: {exc}"
+            break
+        pos = start + length
+        report.frames += 1
+        report.consumed_bytes = pos
+    return records, report
+
+
+class JournalWriter:
+    """Appends frames to a journal file, fsyncing each one.
+
+    The fsync-per-append policy is what lets the service acknowledge an
+    upload as durable; ``fsync=False`` trades that for throughput (the
+    benchmark measures both).  A :class:`FaultInjector` can be armed on
+    any append to simulate the process dying mid-frame.
+    """
+
+    def __init__(self, path, fsync: bool = True) -> None:
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._f: BinaryIO | None = None
+
+    def _file(self) -> BinaryIO:
+        if self._f is None or self._f.closed:
+            self._f = open(self.path, "ab")
+            self._f.seek(0, os.SEEK_END)  # make tell() report the size
+        return self._f
+
+    def append(
+        self, record: JournalRecord, injector: FaultInjector | None = None
+    ) -> int:
+        """Append one frame; returns the file offset it starts at."""
+        f = self._file()
+        offset = f.tell()
+        frame = encode_frame(record)
+        if injector is not None:
+            injector.write(f, frame)
+        else:
+            f.write(frame)
+        f.flush()
+        if self.fsync:
+            os.fsync(f.fileno())
+        return offset
+
+    def truncate(self, size: int = 0) -> None:
+        """Cut the journal back to ``size`` bytes (checkpoint compaction,
+        or dropping a torn tail found at recovery)."""
+        f = self._file()
+        f.flush()
+        f.truncate(size)
+        f.seek(0, os.SEEK_END)
+        if self.fsync:
+            os.fsync(f.fileno())
+
+    def close(self) -> None:
+        if self._f is not None and not self._f.closed:
+            self._f.close()

@@ -1,0 +1,108 @@
+"""The quarantine: where rejected uploads go instead of /dev/null.
+
+An upload the service cannot accept — unsalvageable bytes, a salvaged
+layout that does not match the tenant's fleet, a record that would
+poison the merged state — is never dropped silently.  The raw bytes
+land on disk next to a structured JSON reason, both written atomically,
+so an operator can triage ("why are 3% of agent-17's uploads bad?"),
+replay a fixed batch later, or feed the file to ``repro-check
+--salvage`` by hand.
+
+Entries are named ``NNNNNN-<digest>`` — a per-tenant monotonic index
+plus a short content digest — so listings sort in arrival order and a
+re-uploaded identical body is recognizable at a glance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+
+from repro.resilience.atomic import atomic_write_bytes
+
+QUARANTINE_FORMAT = "repro-serve-quarantine-1"
+
+
+class Quarantine:
+    """Per-tenant quarantine directories under one root."""
+
+    def __init__(self, root) -> None:
+        self.root = os.fspath(root)
+        self._next: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _tenant_dir(self, tenant: str) -> str:
+        d = os.path.join(self.root, tenant)
+        os.makedirs(d, exist_ok=True)
+        return d
+
+    def _next_index(self, tenant: str, d: str) -> int:
+        with self._lock:
+            if tenant not in self._next:
+                taken = [
+                    int(name.split("-", 1)[0])
+                    for name in os.listdir(d)
+                    if name.endswith(".json") and name.split("-", 1)[0].isdigit()
+                ]
+                self._next[tenant] = max(taken, default=-1) + 1
+            idx = self._next[tenant]
+            self._next[tenant] = idx + 1
+        return idx
+
+    def put(
+        self,
+        tenant: str,
+        blob: bytes,
+        reason: str,
+        *,
+        source: str = "",
+        detail: dict | None = None,
+    ) -> str:
+        """Quarantine ``blob`` with a structured reason; returns the entry name."""
+        d = self._tenant_dir(tenant)
+        digest = hashlib.blake2b(blob, digest_size=6).hexdigest()
+        name = f"{self._next_index(tenant, d):06d}-{digest}"
+        meta = {
+            "format": QUARANTINE_FORMAT,
+            "reason": reason,
+            "source": source,
+            "bytes": len(blob),
+            "digest": digest,
+        }
+        if detail:
+            meta["detail"] = detail
+        atomic_write_bytes(os.path.join(d, f"{name}.bin"), blob)
+        atomic_write_bytes(
+            os.path.join(d, f"{name}.json"),
+            (json.dumps(meta, sort_keys=True, indent=2) + "\n").encode("utf-8"),
+        )
+        return name
+
+    def entries(self, tenant: str) -> list[dict]:
+        """Every quarantined entry for ``tenant``, in arrival order."""
+        d = os.path.join(self.root, tenant)
+        if not os.path.isdir(d):
+            return []
+        out = []
+        for name in sorted(os.listdir(d)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(d, name), encoding="utf-8") as f:
+                    meta = json.load(f)
+            except (OSError, ValueError):
+                # A torn or vanished meta file must not break triage of
+                # the others; surface it as its own degraded entry.
+                meta = {"format": QUARANTINE_FORMAT, "reason": "unreadable meta"}
+            meta["entry"] = name[: -len(".json")]
+            out.append(meta)
+        return out
+
+    def count(self, tenant: str) -> int:
+        """Quarantined entries so far for ``tenant``."""
+        d = os.path.join(self.root, tenant)
+        if not os.path.isdir(d):
+            return 0
+        return sum(1 for n in os.listdir(d) if n.endswith(".json"))

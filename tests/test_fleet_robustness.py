@@ -1,0 +1,162 @@
+"""Fleet-merge robustness: dying workers and lying filesystems.
+
+Satellite regressions for the ingest-service PR:
+
+* a merge worker that crashes (``os._exit``) or hangs mid-chunk must
+  cost one bounded timeout, after which the driver re-merges the chunk
+  sequentially — never a lost chunk, never an indefinite hang;
+* ``expand_inputs`` must survive symlink cycles under ``**`` globs
+  (one physical file merges once, whatever path shapes the glob
+  reaches it through) and must order matches deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.fleet import ProfileAccumulator, expand_inputs, tree_reduce
+from repro.fleet import reduce as reduce_mod
+from repro.gmon import dumps_gmon, parse_gmon_raw, write_gmon
+
+from tests.helpers import make_symbols, profile_data
+
+SYMS = make_symbols("main", "work")
+
+needs_fork = pytest.mark.skipif(
+    multiprocessing.get_start_method(allow_none=False) != "fork",
+    reason="the fault hook reaches workers via the fork start method",
+)
+
+
+def build_fleet(tmp_path, n):
+    """``n`` distinct single-run profiles on disk, plus their offline sum."""
+    paths = []
+    acc = ProfileAccumulator()
+    for i in range(n):
+        data = profile_data(SYMS, [("main", "work", i + 1)], {"main": i % 3})
+        path = tmp_path / f"gmon.{i:03d}"
+        write_gmon(data, path)
+        paths.append(str(path))
+        acc.add_raw(parse_gmon_raw(dumps_gmon(data)))
+    return paths, dumps_gmon(acc.result())
+
+
+@pytest.fixture(autouse=True)
+def clear_fault_hook():
+    yield
+    reduce_mod._chunk_fault_hook = None
+
+
+class TestWorkerFailure:
+    @needs_fork
+    def test_crashed_worker_falls_back_sequentially(self, tmp_path):
+        paths, reference = build_fleet(tmp_path, 64)
+        marker = paths[5]  # lives in the first chunk
+        driver_pid = os.getpid()
+
+        def die_on_marker(chunk_paths):
+            # only the *worker* dies; the driver's in-process fallback
+            # re-runs this hook and must survive it
+            if marker in chunk_paths and os.getpid() != driver_pid:
+                os._exit(1)  # the bluntest possible worker death
+
+        reduce_mod._chunk_fault_hook = die_on_marker
+        data = tree_reduce(paths, jobs=2, worker_timeout=10.0)
+        assert dumps_gmon(data) == reference  # nothing lost, nothing doubled
+        assert any("re-merged sequentially" in w for w in data.warnings)
+
+    @needs_fork
+    def test_hung_worker_times_out(self, tmp_path):
+        paths, reference = build_fleet(tmp_path, 64)
+        marker = paths[5]
+        driver_pid = os.getpid()
+
+        def hang_on_marker(chunk_paths):
+            if marker in chunk_paths and os.getpid() != driver_pid:
+                import time
+
+                time.sleep(300)
+
+        reduce_mod._chunk_fault_hook = hang_on_marker
+        data = tree_reduce(paths, jobs=2, worker_timeout=0.5)
+        assert dumps_gmon(data) == reference
+        assert any("did not answer within 0.5s" in w for w in data.warnings)
+
+    @needs_fork
+    def test_every_worker_dead_still_merges(self, tmp_path):
+        paths, reference = build_fleet(tmp_path, 64)
+        driver_pid = os.getpid()
+        reduce_mod._chunk_fault_hook = (
+            lambda _chunk: os.getpid() != driver_pid and os._exit(1)
+        )
+        data = tree_reduce(paths, jobs=2, worker_timeout=5.0)
+        assert dumps_gmon(data) == reference
+        assert sum("re-merged sequentially" in w for w in data.warnings) >= 2
+
+    def test_real_parse_errors_still_propagate(self, tmp_path):
+        """The timeout fallback must not swallow honest worker errors."""
+        paths, _ = build_fleet(tmp_path, 64)
+        with open(paths[10], "wb") as f:
+            f.write(b"gmon\x01\x00garbage")
+        from repro.errors import GmonFormatError, MergeError
+
+        with pytest.raises((GmonFormatError, MergeError)):
+            tree_reduce(paths, jobs=2, worker_timeout=30.0)
+
+
+class TestExpandInputs:
+    def test_symlink_cycle_merges_each_file_once(self, tmp_path):
+        fleet = tmp_path / "fleet"
+        sub = fleet / "a"
+        sub.mkdir(parents=True)
+        data = profile_data(SYMS, [("main", "work", 1)], {"main": 1})
+        write_gmon(data, sub / "gmon.0")
+        write_gmon(data, fleet / "gmon.1")
+        try:
+            os.symlink("..", sub / "loop")
+        except OSError:
+            pytest.skip("filesystem refuses symlinks")
+        paths = expand_inputs([str(fleet / "**" / "gmon.*")])
+        # the cycle makes the glob see each file through many path
+        # shapes; expansion must keep exactly the two physical files
+        assert len(paths) == 2
+        assert [os.path.basename(p) for p in paths] == ["gmon.0", "gmon.1"]
+        merged = tree_reduce(paths, jobs=1)
+        assert merged.runs == 2  # not 40+ phantom copies
+
+    def test_recursive_glob_deterministic_order(self, tmp_path):
+        names = ["b/gmon.2", "a/gmon.9", "a/gmon.10", "c/gmon.1"]
+        data = profile_data(SYMS, [("main", "work", 1)], {"main": 1})
+        for name in names:
+            path = tmp_path / name
+            path.parent.mkdir(exist_ok=True)
+            write_gmon(data, path)
+        pattern = str(tmp_path / "**" / "gmon.*")
+        first = expand_inputs([pattern])
+        assert first == expand_inputs([pattern])  # stable across calls
+        assert first == sorted(first)  # lexicographic, not enumeration order
+
+    def test_plain_glob_still_sorted(self, tmp_path):
+        data = profile_data(SYMS, [("main", "work", 1)], {"main": 1})
+        for i in (3, 1, 2):
+            write_gmon(data, tmp_path / f"gmon.{i}")
+        paths = expand_inputs([str(tmp_path / "gmon.*")])
+        assert [os.path.basename(p) for p in paths] == [
+            "gmon.1", "gmon.2", "gmon.3",
+        ]
+
+    def test_duplicate_hardlinks_under_recursive_glob(self, tmp_path):
+        data = profile_data(SYMS, [("main", "work", 1)], {"main": 1})
+        target = tmp_path / "sub" / "gmon.a"
+        target.parent.mkdir()
+        write_gmon(data, target)
+        try:
+            os.link(target, tmp_path / "sub" / "gmon.b")
+        except OSError:
+            pytest.skip("filesystem refuses hard links")
+        paths = expand_inputs([str(tmp_path / "**" / "gmon.*")])
+        # same inode, two names: the lexicographically first name wins
+        assert [os.path.basename(p) for p in paths] == ["gmon.a"]

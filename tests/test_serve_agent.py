@@ -1,0 +1,215 @@
+"""The uploader client: retry discipline, backoff determinism, dedup keys."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve.agent import (
+    AgentClient,
+    AgentError,
+    RetryPolicy,
+    content_key,
+)
+
+
+class ScriptedServer:
+    """A socket server that answers each connection from a canned script.
+
+    Each script entry is either raw response bytes, or the string
+    ``"drop"`` to close the connection without answering (a transport
+    failure from the client's point of view).
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests: list[bytes] = []
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for step in self.script:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            with conn:
+                conn.settimeout(5)
+                try:
+                    data = b""
+                    while b"\r\n\r\n" not in data:
+                        data += conn.recv(65536)
+                    head, _, rest = data.partition(b"\r\n\r\n")
+                    length = 0
+                    for line in head.split(b"\r\n"):
+                        if line.lower().startswith(b"content-length:"):
+                            length = int(line.split(b":")[1])
+                    while len(rest) < length:
+                        rest += conn.recv(65536)
+                    self.requests.append(head + b"\r\n\r\n" + rest)
+                    if step != "drop":
+                        conn.sendall(step)
+                except OSError:
+                    pass
+        self._sock.close()
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def response(status: int, body: bytes, extra: str = "") -> bytes:
+    reason = {200: "OK", 429: "Too Many Requests", 422: "Unprocessable",
+              500: "Internal Server Error", 503: "Unavailable"}[status]
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Length: {len(body)}\r\n{extra}"
+        "Connection: close\r\n\r\n"
+    ).encode() + body
+
+
+OK = response(200, b'{"status": "merged", "seq": 3, "salvaged": false}')
+
+
+def client_for(server, retries=3) -> AgentClient:
+    sleeps: list[float] = []
+    client = AgentClient(
+        "127.0.0.1", server.port, timeout=5,
+        policy=RetryPolicy(retries=retries, base_delay=0.01, seed=7),
+        sleep=sleeps.append,
+    )
+    client.recorded_sleeps = sleeps
+    return client
+
+
+class TestBackoffSchedule:
+    def test_deterministic_for_a_seed(self):
+        a = RetryPolicy(retries=5, seed=123).delays()
+        b = RetryPolicy(retries=5, seed=123).delays()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert RetryPolicy(seed=1).delays() != RetryPolicy(seed=2).delays()
+
+    def test_exponential_and_capped(self):
+        policy = RetryPolicy(retries=8, base_delay=0.1, max_delay=1.0, seed=0)
+        delays = policy.delays()
+        assert len(delays) == 8
+        # jitter keeps every delay within [0.5, 1.0] x the raw value
+        for i, d in enumerate(delays):
+            raw = min(1.0, 0.1 * (2 ** i))
+            assert raw * 0.5 <= d <= raw
+        assert max(delays) <= 1.0
+
+
+class TestUpload:
+    def test_success_first_try(self):
+        server = ScriptedServer([OK])
+        try:
+            result = client_for(server).upload("t1", b"gmon-bytes")
+            assert result.status == "merged"
+            assert result.seq == 3
+            assert result.attempts == 1
+        finally:
+            server.close()
+
+    def test_idempotency_key_sent_by_default(self):
+        server = ScriptedServer([OK])
+        try:
+            blob = b"gmon-bytes"
+            client_for(server).upload("t1", blob)
+            head = server.requests[0].lower()
+            assert f"x-idempotency-key: {content_key(blob)}".encode() in head
+        finally:
+            server.close()
+
+    def test_explicit_empty_key_disables_dedup(self):
+        server = ScriptedServer([OK])
+        try:
+            client_for(server).upload("t1", b"gmon-bytes", key="")
+            assert b"x-idempotency-key" not in server.requests[0].lower()
+        finally:
+            server.close()
+
+    def test_retries_transport_failures_then_succeeds(self):
+        server = ScriptedServer(["drop", "drop", OK])
+        try:
+            client = client_for(server)
+            result = client.upload("t1", b"gmon-bytes")
+            assert result.attempts == 3
+            assert len(client.recorded_sleeps) == 2
+            # the sleeps are exactly the policy's schedule
+            assert client.recorded_sleeps == client.policy.delays()[:2]
+        finally:
+            server.close()
+
+    def test_retries_429_and_honors_retry_after(self):
+        server = ScriptedServer([
+            response(429, b'{"error": "busy"}', "Retry-After: 2\r\n"),
+            OK,
+        ])
+        try:
+            client = client_for(server)
+            result = client.upload("t1", b"gmon-bytes")
+            assert result.attempts == 2
+            # Retry-After: 2 beats the tiny scheduled backoff
+            assert client.recorded_sleeps == [2.0]
+        finally:
+            server.close()
+
+    def test_retries_5xx(self):
+        server = ScriptedServer([response(500, b"{}"), OK])
+        try:
+            assert client_for(server).upload("t1", b"x").attempts == 2
+        finally:
+            server.close()
+
+    def test_permanent_rejection_not_retried(self):
+        server = ScriptedServer([
+            response(422, b'{"status": "quarantined", '
+                          b'"reason": "unsalvageable upload"}'),
+            OK,  # must never be consumed
+        ])
+        try:
+            client = client_for(server)
+            with pytest.raises(AgentError) as err:
+                client.upload("t1", b"x")
+            assert err.value.status == 422
+            assert err.value.attempts == 1
+            assert "unsalvageable" in str(err.value)
+            assert len(server.requests) == 1
+        finally:
+            server.close()
+
+    def test_exhausted_retries_raise(self):
+        server = ScriptedServer(["drop"] * 4)
+        try:
+            client = client_for(server, retries=3)
+            with pytest.raises(AgentError) as err:
+                client.upload("t1", b"x")
+            assert err.value.attempts == 4
+            assert "transport failure" in str(err.value)
+        finally:
+            server.close()
+
+    def test_no_server_at_all(self):
+        sock = socket.create_server(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here now
+        client = AgentClient(
+            "127.0.0.1", port, timeout=1,
+            policy=RetryPolicy(retries=1, base_delay=0.001),
+            sleep=lambda _s: None,
+        )
+        with pytest.raises(AgentError):
+            client.upload("t1", b"x")
+
+    def test_content_key_stable(self):
+        assert content_key(b"abc") == content_key(b"abc")
+        assert content_key(b"abc") != content_key(b"abd")

@@ -1,0 +1,164 @@
+"""The hand-rolled HTTP layer: hostile input maps to typed errors."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    Request,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes):
+    """Feed raw bytes to read_request through a real StreamReader."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_minimal_get(self):
+        req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/healthz"
+        assert req.headers["host"] == "x"
+        assert req.keep_alive
+
+    def test_query_string_and_percent_encoding(self):
+        req = parse(b"GET /v1/profiles/t%2D1/sum?window=30&x= HTTP/1.1\r\n\r\n")
+        assert req.path == "/v1/profiles/t-1/sum"
+        assert req.query == {"window": "30", "x": ""}
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_eof_mid_request_line(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET /part")
+        assert err.value.status == 400
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GARBAGE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_unsupported_version(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/2.0\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_oversized_request_line(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n")
+        assert err.value.status == 413
+
+    def test_header_block_too_large(self):
+        raw = b"GET / HTTP/1.1\r\n" + b"x-pad: " + b"y" * 33000 + b"\r\n\r\n"
+        with pytest.raises(HttpError) as err:
+            parse(raw)
+        assert err.value.status == 413
+
+    def test_too_many_headers(self):
+        headers = b"".join(b"h%d: v\r\n" % i for i in range(100))
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+        assert err.value.status == 413
+
+    def test_malformed_header(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_header_name_with_leading_space_rejected(self):
+        # request smuggling classic: obs-fold / space-prefixed names
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\n foo: bar\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_eof_inside_headers(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\nhost: x\r\n")
+        assert err.value.status == 400
+
+
+class TestKeepAlive:
+    def mk(self, version: str, conn: str | None) -> Request:
+        headers = {} if conn is None else {"connection": conn}
+        return Request("GET", "/", "/", {}, headers, version)
+
+    def test_http11_default_keep_alive(self):
+        assert self.mk("HTTP/1.1", None).keep_alive
+
+    def test_http11_close(self):
+        assert not self.mk("HTTP/1.1", "close").keep_alive
+
+    def test_http10_default_close(self):
+        assert not self.mk("HTTP/1.0", None).keep_alive
+
+    def test_http10_explicit_keep_alive(self):
+        assert self.mk("HTTP/1.0", "keep-alive").keep_alive
+
+
+class TestContentLength:
+    def mk(self, headers: dict[str, str], method: str = "POST") -> Request:
+        return Request(method, "/", "/", {}, headers)
+
+    def test_valid(self):
+        assert self.mk({"content-length": "42"}).content_length(100) == 42
+
+    def test_missing_on_post_is_411(self):
+        with pytest.raises(HttpError) as err:
+            self.mk({}).content_length(100)
+        assert err.value.status == 411
+
+    def test_missing_on_get_is_zero(self):
+        assert self.mk({}, method="GET").content_length(100) == 0
+
+    def test_unparseable_is_400(self):
+        with pytest.raises(HttpError) as err:
+            self.mk({"content-length": "lots"}).content_length(100)
+        assert err.value.status == 400
+
+    def test_negative_is_400(self):
+        with pytest.raises(HttpError) as err:
+            self.mk({"content-length": "-5"}).content_length(100)
+        assert err.value.status == 400
+
+    def test_over_limit_is_413(self):
+        with pytest.raises(HttpError) as err:
+            self.mk({"content-length": "101"}).content_length(100)
+        assert err.value.status == 413
+
+    def test_chunked_is_501(self):
+        with pytest.raises(HttpError) as err:
+            self.mk(
+                {"transfer-encoding": "chunked", "content-length": "5"}
+            ).content_length(100)
+        assert err.value.status == 501
+
+
+class TestRenderResponse:
+    def test_shape(self):
+        raw = render_response(200, b'{"ok": true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert body == b'{"ok": true}'
+
+    def test_extra_headers_and_close(self):
+        raw = render_response(
+            429, b"{}", headers={"Retry-After": "1"}, keep_alive=False
+        )
+        assert b"HTTP/1.1 429 Too Many Requests\r\n" in raw
+        assert b"Retry-After: 1\r\n" in raw
+        assert b"Connection: close\r\n" in raw

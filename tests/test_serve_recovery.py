@@ -1,0 +1,218 @@
+"""Crash recovery: kill -9 at any byte boundary, restart, byte-identity.
+
+The acceptance property of the ingest service: after a crash at *any*
+point — mid journal append, mid checkpoint write, between checkpoint
+and journal truncation — a restart recovers merged state byte-identical
+to an offline fold of exactly the acknowledged uploads.  These tests
+drive :class:`TenantStore` directly with the fault-injection harness so
+every byte offset is exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.fleet import ProfileAccumulator
+from repro.gmon import dumps_gmon, parse_gmon_raw
+from repro.resilience import FaultInjector, InjectedFault
+from repro.serve import Quarantine, ServeConfig
+from repro.serve.journal import encode_frame, JournalRecord
+from repro.serve.state import CHECKPOINT_NAME, JOURNAL_NAME, TenantStore
+
+from tests.helpers import make_symbols, profile_data
+
+SYMS = make_symbols("main", "work", "leaf")
+
+BLOBS = [
+    dumps_gmon(profile_data(
+        SYMS,
+        [("main", "work", i + 1), ("work", "leaf", 2 * i + 1)],
+        {"main": i + 2, "work": 1},
+    ))
+    for i in range(6)
+]
+
+
+def offline_fold(blobs) -> bytes:
+    """The reference: what repro-merge would produce from these inputs."""
+    acc = ProfileAccumulator()
+    for b in blobs:
+        acc.add_raw(parse_gmon_raw(b))
+    return dumps_gmon(acc.result())
+
+
+def store_at(root, **overrides) -> TenantStore:
+    config = ServeConfig(root=str(root), **overrides)
+    return TenantStore.open("t1", config, Quarantine(config.quarantine_root()))
+
+
+class TestJournalCrash:
+    def test_kill_at_every_byte_of_an_append(self, tmp_path):
+        """The exhaustive torn-append sweep.
+
+        For every byte offset of the third upload's journal frame:
+        accept two uploads, crash the third's append at that offset,
+        restart, and require the merged state to equal the offline fold
+        of the two acknowledged uploads — then require the retried third
+        upload to land cleanly.
+        """
+        frame_len = len(encode_frame(JournalRecord(3, "k3", BLOBS[2])))
+        acked_ref = offline_fold(BLOBS[:2])
+        full_ref = offline_fold(BLOBS[:3])
+        for kill_at in range(frame_len):
+            root = tmp_path / f"kill{kill_at}"
+            store = store_at(root, checkpoint_every=1000)
+            store.accept(BLOBS[0], key="k1")
+            store.accept(BLOBS[1], key="k2")
+            with pytest.raises(InjectedFault):
+                store.accept(BLOBS[2], key="k3",
+                             injector=FaultInjector(kill_after=kill_at))
+            store.close()  # the process is gone
+
+            revived = store_at(root, checkpoint_every=1000)
+            assert revived.merged() == acked_ref, f"kill at byte {kill_at}"
+            assert revived.seq == 2
+            # the un-acked upload is retried exactly as the agent would
+            out = revived.accept(BLOBS[2], key="k3")
+            assert out.status == "merged" and out.seq == 3
+            assert revived.merged() == full_ref
+            revived.close()
+
+    def test_duplicate_keys_survive_crash(self, tmp_path):
+        store = store_at(tmp_path, checkpoint_every=1000)
+        store.accept(BLOBS[0], key="k1")
+        with pytest.raises(InjectedFault):
+            store.accept(BLOBS[1], key="k2",
+                         injector=FaultInjector(kill_after=5))
+        store.close()
+        revived = store_at(tmp_path, checkpoint_every=1000)
+        # k1 was acked before the crash: a retry dedups
+        assert revived.accept(BLOBS[0], key="k1").status == "duplicate"
+        # k2 was never acked: a retry merges
+        assert revived.accept(BLOBS[1], key="k2").status == "merged"
+        revived.close()
+
+    def test_salvage_warnings_survive_crash(self, tmp_path):
+        store = store_at(tmp_path, checkpoint_every=1000)
+        store.accept(BLOBS[0])
+        out = store.accept(BLOBS[1][:-10])  # salvaged, carries warnings
+        assert out.salvaged and out.warnings
+        store.close()
+        revived = store_at(tmp_path, checkpoint_every=1000)
+        data = revived.merged_data()
+        assert any("salvage" in w for w in data.warnings)
+        revived.close()
+
+
+class TestCheckpointCrash:
+    def test_kill_during_checkpoint_write_keeps_old_state(self, tmp_path):
+        """Checkpoint is atomic: a crash mid-write changes nothing."""
+        store = store_at(tmp_path, checkpoint_every=1000)
+        for i, blob in enumerate(BLOBS[:3]):
+            store.accept(blob, key=f"k{i}")
+        store.checkpoint()  # baseline checkpoint covering 3 records
+        store.accept(BLOBS[3], key="k3b")
+        ref = offline_fold(BLOBS[:4])
+        with pytest.raises(InjectedFault):
+            store.checkpoint(injector=FaultInjector(kill_after=100))
+        store.close()
+
+        revived = store_at(tmp_path, checkpoint_every=1000)
+        # old checkpoint + journal replay reconstruct the same state
+        assert revived.merged() == ref
+        assert revived.seq == 4
+        revived.close()
+
+    def test_crash_between_checkpoint_and_truncate(self, tmp_path):
+        """Sequence numbers make the checkpoint/journal overlap safe."""
+        store = store_at(tmp_path, checkpoint_every=1000)
+        for i, blob in enumerate(BLOBS[:3]):
+            store.accept(blob, key=f"k{i}")
+        journal_path = os.path.join(store.dir, JOURNAL_NAME)
+        with open(journal_path, "rb") as f:
+            journal_before = f.read()
+        store.checkpoint()
+        store.close()
+        # resurrect the pre-truncation journal: every record it holds is
+        # now *also* inside the checkpoint
+        with open(journal_path, "wb") as f:
+            f.write(journal_before)
+
+        revived = store_at(tmp_path, checkpoint_every=1000)
+        # nothing double-counted: replay skipped the covered records
+        assert revived.merged() == offline_fold(BLOBS[:3])
+        assert revived.seq == 3
+        revived.close()
+
+    def test_corrupt_checkpoint_falls_back_to_journal(self, tmp_path):
+        store = store_at(tmp_path, checkpoint_every=1000)
+        store.accept(BLOBS[0], key="k0")
+        store.checkpoint()
+        store.accept(BLOBS[1], key="k1")  # journaled after the checkpoint
+        store.close()
+        ckpt_path = os.path.join(store.dir, CHECKPOINT_NAME)
+        blob = bytearray(open(ckpt_path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(ckpt_path, "wb") as f:
+            f.write(bytes(blob))
+
+        revived = store_at(tmp_path, checkpoint_every=1000)
+        # the checkpointed record is gone (it said so), the journaled one
+        # survives, and the bad checkpoint is quarantined for forensics
+        assert any("checkpoint did not verify" in w
+                   for w in revived.recovery_warnings)
+        assert revived.merged() == offline_fold([BLOBS[1]])
+        assert revived.quarantine.count("t1") == 1
+        revived.close()
+
+    def test_automatic_checkpoint_compacts_journal(self, tmp_path):
+        store = store_at(tmp_path, checkpoint_every=3)
+        for i, blob in enumerate(BLOBS[:5]):
+            store.accept(blob, key=f"k{i}")
+        journal_size = os.path.getsize(os.path.join(store.dir, JOURNAL_NAME))
+        store.close()
+        # 3 records triggered a checkpoint; only 2 remain journaled
+        assert journal_size < sum(len(b) for b in BLOBS[3:5]) + 200
+        revived = store_at(tmp_path, checkpoint_every=3)
+        assert revived.merged() == offline_fold(BLOBS[:5])
+        assert revived.seq == 5
+        # dedup state also spans the checkpoint boundary
+        for i in range(5):
+            assert revived.accept(BLOBS[i], key=f"k{i}").status == "duplicate"
+        revived.close()
+
+
+class TestRestartEquivalence:
+    def test_many_restarts_one_answer(self, tmp_path):
+        """Close/reopen after every upload: state never drifts."""
+        for i, blob in enumerate(BLOBS):
+            store = store_at(tmp_path, checkpoint_every=2)
+            out = store.accept(blob, key=f"k{i}")
+            assert out.status == "merged" and out.seq == i + 1
+            store.close()
+        final = store_at(tmp_path, checkpoint_every=2)
+        assert final.merged() == offline_fold(BLOBS)
+        final.close()
+
+    def test_quarantined_uploads_never_enter_state(self, tmp_path):
+        store = store_at(tmp_path, checkpoint_every=1000)
+        store.accept(BLOBS[0])
+        out = store.accept(b"gmon\x01\x00" + b"\xff" * 4)
+        assert out.status == "quarantined"
+        store.close()
+        revived = store_at(tmp_path, checkpoint_every=1000)
+        assert revived.merged() == offline_fold([BLOBS[0]])
+        assert revived.quarantine.count("t1") == 1
+        revived.close()
+
+    def test_wiped_tenant_dir_starts_fresh(self, tmp_path):
+        store = store_at(tmp_path)
+        store.accept(BLOBS[0])
+        store.close()
+        shutil.rmtree(store.dir)
+        fresh = store_at(tmp_path)
+        assert fresh.seq == 0 and fresh.acc.empty
+        fresh.close()

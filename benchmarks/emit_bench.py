@@ -193,6 +193,13 @@ SUITES = {
         "recovered merged profile differs from the offline merge of "
         "the uploaded inputs",
     ),
+    "smp": (
+        "T-SMP",
+        "BENCH_smp.json",
+        None,  # resolved lazily, same pattern as vm
+        "merged SMP profile depends on the CPU count, schedule, or "
+        "sharding layout",
+    ),
 }
 
 
@@ -213,6 +220,10 @@ def _suite_runner(name: str):
         from benchmarks.bench_serve import run_serve
 
         return run_serve
+    if name == "smp":
+        from benchmarks.bench_smp import run_smp
+
+        return run_smp
     return SUITES[name][2]
 
 

@@ -12,11 +12,17 @@ Subcommands::
     repro-vm run IMAGE_OR_SOURCE [--profile] [--gmon FILE]
                  [--ticks N] [--annotate] [--checkpoint N]
                  [--engine fast|reference]
+                 [--cpus N [--procs M] [--sched SEED]
+                  [--sched-policy rr|random|affinity|skew] [--quantum Q]]
         Execute a program (a .vmexe image, an assembly file, or a
         canned program name).  With --profile, attach the monitor and
         write the gmon file; with --annotate, print the per-instruction
         annotated disassembly afterwards; with --checkpoint N, flush a
         crash-safe snapshot to the gmon path every N clock ticks.
+        With --cpus N, run M process instances of the program on an
+        N-CPU machine with per-CPU profile shards and a seeded slice
+        scheduler; the gmon file is the canonical shard merge, whose
+        bytes are identical for every CPU count, seed, and policy.
 
 This is the "compiler driver" of the reproduction's tool chain; its
 output files feed repro-gprof / repro-prof.
@@ -108,10 +114,57 @@ def cmd_asm(opts) -> int:
     return 0
 
 
+def cmd_run_smp(opts, exe: Executable) -> int:
+    """The --cpus path: a sharded multi-CPU run of ``--procs`` instances."""
+    from repro.machine.smp import SMPMachine
+
+    if opts.count:
+        raise ReproError("--count is a uniprocessor feature; drop --cpus")
+    if opts.checkpoint:
+        raise ReproError("--checkpoint is a uniprocessor feature; drop --cpus")
+    machine = SMPMachine(
+        exe,
+        ncpus=opts.cpus,
+        nprocs=opts.procs,
+        policy=opts.sched_policy,
+        seed=opts.sched,
+        quantum=opts.quantum,
+        engine=opts.engine,
+        profile=opts.profile,
+        cycles_per_tick=opts.ticks,
+    )
+    machine.run()
+    instructions = sum(p.cpu.instructions_executed for p in machine.procs)
+    print(
+        f"{exe.name}: {opts.procs} process(es) on {opts.cpus} cpu(s), "
+        f"{instructions} instructions, {machine.wall_cycles} wall cycles, "
+        f"{machine.rounds} rounds, {machine.migrations} migrations "
+        f"({opts.sched_policy}, seed {opts.sched})"
+    )
+    if opts.profile:
+        for shard in machine.shards:
+            print(
+                f"  cpu{shard.index}: {shard.histogram.total_ticks} samples, "
+                f"{shard.arcs.total_calls} calls"
+            )
+        data = machine.merged_profile(comment=exe.name)
+        write_gmon(data, opts.gmon)
+        print(
+            f"{data.total_ticks} samples, {data.total_calls} calls "
+            f"merged from {len(machine.shards)} shard(s) -> {opts.gmon}"
+        )
+        if opts.annotate:
+            print()
+            print(format_annotated_disassembly(exe, data.histogram))
+    return 0
+
+
 def cmd_run(opts) -> int:
     exe = _load_program(
         opts.program, profile=opts.profile, count_blocks=opts.count
     )
+    if opts.cpus:
+        return cmd_run_smp(opts, exe)
     monitor = None
     if opts.count and not exe.counter_names:
         raise ReproError(
@@ -192,6 +245,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--count", action="store_true",
                      help="instrument basic blocks with inline counters "
                           "and print their exact execution counts")
+    run.add_argument("--cpus", type=int, default=0, metavar="N",
+                     help="run on an N-CPU machine with per-CPU profile "
+                          "shards merged into one canonical gmon (0 = the "
+                          "uniprocessor path)")
+    run.add_argument("--procs", type=int, default=4, metavar="M",
+                     help="with --cpus: process instances to run (the "
+                          "workload; default 4).  The merged profile "
+                          "depends only on this, never on the CPU count "
+                          "or schedule")
+    run.add_argument("--sched", type=int, default=0, metavar="SEED",
+                     help="with --cpus: scheduler seed (any seed yields "
+                          "byte-identical merged profiles)")
+    run.add_argument("--sched-policy", default="rr",
+                     choices=["rr", "random", "affinity", "skew"],
+                     help="with --cpus: slice scheduling policy")
+    run.add_argument("--quantum", type=int, default=500, metavar="Q",
+                     help="with --cpus: nominal cycles per scheduling slice")
     run.add_argument("--engine", choices=sorted(ENGINES), default="fast",
                      help="interpreter engine: the predecoded fast engine "
                           "(default) or the reference engine, the readable "

@@ -5,7 +5,13 @@ from repro.kernel.build import (
     NETWORK_CYCLE,
     build_kernel_source,
 )
-from repro.kernel.kgmon import Kgmon, KgmonStatus, KernelSession
+from repro.kernel.kgmon import (
+    Kgmon,
+    KgmonStatus,
+    KernelSession,
+    SMPKernelSession,
+    SMPKgmon,
+)
 
 __all__ = [
     "CYCLE_CLOSING_ARCS",
@@ -13,5 +19,7 @@ __all__ = [
     "KgmonStatus",
     "KernelSession",
     "NETWORK_CYCLE",
+    "SMPKernelSession",
+    "SMPKgmon",
     "build_kernel_source",
 ]

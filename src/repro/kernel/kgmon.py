@@ -11,6 +11,13 @@ executed in instruction slices, standing in for a kernel that keeps
 serving users between control operations).  :class:`Kgmon` is the
 control tool: ``on`` / ``off`` / ``extract`` / ``reset`` / ``status``,
 all usable while the kernel keeps running.
+
+:class:`SMPKernelSession` scales the scenario to N CPUs: each core
+runs the kernel workload as its own process on an
+:class:`~repro.machine.smp.SMPMachine`, profiling data lands in
+per-CPU shards, and :class:`SMPKgmon` extracts/resets those shards
+live — merged through the fleet algebra into one canonical profile
+whose bytes are independent of CPU count and slice schedule.
 """
 
 from __future__ import annotations
@@ -173,4 +180,154 @@ class Kgmon:
             calls=sum(a.count for a in mon.arc_table.arcs()),
             kernel_cycles=self.session.cpu.cycles,
             halted=self.session.halted,
+        )
+
+
+# ------------------------------------------------------------------- SMP
+
+
+class SMPKernelSession:
+    """A live simulated kernel on an N-CPU machine.
+
+    Each CPU executes the kernel workload as its own process (the
+    shared-text, per-core-state shape of a real SMP kernel); profiling
+    events are gathered into per-CPU shards without cross-CPU locking.
+
+    Arguments:
+        ncpus: simulated CPU count.
+        iterations: scheduling quanta each core's main loop executes.
+        cycles_per_tick, profrate: profiling clock configuration.
+        policy, seed, quantum: slice scheduler configuration (the
+            merged profile's bytes do not depend on them).
+        engine: interpreter engine (``fast`` default).
+        device_interrupts, irq_period: as for :class:`KernelSession`,
+            delivered independently on each core's own clock.
+        **build_kw: forwarded to
+            :func:`repro.kernel.build.build_kernel_source`.
+    """
+
+    def __init__(
+        self,
+        ncpus: int = 2,
+        iterations: int = 400,
+        cycles_per_tick: int = 50,
+        profrate: int = 100,
+        policy: str = "rr",
+        seed: int = 0,
+        quantum: int = 2000,
+        engine: str = "fast",
+        device_interrupts: bool = True,
+        irq_period: int = 900,
+        **build_kw,
+    ):
+        from repro.machine.cpu import InterruptSource
+        from repro.machine.smp import SMPMachine
+
+        source = build_kernel_source(iterations=iterations, **build_kw)
+        self.executable: Executable = assemble(source, name="kernel", profile=True)
+        interrupts = (
+            [InterruptSource("irq_device", irq_period)]
+            if device_interrupts
+            else []
+        )
+        self.machine = SMPMachine(
+            self.executable,
+            ncpus=ncpus,
+            nprocs=ncpus,
+            policy=policy,
+            seed=seed,
+            quantum=quantum,
+            engine=engine,
+            cycles_per_tick=cycles_per_tick,
+            profrate=profrate,
+            interrupts=interrupts,
+        )
+
+    def run_slice(self, rounds: int = 4) -> bool:
+        """Execute scheduling rounds; returns True while any core lives."""
+        return self.machine.run_rounds(rounds)
+
+    def run_to_completion(self) -> None:
+        """Let every core finish its workload."""
+        self.machine.run()
+
+    @property
+    def halted(self) -> bool:
+        """Whether every core's workload has finished."""
+        return self.machine.halted
+
+    def symbol_table(self) -> SymbolTable:
+        """The kernel's symbol table (for analyzing extracted data)."""
+        return self.executable.symbol_table()
+
+
+class SMPKgmon:
+    """The kgmon control tool for an N-CPU kernel session.
+
+    The same verbs as :class:`Kgmon` — on/off/extract/reset/status —
+    but extraction snapshots every CPU's shard and reduces them through
+    the fleet merge algebra into one canonical profile.
+    """
+
+    def __init__(self, session: SMPKernelSession):
+        self.session = session
+
+    def on(self) -> None:
+        """Start (or resume) profiling on every CPU."""
+        self.session.machine.moncontrol(True)
+
+    def off(self) -> None:
+        """Stop profiling; the kernel keeps running at full speed."""
+        self.session.machine.moncontrol(False)
+
+    def reset(self) -> None:
+        """Zero every CPU's shard without stopping anything."""
+        self.session.machine.extract(reset=True)
+
+    def extract_shards(
+        self, comment: str = "", reset: bool = False
+    ) -> list[ProfileData]:
+        """Per-CPU shard snapshots, optionally clearing the shards."""
+        return self.session.machine.extract(comment=comment, reset=reset)
+
+    def extract(
+        self, comment: str = "kgmon extract", reset: bool = False
+    ) -> ProfileData:
+        """The merged profile gathered so far (one canonical gmon).
+
+        ``runs`` in the result is the process count, never the shard
+        count, so extractions from machines of different widths stay
+        byte-comparable.
+        """
+        machine = self.session.machine
+        if all(p.cpu.instructions_executed == 0 for p in machine.procs):
+            raise KernelError("kernel has not run yet; nothing to extract")
+        from repro.machine.smp import reduce_shards
+
+        parts = self.extract_shards(reset=reset)
+        return reduce_shards(parts, comment=comment, runs=len(machine.procs))
+
+    def checkpoint(
+        self, path, comment: str = "kgmon checkpoint", injector=None
+    ) -> ProfileData:
+        """Crash-safely flush the merged profile to ``path`` while running."""
+        from repro.gmon import write_gmon
+
+        data = self.extract(comment)
+        write_gmon(data, path, injector=injector)
+        return data
+
+    def status(self) -> KgmonStatus:
+        """Aggregate monitor and machine state across all CPUs."""
+        machine = self.session.machine
+        enabled = any(
+            p.monitor is not None and p.monitor.enabled for p in machine.procs
+        )
+        return KgmonStatus(
+            enabled=enabled,
+            ticks=machine.total_ticks(),
+            arcs=sum(len(shard.arcs) for shard in machine.shards),
+            calls=machine.total_calls(),
+            kernel_cycles=machine.wall_cycles,
+            halted=machine.halted,
         )

@@ -17,16 +17,31 @@ from repro.machine.crawl import static_arcs, static_call_graph
 from repro.machine.executable import Executable, Function
 from repro.machine.fastcpu import ENGINES, FastCPU, make_cpu, predecode
 from repro.machine.isa import INSTRUCTION_SIZE, Instruction, Op
-from repro.machine.mcount import ArcTable, ArcTableStats
+from repro.machine.mcount import ArcBuffer, ArcTable, ArcTableStats
 from repro.machine.monitor import Monitor, MonitorConfig
+from repro.machine.smp import (
+    CPUShard,
+    GlobalLockMonitor,
+    SMPMachine,
+    ShardedMonitor,
+    SliceScheduler,
+    reduce_shards,
+)
 
 __all__ = [
+    "ArcBuffer",
     "ArcTable",
     "ArcTableStats",
     "BlockCount",
     "CPU",
+    "CPUShard",
     "ENGINES",
     "FastCPU",
+    "GlobalLockMonitor",
+    "SMPMachine",
+    "ShardedMonitor",
+    "SliceScheduler",
+    "reduce_shards",
     "block_counts",
     "format_block_counts",
     "Executable",

@@ -135,6 +135,52 @@ class ArcTable:
 
 
 @dataclass
+class ArcBuffer:
+    """A bare per-CPU arc accumulation buffer (no cost model, no stats).
+
+    The SMP machine (:mod:`repro.machine.smp`) splits §3.1's monitoring
+    routine in two: the *cost* of the lookup is charged from each
+    process's private :class:`ArcTable` (so a process's virtual clock
+    never depends on which CPU it happened to run on), while the *data*
+    lands in the buffer of the CPU executing the process — a plain
+    ``(call site, callee) -> count`` map touched by exactly one CPU,
+    which is why the hot path needs no cross-CPU locking.
+    """
+
+    _counts: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, from_pc: int | None, self_pc: int) -> None:
+        """Count one traversal of the arc (from_pc -> self_pc).
+
+        ``from_pc`` of None marks a spontaneous invocation; it is
+        recorded under address 0, matching :meth:`ArcTable.record`.
+        """
+        key = (0 if from_pc is None else from_pc, self_pc)
+        counts = self._counts
+        counts[key] = counts.get(key, 0) + 1
+
+    def arcs(self) -> list[RawArc]:
+        """Condense the buffer to sorted raw arc records."""
+        return [
+            RawArc(from_pc, self_pc, count)
+            for (from_pc, self_pc), count in sorted(self._counts.items())
+        ]
+
+    def reset(self) -> None:
+        """Drop all recorded arcs (the kgmon per-shard reset)."""
+        self._counts.clear()
+
+    @property
+    def total_calls(self) -> int:
+        """Total arc traversals recorded in this buffer."""
+        return sum(self._counts.values())
+
+    def __len__(self) -> int:
+        """Number of distinct (call site, callee) pairs recorded."""
+        return len(self._counts)
+
+
+@dataclass
 class CalleeKeyedArcTable:
     """The road not taken: callee as primary key, call site as secondary.
 

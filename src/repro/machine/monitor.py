@@ -150,6 +150,17 @@ class Monitor:
             return 0
         return self.arc_table.record(from_pc, self_pc)
 
+    def rebind_histogram(self, histogram: Histogram) -> None:
+        """Point the tick hot path at a different histogram.
+
+        The SMP machine's per-process monitors are re-aimed at the
+        executing CPU's histogram shard on every dispatch; the cached
+        shift/mask parameters must follow the histogram or ticks would
+        keep landing in the previous CPU's shard.
+        """
+        self.histogram = histogram
+        self._fast_bucket = _fast_bucket_params(histogram)
+
     # -- the programmer's interface (moncontrol / kgmon) -------------------------
 
     def moncontrol(self, enabled: bool) -> None:

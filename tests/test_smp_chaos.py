@@ -1,0 +1,136 @@
+"""Live-extraction chaos: kgmon can fire at any moment and lose nothing.
+
+The kernel requirement — "extract the profiling data, and reset the
+data" without taking the system down — becomes a conservation law on
+the SMP machine: however extraction and reset interleave with the
+schedule, the union of everything extracted plus whatever remains in
+the shards must merge to byte-for-byte the profile of an uninterrupted
+run.  This holds by construction (resets clear shard *data* in place;
+a process's private mcount cost table is never touched, so virtual
+time cannot fork), and this suite sweeps the construction: an
+extract/reset at **every** scheduling-round boundary, at one boundary
+at a time, several extractions without reset, and the global-lock
+layout — all against the same oracle bytes.
+"""
+
+import pytest
+
+from repro.gmon import dumps_gmon
+from repro.machine import assemble
+from repro.machine.programs import PROGRAMS
+from repro.machine.smp import SMPMachine, reduce_shards
+
+NAME = "dispatch"
+NPROCS = 3
+
+
+def build_machine(sharding="percpu", ncpus=4):
+    exe = assemble(PROGRAMS[NAME](), name=NAME, profile=True)
+    return SMPMachine(
+        exe,
+        ncpus=ncpus,
+        nprocs=NPROCS,
+        policy="random",
+        seed=1,
+        quantum=300,
+        cycles_per_tick=25,
+        sharding=sharding,
+    )
+
+
+def merge_bytes(parts):
+    return dumps_gmon(reduce_shards(parts, comment=NAME, runs=NPROCS))
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    """The uninterrupted run: its merged bytes and its round count."""
+    machine = build_machine()
+    machine.run()
+    return merge_bytes(machine.extract()), machine.rounds
+
+
+def test_extract_reset_every_round(oracle):
+    """The harshest schedule: a kgmon extract+reset between every
+    single pair of scheduling rounds."""
+    oracle_bytes, _ = oracle
+    machine = build_machine()
+    collected = []
+    while machine.step_round():
+        collected.extend(machine.extract(comment="round", reset=True))
+    residual = machine.extract()
+    assert machine.halted
+    assert merge_bytes(collected + residual) == oracle_bytes
+    # everything was swept out of the shards by the final reset cycle
+    assert machine.total_ticks() == 0 or residual
+
+
+@pytest.mark.parametrize("boundary", [1, 2, 5, 9])
+def test_extract_reset_at_one_boundary(oracle, boundary):
+    """One extraction mid-run, at several depths."""
+    oracle_bytes, rounds = oracle
+    assert boundary < rounds  # the sweep stays inside the run
+    machine = build_machine()
+    machine.run(max_rounds=boundary)
+    window = machine.extract(comment="window", reset=True)
+    machine.run()
+    assert merge_bytes(window + machine.extract()) == oracle_bytes
+
+
+def test_every_boundary_exhaustively(oracle):
+    """All of them: for k in 1..rounds-1, extract+reset after round k."""
+    oracle_bytes, rounds = oracle
+    for k in range(1, rounds):
+        machine = build_machine()
+        machine.run(max_rounds=k)
+        window = machine.extract(reset=True)
+        machine.run()
+        assert merge_bytes(window + machine.extract()) == oracle_bytes, (
+            f"extraction after round {k} lost or duplicated events"
+        )
+
+
+def test_extract_without_reset_is_a_pure_read(oracle):
+    """Snapshots without reset never perturb the final profile."""
+    oracle_bytes, _ = oracle
+    machine = build_machine()
+    while machine.step_round():
+        machine.extract(comment="peek")  # no reset: a pure observation
+    assert merge_bytes(machine.extract()) == oracle_bytes
+    assert all(s.extractions > 0 for s in machine.shards)
+
+
+def test_double_reset_extracts_empty(oracle):
+    """A reset immediately after a reset extracts nothing — and still
+    conserves the total."""
+    oracle_bytes, _ = oracle
+    machine = build_machine()
+    machine.run(max_rounds=4)
+    first = machine.extract(reset=True)
+    second = machine.extract(reset=True)
+    assert all(p.total_ticks == 0 and not p.arcs for p in second)
+    machine.run()
+    assert merge_bytes(first + second + machine.extract()) == oracle_bytes
+
+
+def test_chaos_on_global_lock_layout(oracle):
+    """The strawman layout obeys the same conservation law."""
+    oracle_bytes, _ = oracle
+    machine = build_machine(sharding="global-lock")
+    collected = []
+    while machine.step_round():
+        if machine.rounds % 2 == 0:
+            collected.extend(machine.extract(reset=True))
+    assert merge_bytes(collected + machine.extract()) == oracle_bytes
+
+
+def test_chaos_across_cpu_counts(oracle):
+    """Conservation and schedule-independence compose: sweeping every
+    boundary on a differently-sized machine still yields the oracle."""
+    oracle_bytes, _ = oracle
+    for ncpus in (1, 2, 8):
+        machine = build_machine(ncpus=ncpus)
+        collected = []
+        while machine.step_round():
+            collected.extend(machine.extract(reset=True))
+        assert merge_bytes(collected + machine.extract()) == oracle_bytes

@@ -1,0 +1,282 @@
+"""Determinism battery: the merged SMP profile is a pure function of
+the workload.
+
+The tentpole claim of the multi-CPU machine: profiling N processes of
+a program yields byte-identical merged ``gmon`` output for **any** CPU
+count, scheduler seed, scheduling policy, and slice quantum — and every
+process finishes in the identical machine state.  Virtual time is
+process-local by construction (instruction costs are static; the
+monitoring routine's cost comes from the process's private arc table),
+so the schedule can only change *which shard* an event lands in, never
+the event stream itself; the fleet-algebra merge then erases the
+partition.  This suite turns that argument into a gate, over canned
+programs and hypothesis-generated random ones.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.gmon import dumps_gmon
+from repro.machine import assemble
+from repro.machine.programs import PROGRAMS
+from repro.machine.smp import POLICIES, SliceScheduler, SMPMachine
+
+#: Machine widths every identity claim is checked across.
+CPU_COUNTS = (1, 2, 4, 8)
+
+
+def proc_state(proc):
+    """Every schedule-independent observable of one finished process."""
+    cpu = proc.cpu
+    state = {
+        "pc": cpu.pc,
+        "cycles": cpu.cycles,
+        "instructions": cpu.instructions_executed,
+        "stack": list(cpu.stack),
+        "globals": list(cpu.globals),
+        "output": list(cpu.output),
+        "halted": cpu.halted,
+        "irqs": cpu.interrupts_delivered,
+    }
+    if proc.monitor is not None:
+        # the private cost table: per-process mcount statistics must not
+        # depend on the schedule either
+        state["arcs"] = proc.monitor.arc_table.arcs()
+        state["lookups"] = proc.monitor.stats.lookups
+        state["probes"] = proc.monitor.stats.probes
+    return state
+
+
+def run_schedule(
+    source,
+    name="prog",
+    ncpus=2,
+    nprocs=3,
+    policy="rr",
+    seed=0,
+    quantum=500,
+    engine="fast",
+    max_rounds=None,
+):
+    """Run one schedule; return (merged gmon bytes, per-process states)."""
+    exe = assemble(source, name=name, profile=True)
+    machine = SMPMachine(
+        exe,
+        ncpus=ncpus,
+        nprocs=nprocs,
+        policy=policy,
+        seed=seed,
+        quantum=quantum,
+        engine=engine,
+        cycles_per_tick=25,
+    )
+    machine.run(max_rounds=max_rounds)
+    return (
+        dumps_gmon(machine.merged_profile(comment=name)),
+        [proc_state(p) for p in machine.procs],
+    )
+
+
+# --------------------------------------------------------------------------
+# Canned programs: the full schedule sweep.
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["fib", "dispatch"])
+def test_canned_identical_across_all_schedules(name):
+    """CPU count x seed x policy: 48 schedules, one set of bytes."""
+    source = PROGRAMS[name]()
+    baseline = run_schedule(source, name=name, ncpus=1)
+    for ncpus in CPU_COUNTS:
+        for seed in (0, 1, 2):
+            for policy in POLICIES:
+                got = run_schedule(
+                    source,
+                    name=name,
+                    ncpus=ncpus,
+                    policy=policy,
+                    seed=seed,
+                )
+                assert got == baseline, (
+                    f"{name}: schedule ({ncpus} cpus, {policy}, seed {seed}) "
+                    "changed the merged profile or a process's state"
+                )
+
+
+@pytest.mark.parametrize("name", ["netcycle", "even_odd", "skewed"])
+def test_canned_identical_spot_checks(name):
+    """The rest of the corpus at a lighter sweep."""
+    source = PROGRAMS[name]()
+    baseline = run_schedule(source, name=name, ncpus=1)
+    for ncpus, policy, seed in [(2, "random", 1), (4, "affinity", 2), (8, "skew", 0)]:
+        assert (
+            run_schedule(source, name=name, ncpus=ncpus, policy=policy, seed=seed)
+            == baseline
+        )
+
+
+@pytest.mark.parametrize("quantum", [1, 37, 500, 5000])
+def test_quantum_extremes_identical(quantum):
+    """From one-cycle slices to slices longer than the program."""
+    source = PROGRAMS["dispatch"]()
+    baseline = run_schedule(source, name="dispatch", ncpus=1)
+    assert (
+        run_schedule(
+            source, name="dispatch", ncpus=4, policy="random", seed=3, quantum=quantum
+        )
+        == baseline
+    )
+
+
+def test_more_processes_than_cpus_identical():
+    """Oversubscription (M > N) exercises the runnable-queue rotation."""
+    source = PROGRAMS["fib"]()
+    baseline = run_schedule(source, name="fib", ncpus=1, nprocs=7)
+    for ncpus in (2, 4, 8):
+        assert run_schedule(
+            source, name="fib", ncpus=ncpus, nprocs=7, policy="random", seed=5
+        ) == baseline
+
+
+def test_global_lock_strawman_same_data():
+    """The strawman layout funnels into one shard but must record the
+    identical union of events — only its cost differs."""
+    source = PROGRAMS["dispatch"]()
+    exe = assemble(source, name="dispatch", profile=True)
+    percpu = SMPMachine(exe, ncpus=4, nprocs=3, seed=2, cycles_per_tick=25).run()
+    locked = SMPMachine(
+        exe, ncpus=4, nprocs=3, seed=2, cycles_per_tick=25, sharding="global-lock"
+    ).run()
+    assert len(locked.shards) == 1
+    assert dumps_gmon(locked.merged_profile(comment="dispatch")) == dumps_gmon(
+        percpu.merged_profile(comment="dispatch")
+    )
+
+
+# --------------------------------------------------------------------------
+# Hypothesis: random programs, random schedules.
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def small_programs(draw):
+    """A terminating multi-function program: calls, loops, WORK — the
+    constructs whose tick placement the schedule could plausibly move."""
+    n_funcs = draw(st.integers(2, 4))
+    names = [f"fn{i}" for i in range(n_funcs)]
+    funcs = []
+    for i in range(n_funcs):
+        body = [f"PUSH {draw(st.integers(1, 4))}", "STORE 0", "loop:"]
+        for _ in range(draw(st.integers(1, 3))):
+            kind = draw(st.sampled_from(["work", "call", "calli"]))
+            if kind == "work":
+                body.append(f"WORK {draw(st.integers(0, 90))}")
+            elif kind == "call" and i + 1 < n_funcs:
+                body.append(f"CALL {draw(st.sampled_from(names[i + 1:]))}")
+            elif kind == "calli" and i + 1 < n_funcs:
+                body.append(f"PUSH &{draw(st.sampled_from(names[i + 1:]))}")
+                body.append("CALLI")
+            else:
+                body.append(f"WORK {draw(st.integers(1, 30))}")
+        body += ["LOAD 0", "PUSH 1", "SUB", "STORE 0", "LOAD 0", "JNZ loop"]
+        body.append("HALT" if i == 0 else "RET")
+        funcs.append(
+            f".func {'main' if i == 0 else names[i]}\n "
+            + "\n ".join(body)
+            + "\n.end\n"
+        )
+    return "".join(funcs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    small_programs(),
+    st.sampled_from(CPU_COUNTS),
+    st.integers(0, 3),
+    st.sampled_from(POLICIES),
+    st.sampled_from([50, 333, 1000]),
+    st.integers(2, 5),
+)
+def test_random_programs_schedule_independent(
+    source, ncpus, seed, policy, quantum, nprocs
+):
+    baseline = run_schedule(source, nprocs=nprocs, ncpus=1)
+    got = run_schedule(
+        source,
+        ncpus=ncpus,
+        nprocs=nprocs,
+        policy=policy,
+        seed=seed,
+        quantum=quantum,
+    )
+    assert got == baseline
+
+
+# --------------------------------------------------------------------------
+# The scheduler itself replays deterministically.
+# --------------------------------------------------------------------------
+
+
+def plan_trace(policy, seed, rounds=40, pids=(0, 1, 2, 3, 4), ncpus=3):
+    sched = SliceScheduler(policy, seed=seed, quantum=100)
+    return [sched.plan(r, list(pids), ncpus) for r in range(rounds)]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_scheduler_replays_identically(policy):
+    assert plan_trace(policy, seed=9) == plan_trace(policy, seed=9)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_scheduler_plan_shape(policy):
+    """At most one process per CPU, no pid dispatched twice per round."""
+    for plan in plan_trace(policy, seed=4):
+        cpus = [cpu for _, cpu, _ in plan]
+        pids = [pid for pid, _, _ in plan]
+        assert len(set(cpus)) == len(cpus) <= 3
+        assert len(set(pids)) == len(pids)
+        assert all(q >= 1 for _, _, q in plan)
+
+
+def test_seeds_change_the_schedule_not_the_profile():
+    """Sanity: different seeds really do produce different schedules
+    (otherwise the identity claims above would be vacuous)."""
+    assert plan_trace("random", seed=0) != plan_trace("random", seed=1)
+
+
+# --------------------------------------------------------------------------
+# Guard rails.
+# --------------------------------------------------------------------------
+
+
+def test_constructor_validation():
+    exe = assemble(PROGRAMS["fib"](), profile=True)
+    with pytest.raises(MachineError):
+        SMPMachine(exe, ncpus=0)
+    with pytest.raises(MachineError):
+        SMPMachine(exe, ncpus=2, nprocs=0)
+    with pytest.raises(MachineError):
+        SMPMachine(exe, ncpus=2, sharding="numa")
+    with pytest.raises(MachineError):
+        SMPMachine(exe, ncpus=2, policy="lottery")
+    with pytest.raises(MachineError):
+        SMPMachine(exe, ncpus=2, quantum=0)
+    plain = assemble(PROGRAMS["fib"](), profile=False)
+    with pytest.raises(MachineError):
+        SMPMachine(plain, ncpus=2, profile=True)
+    # unprofiled machines are fine — they just gather nothing
+    machine = SMPMachine(plain, ncpus=2, profile=False)
+    machine.run()
+    assert machine.halted and machine.total_ticks() == 0
+
+
+def test_sharded_monitor_rejects_per_process_snapshot():
+    exe = assemble(PROGRAMS["fib"](), profile=True)
+    machine = SMPMachine(exe, ncpus=2)
+    machine.run()
+    with pytest.raises(MachineError):
+        machine.procs[0].monitor.snapshot()
+    with pytest.raises(MachineError):
+        machine.procs[0].monitor.reset()

@@ -200,6 +200,13 @@ SUITES = {
         "merged SMP profile depends on the CPU count, schedule, or "
         "sharding layout",
     ),
+    "kernels": (
+        "T-KERN",
+        "BENCH_kernels.json",
+        None,  # resolved lazily, same pattern as vm
+        "kernel backends disagree (per-kernel results or merged gmon "
+        "bytes differ from the python reference)",
+    ),
 }
 
 
@@ -224,6 +231,10 @@ def _suite_runner(name: str):
         from benchmarks.bench_smp import run_smp
 
         return run_smp
+    if name == "kernels":
+        from benchmarks.bench_kernels import run_kernels
+
+        return run_kernels
     return SUITES[name][2]
 
 

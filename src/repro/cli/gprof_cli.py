@@ -55,7 +55,7 @@ import argparse
 import json
 import sys
 
-from repro.core import AnalysisOptions, SymbolTable
+from repro.core import AnalysisOptions, SymbolTable, kernels
 from repro.core.filters import reachable_from
 from repro.errors import ReproError
 from repro.gmon import write_gmon
@@ -155,7 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--timings", action="store_true",
-        help="print per-stage pipeline wall time and counters to stderr",
+        help="print per-stage pipeline wall time, counters, and the "
+             "kernel backend serving each bulk stage to stderr",
+    )
+    parser.add_argument(
+        "--kernels", metavar="BACKEND", default=None,
+        help="kernel backend for the bulk arithmetic (auto, python, "
+             "array, numpy); overrides $REPRO_KERNELS",
     )
     parser.add_argument(
         "--trace", metavar="FILE",
@@ -168,6 +174,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit status."""
     opts = build_parser().parse_args(argv)
     try:
+        if opts.kernels is not None:
+            kernels.set_default_backend(opts.kernels)
         session = ProfileSession.from_image(opts.image)
         exe = session.exe
         data = session.load(opts.gmon, salvage=opts.salvage, jobs=opts.jobs)
@@ -280,6 +288,8 @@ def main(argv: list[str] | None = None) -> int:
     except (ReproError, OSError, json.JSONDecodeError) as exc:
         print(f"repro-gprof: {exc}", file=sys.stderr)
         return 1
+    finally:
+        kernels.set_default_backend(None)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,7 +20,11 @@ Options:
   their degradation warnings;
 * ``--skip-incompatible`` — drop inputs whose histogram layout does
   not match the fleet's (default: abort naming the first mismatch);
-* ``--stats`` — print a merge summary table to stderr;
+* ``--stats`` — print a merge summary table to stderr, including the
+  kernel backend and the fleet-wide parse vs fold wall-time split;
+* ``--kernels BACKEND`` — select the bulk-arithmetic backend
+  (``auto``/``python``/``array``/``numpy``), overriding the
+  ``REPRO_KERNELS`` environment variable;
 * ``-q`` — print nothing but errors.
 
 The output is deterministic: for the same inputs in the same order,
@@ -32,6 +36,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core import kernels
 from repro.errors import ReproError
 from repro.gmon import write_gmon
 from repro.pipeline import ProfileSession
@@ -66,7 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--stats", action="store_true",
-        help="print a merge summary to stderr",
+        help="print a merge summary (with the parse vs fold wall-time "
+             "split and the kernel backend) to stderr",
+    )
+    parser.add_argument(
+        "--kernels", metavar="BACKEND", default=None,
+        help="kernel backend for the bulk arithmetic (auto, python, "
+             "array, numpy); overrides $REPRO_KERNELS",
     )
     parser.add_argument(
         "-q", "--quiet", action="store_true",
@@ -81,7 +92,10 @@ def main(argv: list[str] | None = None) -> int:
     if opts.jobs is not None and opts.jobs < 1:
         print("repro-merge: --jobs must be at least 1", file=sys.stderr)
         return 2
+    merge_stats: dict | None = {} if opts.stats else None
     try:
+        if opts.kernels is not None:
+            kernels.set_default_backend(opts.kernels)
         session = ProfileSession(None)
         data = session.load(
             opts.inputs,
@@ -89,11 +103,14 @@ def main(argv: list[str] | None = None) -> int:
             salvage=opts.salvage,
             on_incompatible="skip" if opts.skip_incompatible else "error",
             per_file_reports=False,
+            stats_out=merge_stats,
         )
         write_gmon(data, opts.output)
     except (ReproError, OSError) as exc:
         print(f"repro-merge: {exc}", file=sys.stderr)
         return 1
+    finally:
+        kernels.set_default_backend(None)
     if data.warnings and not opts.quiet:
         for w in data.warnings:
             print(f"repro-merge: warning: {w}", file=sys.stderr)
@@ -106,6 +123,22 @@ def main(argv: list[str] | None = None) -> int:
             f"{len(data.arcs)} distinct arc(s)",
             file=sys.stderr,
         )
+        if merge_stats:
+            parse_s = merge_stats.get("parse_seconds", 0.0)
+            fold_s = merge_stats.get("fold_seconds", 0.0)
+            nbytes = merge_stats.get("bytes", 0)
+            mib_s = (
+                f"{nbytes / parse_s / (1 << 20):.1f} MiB/s"
+                if parse_s > 0 else "n/a"
+            )
+            print(
+                f"repro-merge: kernel backend "
+                f"{merge_stats.get('kernel_backend', '?')}: "
+                f"parse {parse_s * 1000:.1f} ms ({mib_s}), "
+                f"fold {fold_s * 1000:.1f} ms over "
+                f"{merge_stats.get('inputs', 0)} wire input(s)",
+                file=sys.stderr,
+            )
     if not opts.quiet:
         print(f"summed {merged} profile(s) into {opts.output}")
     return 0

@@ -16,8 +16,6 @@ apportionment is exact.
 
 from __future__ import annotations
 
-import operator
-
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -176,41 +174,37 @@ class Histogram:
 
     # -- self-time apportionment ------------------------------------------------
 
-    def assign_samples(self, symbols: SymbolTable) -> dict[str, float]:
+    def time_for_symbols(self, symbols: SymbolTable, spans=None) -> dict[str, float]:
         """Charge each bucket's ticks to the routines overlapping it.
 
         Returns a map from routine name to *self time in seconds*.  Ticks
         in buckets overlapping no known routine are dropped (they landed
         in unprofiled code); callers can compare ``sum(result.values())``
         with :attr:`total_time` to see how much was attributable.
+
+        The bucket/symbol overlap geometry depends only on the layout,
+        so it is precomputed as a
+        :class:`~repro.core.kernels.spans.SymbolSpans` (memoized per
+        symbol table; pass ``spans`` to supply one from elsewhere, e.g.
+        the pipeline's analysis cache) and evaluated by the selected
+        kernel backend.  Every backend returns bit-identical times —
+        see :mod:`repro.core.kernels.spans` for the argument.
         """
-        times: dict[str, float] = {}
+        from repro.core import kernels
+
         if not self.counts:
-            return times
-        width = self.bucket_width
-        sec_per_tick = self.seconds_per_tick
-        nb = len(self.counts)
-        # Walk each symbol's bucket range directly (buckets are uniform,
-        # so the range is index arithmetic): O(symbols + buckets) overall
-        # instead of O(symbols x buckets), which matters for the
-        # one-bucket-per-address configurations the paper celebrates.
-        for sym in symbols:
-            if sym.end <= self.low_pc or sym.address >= self.high_pc:
-                continue
-            first = max(int((sym.address - self.low_pc) / width) - 1, 0)
-            last = min(int((sym.end - self.low_pc) / width) + 1, nb - 1)
-            acc = 0.0
-            for idx in range(first, last + 1):
-                ticks = self.counts[idx]
-                if not ticks:
-                    continue
-                b_lo = self.low_pc + idx * width
-                overlap = min(b_lo + width, sym.end) - max(b_lo, sym.address)
-                if overlap > 0:
-                    acc += ticks * (overlap / width)
-            if acc:
-                times[sym.name] = acc * sec_per_tick
-        return times
+            return {}
+        if spans is None:
+            spans = kernels.spans_for(
+                symbols, self.low_pc, self.high_pc, len(self.counts)
+            )
+        return kernels.get_backend().apportion(
+            spans, self.counts, self.seconds_per_tick
+        )
+
+    def assign_samples(self, symbols: SymbolTable) -> dict[str, float]:
+        """Historical name for :meth:`time_for_symbols`."""
+        return self.time_for_symbols(symbols)
 
 
 def sum_histograms(histograms: Sequence[Histogram]) -> Histogram:
@@ -218,11 +212,14 @@ def sum_histograms(histograms: Sequence[Histogram]) -> Histogram:
 
     Used when combining the data of several profiled runs (§3: "the
     profile data for several executions of a program can be combined").
+
+    The per-bucket sums accumulate into a single mutable kernel buffer
+    (one allocation total, not one list per input) and the result
+    Histogram is constructed once at the end.
     """
     if not histograms:
         raise HistogramError("cannot sum zero histograms")
     first = histograms[0]
-    counts = list(first.counts)
     for h in histograms[1:]:
         if not first.compatible_with(h):
             raise HistogramError(
@@ -231,7 +228,9 @@ def sum_histograms(histograms: Sequence[Histogram]) -> Histogram:
                 f"@{first.profrate}Hz vs "
                 f"[{h.low_pc:#x},{h.high_pc:#x})x{h.num_buckets}@{h.profrate}Hz"
             )
-        # list(map(add, ...)) keeps the per-bucket addition in C; for the
-        # one-bucket-per-address configurations this loop dominates.
-        counts = list(map(operator.add, counts, h.counts))
-    return Histogram(first.low_pc, first.high_pc, counts, first.profrate)
+    from repro.core import kernels
+
+    acc = kernels.get_backend().bucket_acc()
+    for h in histograms:
+        acc.fold_seq(h.counts)
+    return Histogram(first.low_pc, first.high_pc, acc.to_list(), first.profrate)

@@ -1,0 +1,379 @@
+"""Batched §4 time propagation over the topological order.
+
+:func:`repro.core.propagate.propagate` solves ``T_r = S_r + sum T_e *
+C_e^r / C_e`` leaves-first.  The graph walk that discovers *which*
+arcs push time where — members per representative, external callers,
+intra-cycle exclusions — depends only on the numbered graph, not on
+the self-time vector, so it is flattened once into a :class:`PropPlan`
+of parallel columns and reused across every solve against the same
+graph (each iteration of a PGO loop, every same-layout profile of a
+fleet).
+
+The solve itself then touches nothing but the columns:
+
+* scalar mode (python/array backends): one pass over the flat arc
+  arrays — no set construction, no dict lookups per arc;
+* vector mode (numpy): per representative, the fractions
+  ``count / ncalls`` and both shares are computed as elementwise f8
+  column ops, and the pushes into ``child_time`` / ``routine_child``
+  are scattered with ``np.add.at``.
+
+Bit-compatibility argument: IEEE-754 elementwise array operations are
+the same operations as their scalar counterparts, applied to the same
+values; ``np.add.at`` accumulates strictly in index order, matching
+the scalar loop's push order; and the plan fixes one canonical arc
+order (members in cycle-member order — the reference previously
+iterated a *set* here, so its float accumulation order was hash-seed
+dependent; the plan's order is deterministic).  ``total_program_time``
+and the per-rep member sums stay sequential python additions in both
+modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import PropagationError
+
+#: Arc spans shorter than this run the scalar loop even in vector mode;
+#: the values are bit-identical either way, numpy just loses on setup.
+_VECTOR_MIN_ARCS = 16
+
+
+@dataclass
+class PropPlan:
+    """The numbered graph, flattened into solve-ready columns.
+
+    Representatives are indexed by topological position; every arc that
+    can carry time appears once, grouped by callee representative
+    (``arc_start[i]:arc_start[i+1]`` are node ``i``'s incoming arcs).
+    """
+
+    order: list[str]
+    members: list[tuple[str, ...]]
+    ncalls: list[int]
+    self_calls: list[int]
+    routines: list[str]
+    arc_caller: list[str]
+    arc_member: list[str]
+    arc_count: list[int]
+    arc_rep: list[int]  # rep index of the callee representative
+    arc_parent: list[int]  # rep index of the caller's representative
+    arc_caller_idx: list[int]  # routine index of the caller
+    arc_start: list[int]
+    fingerprint: int  # graph.num_arcs() at build time (staleness check)
+
+
+@dataclass
+class SolveResult:
+    """One solved propagation, as plain columns (see PropPlan indexing)."""
+
+    self_time: list[float]
+    child_time: list[float]
+    total_time: list[float]
+    routine_child: list[float]
+    arc_self: list[float]
+    arc_child: list[float]
+    total_program_time: float
+
+
+def build_plan(numbered) -> PropPlan:
+    """Flatten a :class:`~repro.core.cycles.NumberedGraph` for solving."""
+    graph = numbered.graph
+    rep_of = numbered.representative
+
+    routines = list(graph.nodes())
+    for routine in routines:
+        if routine not in rep_of:
+            raise PropagationError(f"routine {routine!r} was never numbered")
+    routine_index = {name: i for i, name in enumerate(routines)}
+
+    order = list(numbered.topo_order)
+    rep_pos = {rep: i for i, rep in enumerate(order)}
+    members: list[tuple[str, ...]] = []
+    ncalls: list[int] = []
+    self_calls: list[int] = []
+    arc_caller: list[str] = []
+    arc_member: list[str] = []
+    arc_count: list[int] = []
+    arc_rep: list[int] = []
+    arc_parent: list[int] = []
+    arc_caller_idx: list[int] = []
+    arc_start = [0]
+
+    for rep in order:
+        mems = numbered.members_of(rep)
+        member_set = set(mems)
+        external = 0
+        internal = 0
+        for m in mems:
+            external += graph.spontaneous_calls(m)
+            for caller, arc in graph.parents(m).items():
+                if caller in member_set:
+                    internal += arc.count
+                else:
+                    external += arc.count
+                    if arc.count:
+                        arc_caller.append(caller)
+                        arc_member.append(m)
+                        arc_count.append(arc.count)
+                        arc_rep.append(rep_pos[rep])
+                        arc_parent.append(rep_pos[rep_of[caller]])
+                        arc_caller_idx.append(routine_index[caller])
+        members.append(mems)
+        ncalls.append(external)
+        self_calls.append(internal)
+        arc_start.append(len(arc_count))
+
+    return PropPlan(
+        order=order,
+        members=members,
+        ncalls=ncalls,
+        self_calls=self_calls,
+        routines=routines,
+        arc_caller=arc_caller,
+        arc_member=arc_member,
+        arc_count=arc_count,
+        arc_rep=arc_rep,
+        arc_parent=arc_parent,
+        arc_caller_idx=arc_caller_idx,
+        arc_start=arc_start,
+        fingerprint=graph.num_arcs(),
+    )
+
+
+def plan_for(numbered) -> PropPlan:
+    """:func:`build_plan`, memoized on the numbered-graph instance.
+
+    Cached pipeline values are treat-as-immutable, so the plan can ride
+    the instance; ``fingerprint`` guards the direct-API case where
+    someone edits the underlying graph between propagations.
+    """
+    plan = getattr(numbered, "_prop_plan", None)
+    if plan is None or plan.fingerprint != numbered.graph.num_arcs():
+        plan = build_plan(numbered)
+        try:
+            numbered._prop_plan = plan
+        except AttributeError:  # slotted variant: just rebuild next time
+            pass
+    return plan
+
+
+def solve(
+    plan: PropPlan, self_times: Mapping[str, float], vector: bool
+) -> SolveResult:
+    """Solve the recurrence over a plan; scalar or vector data path."""
+    nrep = len(plan.order)
+    narc = len(plan.arc_count)
+
+    self_time = [0.0] * nrep
+    for i in range(nrep):
+        st = 0.0
+        for m in plan.members[i]:
+            st += self_times.get(m, 0.0)
+        self_time[i] = st
+    total_program_time = 0.0
+    for st in self_time:
+        total_program_time += st
+
+    if vector and narc >= _VECTOR_MIN_ARCS:
+        return _solve_vector(plan, self_time, total_program_time)
+
+    child_time = [0.0] * nrep
+    total_time = [0.0] * nrep
+    routine_child = [0.0] * len(plan.routines)
+    arc_self = [0.0] * narc
+    arc_child = [0.0] * narc
+    arc_count = plan.arc_count
+    arc_parent = plan.arc_parent
+    arc_caller_idx = plan.arc_caller_idx
+    arc_start = plan.arc_start
+    for i in range(nrep):
+        st = self_time[i]
+        ct = child_time[i]
+        total_time[i] = st + ct
+        n = plan.ncalls[i]
+        if n <= 0:
+            continue
+        for k in range(arc_start[i], arc_start[i + 1]):
+            frac = arc_count[k] / n
+            ss = st * frac
+            cc = ct * frac
+            arc_self[k] = ss
+            arc_child[k] = cc
+            tot = ss + cc
+            child_time[arc_parent[k]] += tot
+            routine_child[arc_caller_idx[k]] += tot
+    return SolveResult(
+        self_time,
+        child_time,
+        total_time,
+        routine_child,
+        arc_self,
+        arc_child,
+        total_program_time,
+    )
+
+
+def _plan_columns(plan: PropPlan):
+    """Numpy views of the plan's arc columns, built once per plan.
+
+    The columns are immutable after :func:`build_plan`, so the f8/intp
+    conversions (the dominant cost of a naive vector solve) ride the
+    plan instance and are shared by every solve against it.
+    """
+    cols = getattr(plan, "_np_columns", None)
+    if cols is None:
+        import numpy as np
+
+        cols = (
+            np.asarray(plan.arc_count, dtype=np.float64),
+            np.asarray(plan.arc_parent, dtype=np.intp),
+            np.asarray(plan.arc_caller_idx, dtype=np.intp),
+        )
+        plan._np_columns = cols
+    return cols
+
+
+def _vector_work(plan: PropPlan):
+    """The vector schedule: which reps batch together, built per plan.
+
+    Arcs always push time to a *later* representative (children precede
+    parents in the topological order), so a representative's incoming
+    ``child_time`` is final before the solve loop reaches it.  That
+    lets consecutive narrow-fan-in reps be fused into one batched
+    ``('run', ...)`` item — all their self/child times gathered at
+    once, all their pushes scattered with one ``np.add.at`` pair — as
+    long as no arc already in the batch targets a rep that would join
+    it (the ``min_parent`` check below; a target that never reads
+    ``child_time`` mid-loop, i.e. has no arcs of its own, is harmless
+    to span).  Reps with ≥ ``_VECTOR_MIN_ARCS`` incoming arcs stay
+    individual ``('wide', ...)`` items; batches that stay tiny fall
+    back to the scalar loop as ``('small', ...)``.
+
+    Item order equals representative order, and ``np.add.at``
+    accumulates in index order, so every ``child_time`` slot sees the
+    exact push sequence of the scalar loop — bit-identity is preserved,
+    batching only removes interpreter overhead.
+    """
+    work = getattr(plan, "_np_work", None)
+    if work is not None:
+        return work
+    import numpy as np
+
+    arc_start = plan.arc_start
+    ncalls = plan.ncalls
+    items: list[tuple] = []
+    run: list | None = None  # [first_rep, last_rep, min_parent]
+
+    def close_run() -> None:
+        nonlocal run
+        if run is None:
+            return
+        u, v = run[0], run[1]
+        a, b = arc_start[u], arc_start[v + 1]
+        if b - a < _VECTOR_MIN_ARCS:
+            reps = [
+                (i, arc_start[i], arc_start[i + 1])
+                for i in range(u, v + 1)
+                if arc_start[i] < arc_start[i + 1] and ncalls[i] > 0
+            ]
+            items.append(("small", reps))
+        else:
+            rep_idx = np.asarray(plan.arc_rep[a:b], dtype=np.intp)
+            n_col = np.asarray(
+                [float(ncalls[r]) for r in plan.arc_rep[a:b]],
+                dtype=np.float64,
+            )
+            items.append(("run", a, b, rep_idx, n_col))
+        run = None
+
+    for i in range(len(plan.order)):
+        a, b = arc_start[i], arc_start[i + 1]
+        if a == b:
+            continue  # pure caller: pushes nothing, reads nothing
+        if ncalls[i] <= 0:
+            close_run()  # its arcs are skipped; keep spans contiguous
+            continue
+        if b - a >= _VECTOR_MIN_ARCS:
+            close_run()
+            items.append(("wide", i, a, b))
+            continue
+        if run is not None and run[2] <= i:
+            close_run()  # a batched arc pushes into rep i: flush first
+        mp = min(plan.arc_parent[a:b])
+        if run is None:
+            run = [i, i, mp]
+        else:
+            run[1] = i
+            if mp < run[2]:
+                run[2] = mp
+    close_run()
+    plan._np_work = items
+    return items
+
+
+def _solve_vector(
+    plan: PropPlan, self_time: list[float], total_program_time: float
+) -> SolveResult:
+    import numpy as np
+
+    nrep = len(plan.order)
+    narc = len(plan.arc_count)
+    counts, parent, caller = _plan_columns(plan)
+    st_arr = np.asarray(self_time, dtype=np.float64)
+    child_time = np.zeros(nrep, dtype=np.float64)
+    routine_child = np.zeros(len(plan.routines), dtype=np.float64)
+    # The per-arc shares are assembled as plain lists: vector items
+    # slice-assign their ``tolist()`` once, the scalar fallback writes
+    # floats directly — both far cheaper than element stores into an
+    # ndarray.
+    arc_self = [0.0] * narc
+    arc_child = [0.0] * narc
+    ct_of = child_time.item
+    add_at = np.add.at
+    for item in _vector_work(plan):
+        kind = item[0]
+        if kind == "wide":
+            _, i, a, b = item
+            frac = counts[a:b] / float(plan.ncalls[i])
+            ss = self_time[i] * frac
+            cc = ct_of(i) * frac
+        elif kind == "run":
+            _, a, b, rep_idx, n_col = item
+            frac = counts[a:b] / n_col
+            ss = st_arr[rep_idx] * frac
+            cc = child_time[rep_idx] * frac
+        else:  # "small": tiny batch, numpy setup would dominate
+            for i, a, b in item[1]:
+                st = self_time[i]
+                ct = ct_of(i)
+                n = plan.ncalls[i]
+                for k in range(a, b):
+                    fr = plan.arc_count[k] / n
+                    s1 = st * fr
+                    c1 = ct * fr
+                    arc_self[k] = s1
+                    arc_child[k] = c1
+                    t1 = s1 + c1
+                    child_time[plan.arc_parent[k]] += t1
+                    routine_child[plan.arc_caller_idx[k]] += t1
+            continue
+        arc_self[a:b] = ss.tolist()
+        arc_child[a:b] = cc.tolist()
+        tot = ss + cc
+        add_at(child_time, parent[a:b], tot)
+        add_at(routine_child, caller[a:b], tot)
+    # child_time only ever receives pushes from earlier reps, so every
+    # slot is final here; total = self + child in one elementwise add.
+    total_time = (st_arr + child_time).tolist()
+    return SolveResult(
+        self_time,
+        child_time.tolist(),
+        total_time,
+        routine_child.tolist(),
+        arc_self,
+        arc_child,
+        total_program_time,
+    )

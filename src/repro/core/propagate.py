@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.cycles import NumberedGraph
-from repro.errors import PropagationError
+from repro.core.kernels import prop as _kernels_prop
 
 
 @dataclass(frozen=True)
@@ -117,57 +117,38 @@ def propagate(
     its share into ``child_time[e]``, so ``total_time[e]`` is final and
     ``e`` can in turn push shares to its parents — a single traversal of
     each arc, as §4 promises.
+
+    The graph walk is flattened into a
+    :class:`~repro.core.kernels.prop.PropPlan` (memoized on
+    ``numbered``, so repeated solves against the same graph — PGO
+    iterations, same-layout fleets — skip it) and the recurrence is
+    solved by the selected kernel backend: a flat scalar pass for the
+    stdlib backends, batched column arithmetic for numpy.  Backends
+    produce bit-identical results (see :mod:`repro.core.kernels.prop`).
     """
-    graph = numbered.graph
-    rep_of = numbered.representative
+    from repro.core import kernels
+
+    plan = _kernels_prop.plan_for(numbered)
+    sol = _kernels_prop.solve(
+        plan, self_times, kernels.get_backend().vector_propagate
+    )
+
     result = Propagation(numbered)
-
-    for routine in graph.nodes():
-        if routine not in rep_of:
-            raise PropagationError(f"routine {routine!r} was never numbered")
-
-    # Initialize per-representative aggregates.
-    for rep in numbered.topo_order:
-        members = numbered.members_of(rep)
-        result.self_time[rep] = sum(self_times.get(m, 0.0) for m in members)
-        result.child_time[rep] = 0.0
-        member_set = set(members)
-        external = 0
-        internal = 0
-        for m in members:
-            external += graph.spontaneous_calls(m)
-            for caller, arc in graph.parents(m).items():
-                if caller in member_set:
-                    internal += arc.count
-                else:
-                    external += arc.count
-        result.ncalls[rep] = external
-        result.self_calls[rep] = internal
-
-    for routine in graph.nodes():
+    for i, rep in enumerate(plan.order):
+        result.self_time[rep] = sol.self_time[i]
+        result.child_time[rep] = sol.child_time[i]
+        result.ncalls[rep] = plan.ncalls[i]
+        result.self_calls[rep] = plan.self_calls[i]
+    for j, routine in enumerate(plan.routines):
         result.routine_self[routine] = self_times.get(routine, 0.0)
-        result.routine_child[routine] = 0.0
-
-    result.total_program_time = sum(result.self_time.values())
-
-    # Leaves-first sweep: push each node's total time up to its parents.
-    for rep in numbered.topo_order:
-        self_t = result.self_time[rep]
-        child_t = result.child_time[rep]
-        result.total_time[rep] = self_t + child_t
-        ncalls = result.ncalls[rep]
-        if ncalls <= 0:
-            continue  # never (externally) called: nothing to attribute
-        member_set = set(numbered.members_of(rep))
-        for m in member_set:
-            for caller, arc in graph.parents(m).items():
-                if caller in member_set or arc.count == 0:
-                    continue  # intra-node or static: no time flows
-                frac = arc.count / ncalls
-                share = ArcShare(self_t * frac, child_t * frac)
-                result.arc_shares[(caller, m)] = share
-                parent_rep = rep_of[caller]
-                result.child_time[parent_rep] += share.total
-                result.routine_child[caller] += share.total
-
+        result.routine_child[routine] = sol.routine_child[j]
+    result.total_program_time = sol.total_program_time
+    for i, rep in enumerate(plan.order):
+        result.total_time[rep] = sol.total_time[i]
+    for k in range(len(plan.arc_count)):
+        if plan.ncalls[plan.arc_rep[k]] <= 0:
+            continue
+        result.arc_shares[(plan.arc_caller[k], plan.arc_member[k])] = ArcShare(
+            sol.arc_self[k], sol.arc_child[k]
+        )
     return result

@@ -89,3 +89,9 @@ class ProfilerError(ReproError):
 
 class KernelError(ReproError):
     """The simulated kernel or its kgmon control interface failed."""
+
+
+class KernelBackendError(ReproError):
+    """A bulk-kernel backend (repro.core.kernels) was misselected or
+    fed inconsistent shapes (mismatched bucket counts, unknown backend
+    name, numpy requested where unavailable)."""

@@ -8,26 +8,30 @@ every file into ``Histogram``/``RawArc`` objects, then fold pairs of
 :class:`~repro.core.profiledata.ProfileData` — pays for object
 construction and re-condensing over and over.
 
-The accumulator keeps exactly one bucket array and one
-``(from_pc, self_pc) -> count`` table for the whole merge and adds each
-input into them:
+The accumulator keeps exactly one bucket accumulator and one
+``(from_pc, self_pc) -> count`` table for the whole merge — both are
+:mod:`repro.core.kernels` objects, so the per-input arithmetic runs on
+the selected backend (python reference / stdlib array / numpy) — and
+adds each input into them:
 
 * ``add(path)`` parses the file in wire form
   (:func:`repro.gmon.parse_gmon_raw`) and sums straight out of the
-  packed bytes — no ``RawArc``/``Histogram``/``ProfileData`` objects
-  are ever built for the input;
+  packed bytes — no ``RawArc``/``Histogram``/``ProfileData`` objects,
+  and with the fast backends not even per-bucket ints, are ever built
+  for the input;
 * ``add(profile)`` accepts an already-materialized
   :class:`~repro.core.profiledata.ProfileData` (e.g. a salvaged one);
 * ``merge_from(other)`` combines two partial accumulators, which is
   what the tree-reduction driver (:mod:`repro.fleet.reduce`) does with
-  the partial sums coming back from worker processes.
+  the partial sums coming back from worker processes.  Partials from
+  different backends combine through the canonical representations.
 
 ``result()`` materializes a ProfileData that is *equal to* — and after
 :func:`~repro.gmon.write_gmon`, *byte-identical to* — what
 ``merge_profiles([read_gmon(p) for p in paths])`` would have produced
-for the same inputs in the same order.  That equivalence is the
-merge-algebra contract the property suite (``test_merge_properties``)
-pins down.
+for the same inputs in the same order, **for every kernel backend**.
+That equivalence is the merge-algebra contract the property suites
+(``test_merge_properties``, ``test_kernels_equivalence``) pin down.
 
 Incompatible inputs raise a structured
 :class:`~repro.errors.MergeError` carrying the offending path and both
@@ -35,14 +39,20 @@ header layouts.  An accumulator that was never fed anything raises the
 same ``"cannot merge zero profiles"`` error the legacy API raised for
 an empty sequence — the empty accumulator is the merge identity, not a
 profile.
+
+``ProfileAccumulator(timed=True)`` additionally splits wall time into
+parse vs fold (``repro-merge --stats`` surfaces the split); the
+timings ride along through ``merge_from`` so the tree reduction can
+report fleet-wide throughput per phase.
 """
 
 from __future__ import annotations
 
-import operator
 import os
+import time
 from typing import Iterable, Union
 
+from repro.core import kernels
 from repro.core.arcs import RawArc
 from repro.core.histogram import Histogram
 from repro.core.profiledata import ProfileData
@@ -52,6 +62,11 @@ from repro.gmon.format import RawGmon, RUNS_ZERO_WARNING, parse_gmon_raw
 from repro.fleet.headers import HeaderKey
 
 Addable = Union[ProfileData, RawGmon, str, os.PathLike, bytes]
+
+
+def _new_timings() -> dict:
+    return {"parse_seconds": 0.0, "fold_seconds": 0.0, "inputs": 0,
+            "bytes": 0}
 
 
 class ProfileAccumulator:
@@ -64,16 +79,26 @@ class ProfileAccumulator:
         runs: total executions summed so far.
         profiles_added: number of inputs accumulated (merging another
             accumulator adds its count).
+        timings: parse/fold wall-time split when constructed with
+            ``timed=True``, else None.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: str | None = None, *,
+                 timed: bool = False) -> None:
+        self._kernel = kernels.get_backend(backend)
         self.key: HeaderKey | None = None
         self.runs = 0
         self.profiles_added = 0
-        self._counts: list[int] = []
-        self._arcs: dict[tuple[int, int], int] = {}
+        self._buckets = self._kernel.bucket_acc()
+        self._arcs = self._kernel.arc_table()
         self._comments: list[str] = []
         self._warnings: list[str] = []
+        self.timings: dict | None = _new_timings() if timed else None
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the kernel backend serving this accumulator."""
+        return self._kernel.name
 
     # -- feeding ---------------------------------------------------------------
 
@@ -91,26 +116,40 @@ class ProfileAccumulator:
         if isinstance(item, RawGmon):
             return self.add_raw(item, source)
         if isinstance(item, bytes):
-            return self.add_raw(parse_gmon_raw(item), source)
-        path = os.fspath(item)
-        with open(path, "rb") as f:
-            blob = f.read()
-        return self.add_raw(parse_gmon_raw(blob), source or str(path))
+            blob = item
+        else:
+            path = os.fspath(item)
+            source = source or str(path)
+            with open(path, "rb") as f:
+                blob = f.read()
+        if self.timings is None:
+            return self.add_raw(parse_gmon_raw(blob), source)
+        t0 = time.perf_counter()
+        raw = parse_gmon_raw(blob)
+        self.timings["parse_seconds"] += time.perf_counter() - t0
+        self.timings["bytes"] += len(blob)
+        return self.add_raw(raw, source)
 
     def add_raw(self, raw: RawGmon, source: str | None = None) -> "ProfileAccumulator":
-        """Accumulate a wire-form profile (the fast path)."""
+        """Accumulate a wire-form profile (the fast path).
+
+        The bucket and arc blobs go straight into the kernel
+        accumulators — neither is ever decoded into python objects
+        here.
+        """
         key = HeaderKey(raw.low_pc, raw.high_pc, raw.nbuckets, raw.profrate)
         self._accept_key(key, source)
-        if raw.counts:
-            if self._counts:
-                self._counts = list(map(operator.add, self._counts, raw.counts))
-            else:
-                self._counts = list(raw.counts)
-        arcs = self._arcs
-        get = arcs.get
-        for from_pc, self_pc, count in raw.iter_arcs():
-            k = (from_pc, self_pc)
-            arcs[k] = get(k, 0) + count
+        t0 = time.perf_counter() if self.timings is not None else 0.0
+        blob = raw.counts_blob
+        if blob is not None:
+            if raw.nbuckets:
+                self._buckets.fold_blob(blob)
+        elif raw.counts:
+            self._buckets.fold_seq(raw.counts)
+        self._arcs.fold_blob(raw.arc_blob)
+        if self.timings is not None:
+            self.timings["fold_seconds"] += time.perf_counter() - t0
+            self.timings["inputs"] += 1
         # Mirror read_gmon's handling of the runs field exactly, so the
         # result is indistinguishable from the parse-then-merge path.
         if raw.runs == 0:
@@ -133,15 +172,10 @@ class ProfileAccumulator:
         key = HeaderKey(h.low_pc, h.high_pc, h.num_buckets, h.profrate)
         self._accept_key(key, source)
         if h.counts:
-            if self._counts:
-                self._counts = list(map(operator.add, self._counts, h.counts))
-            else:
-                self._counts = list(h.counts)
-        arcs = self._arcs
-        get = arcs.get
-        for a in data.arcs:
-            k = (a.from_pc, a.self_pc)
-            arcs[k] = get(k, 0) + a.count
+            self._buckets.fold_seq(h.counts)
+        self._arcs.fold_items(
+            (a.from_pc, a.self_pc, a.count) for a in data.arcs
+        )
         self.runs += data.runs
         if data.comment:
             self._comments.append(data.comment)
@@ -172,31 +206,26 @@ class ProfileAccumulator:
 
         Order matters only for the comment/warning concatenation: the
         tree-reduction driver always folds partials in input order, so
-        any worker count yields identical output.
+        any worker count yields identical output.  The partials need
+        not share a kernel backend — folding goes through the
+        canonical list/dict forms, which every backend produces
+        exactly.
         """
         if other.key is None:
             return self
-        if self.key is None:
-            self.key = other.key
-            self._counts = list(other._counts)
-            self._arcs = dict(other._arcs)
-        else:
+        if self.key is not None:
             self._accept_key(other.key, None)
-            if other._counts:
-                if self._counts:
-                    self._counts = list(
-                        map(operator.add, self._counts, other._counts)
-                    )
-                else:
-                    self._counts = list(other._counts)
-            arcs = self._arcs
-            get = arcs.get
-            for k, c in other._arcs.items():
-                arcs[k] = get(k, 0) + c
+        else:
+            self.key = other.key
+        self._buckets.fold(other._buckets)
+        self._arcs.fold(other._arcs)
         self.runs += other.runs
         self._comments.extend(other._comments)
         self._warnings.extend(other._warnings)
         self.profiles_added += other.profiles_added
+        if self.timings is not None and other.timings is not None:
+            for k, v in other.timings.items():
+                self.timings[k] = self.timings.get(k, 0) + v
         return self
 
     def _accept_key(self, key: HeaderKey, source: str | None) -> None:
@@ -221,7 +250,7 @@ class ProfileAccumulator:
     @property
     def total_ticks(self) -> int:
         """Total PC samples accumulated so far."""
-        return sum(self._counts)
+        return self._buckets.total()
 
     @property
     def distinct_arcs(self) -> int:
@@ -233,12 +262,12 @@ class ProfileAccumulator:
         if self.key is None:
             raise MergeError("cannot merge zero profiles")
         histogram = Histogram(
-            self.key.low_pc, self.key.high_pc, list(self._counts),
+            self.key.low_pc, self.key.high_pc, self._buckets.to_list(),
             self.key.profrate,
         )
         return ProfileData(
             histogram,
-            [RawArc(f, s, c) for (f, s), c in sorted(self._arcs.items())],
+            [RawArc(f, s, c) for (f, s), c in self._arcs.sorted_items()],
             runs=self.runs,
             comment="; ".join(self._comments),
             warnings=list(self._warnings),

@@ -177,12 +177,12 @@ def precheck_headers(
     return keep, warnings
 
 
-def _merge_chunk(args: tuple[list[str], bool]) -> ProfileAccumulator:
+def _merge_chunk(args: tuple[list[str], bool, bool]) -> ProfileAccumulator:
     """Worker body: stream one chunk of paths into a fresh accumulator."""
-    paths, salvage = args
+    paths, salvage, timed = args
     if _chunk_fault_hook is not None:
         _chunk_fault_hook(paths)
-    acc = ProfileAccumulator()
+    acc = ProfileAccumulator(timed=timed)
     for path in paths:
         if salvage:
             with open(path, "rb") as f:
@@ -213,6 +213,7 @@ def tree_reduce(
     on_incompatible: str = "error",
     cache: HeaderCache | None = None,
     worker_timeout: float | None = None,
+    stats_out: dict | None = None,
 ) -> ProfileData:
     """Merge many gmon files into one ProfileData, possibly in parallel.
 
@@ -232,6 +233,12 @@ def tree_reduce(
             re-merged sequentially in-process with a warning on the
             result, so a dying worker can neither hang the merge nor
             lose its chunk.
+        stats_out: optional dict to fill with merge telemetry — the
+            kernel backend name plus the fleet-wide parse vs fold
+            wall-time split (``repro-merge --stats`` surfaces it).
+            Passing one turns on timed accumulators everywhere; with
+            workers the per-chunk splits ride home on the partials and
+            sum, so the split covers the whole fleet.
 
     Returns data equal to ``merge_profiles([read_gmon(p) for p in
     paths])`` — byte-identical after :func:`~repro.gmon.write_gmon` —
@@ -253,9 +260,10 @@ def tree_reduce(
     if jobs is None:
         jobs = os.cpu_count() or 1
     jobs = min(jobs, max(len(paths) // MIN_FILES_PER_WORKER, 1))
+    timed = stats_out is not None
     fallback_warnings: list[str] = []
     if jobs <= 1:
-        acc = _merge_chunk((paths, salvage))
+        acc = _merge_chunk((paths, salvage, timed))
     else:
         import multiprocessing
 
@@ -269,7 +277,7 @@ def tree_reduce(
         failed: list[int] = []
         with multiprocessing.Pool(jobs) as pool:
             pending = [
-                pool.apply_async(_merge_chunk, ((c, salvage),))
+                pool.apply_async(_merge_chunk, ((c, salvage, timed),))
                 for c in chunks
             ]
             for i, res in enumerate(pending):
@@ -288,11 +296,14 @@ def tree_reduce(
                 f"{worker_timeout:g}s (crashed or hung); chunk re-merged "
                 "sequentially in-process"
             )
-            partials[i] = _merge_chunk((chunks[i], salvage))
-        acc = ProfileAccumulator()
+            partials[i] = _merge_chunk((chunks[i], salvage, timed))
+        acc = ProfileAccumulator(timed=timed)
         for partial in partials:  # chunk order == input order: deterministic
             acc.merge_from(partial)
     data = acc.result()
+    if stats_out is not None:
+        stats_out["kernel_backend"] = acc.backend_name
+        stats_out.update(acc.timings or {})
     if skip_warnings:
         data.warnings.extend(skip_warnings)
     if fallback_warnings:

@@ -50,6 +50,7 @@ from __future__ import annotations
 import io
 import math
 import struct
+from array import array
 from typing import BinaryIO, NamedTuple
 
 from repro.core.arcs import RawArc
@@ -145,29 +146,102 @@ def _write_stream(data: ProfileData, f: BinaryIO) -> None:
 # -- strict reading -------------------------------------------------------------
 
 
-class RawGmon(NamedTuple):
+class RawGmon:
     """A strictly-validated gmon file, still in wire representation.
 
     The cheap sibling of :class:`~repro.core.profiledata.ProfileData`:
-    bucket counts stay a flat tuple and arc records stay packed bytes
-    (decode with ``iter_arcs``), so fleet-scale consumers that only sum
-    fields — :class:`repro.fleet.ProfileAccumulator` — never pay for
-    per-record object construction.
+    bucket counts stay packed bytes (``counts_blob``) and arc records
+    stay packed bytes (``arc_blob``; decode with ``iter_arcs`` or
+    ``arcs_as_arrays``), so fleet-scale consumers that only sum fields
+    — :class:`repro.fleet.ProfileAccumulator` — never pay for
+    per-record or per-bucket object construction.
+
+    ``counts`` is **always a ``tuple[int, ...]``** — the settled wire
+    type.  (Historically the strict reader returned a tuple while the
+    salvage path built lists; every construction is normalized now,
+    and ``test_gmon`` pins the type.)  When the instance was built
+    from the wire, the tuple is decoded lazily on first access; the
+    blob-only fast paths never touch it.
     """
 
-    comment: str
-    runs: int
-    low_pc: int
-    high_pc: int
-    nbuckets: int
-    profrate: int
-    counts: tuple[int, ...]
-    arc_blob: bytes
-    narcs: int
+    __slots__ = (
+        "comment", "runs", "low_pc", "high_pc", "nbuckets", "profrate",
+        "arc_blob", "narcs", "counts_blob", "_counts",
+    )
+
+    def __init__(
+        self, comment: str, runs: int, low_pc: int, high_pc: int,
+        nbuckets: int, profrate: int, counts=None, arc_blob: bytes = b"",
+        narcs: int = 0, *, counts_blob: bytes | None = None,
+    ):
+        self.comment = comment
+        self.runs = runs
+        self.low_pc = low_pc
+        self.high_pc = high_pc
+        self.nbuckets = nbuckets
+        self.profrate = profrate
+        self.arc_blob = arc_blob
+        self.narcs = narcs
+        self.counts_blob = counts_blob
+        if counts is not None:
+            self._counts: tuple[int, ...] | None = tuple(counts)
+        elif counts_blob is None:
+            self._counts = ()
+        else:
+            self._counts = None  # decoded lazily from counts_blob
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Bucket counters as a tuple (decoded from the blob on demand)."""
+        if self._counts is None:
+            self._counts = struct.unpack(
+                f"<{self.nbuckets}I", self.counts_blob
+            )
+        return self._counts
 
     def iter_arcs(self):
         """Yield (from_pc, self_pc, count) triples from the packed blob."""
         return _ARC.iter_unpack(self.arc_blob)
+
+    def arcs_as_arrays(self):
+        """Decode the arc blob into three parallel column arrays.
+
+        Returns ``(from_pcs, self_pcs, counts)`` as stdlib
+        ``array('Q')/array('Q')/array('I')`` columns — one bulk
+        ``struct.unpack`` for the whole blob, the batch-friendly shape
+        the kernel backends (and any columnar consumer) want.
+        """
+        n = self.narcs
+        if not n:
+            return array("Q"), array("Q"), array("I")
+        flat = struct.unpack("<" + "QQI" * n, self.arc_blob)
+        return (
+            array("Q", flat[0::3]), array("Q", flat[1::3]),
+            array("I", flat[2::3]),
+        )
+
+    def _key(self):
+        return (
+            self.comment, self.runs, self.low_pc, self.high_pc,
+            self.nbuckets, self.profrate, self.counts, self.arc_blob,
+            self.narcs,
+        )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RawGmon):
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RawGmon(comment={self.comment!r}, runs={self.runs}, "
+            f"low_pc={self.low_pc:#x}, high_pc={self.high_pc:#x}, "
+            f"nbuckets={self.nbuckets}, profrate={self.profrate}, "
+            f"narcs={self.narcs})"
+        )
 
 
 class GmonHeader(NamedTuple):
@@ -350,10 +424,7 @@ def parse_gmon_raw(blob: bytes) -> RawGmon:
             f"header claims {nbuckets} histogram buckets ({need} bytes "
             f"incl. arc count) but only {cursor.remaining} bytes remain"
         )
-    counts = struct.unpack(
-        f"<{nbuckets}I", cursor.take(nbuckets * _BUCKET.size,
-                                     "histogram buckets")
-    )
+    counts_blob = cursor.take(nbuckets * _BUCKET.size, "histogram buckets")
     narcs = _NARCS.unpack(cursor.take(_NARCS.size, "arc count"))[0]
     if cursor.remaining < narcs * _ARC.size:
         raise GmonFormatError(
@@ -366,7 +437,7 @@ def parse_gmon_raw(blob: bytes) -> RawGmon:
     _validate_header(low_pc, high_pc, nbuckets, profrate)
     return RawGmon(
         comment, runs, low_pc, high_pc, nbuckets, profrate,
-        counts, arc_blob, narcs,
+        None, arc_blob, narcs, counts_blob=counts_blob,
     )
 
 

@@ -82,6 +82,19 @@ def digest_histogram(hist: "Histogram") -> str:
     return h.hexdigest()
 
 
+def digest_layout(hist: "Histogram") -> str:
+    """Digest of a histogram's *layout* only (bounds and bucket count).
+
+    The bucket/symbol overlap spans depend on the geometry, never the
+    counts, so the ``spans`` cache kind keys on this: every same-layout
+    profile of a fleet shares one cached spans object.
+    """
+    h = _new_hash()
+    h.update(struct.pack("<qqq", hist.low_pc, hist.high_pc,
+                         len(hist.counts)))
+    return h.hexdigest()
+
+
 def digest_raw_arcs(data: "ProfileData") -> str:
     """Content digest of the raw arc table (addresses and counts)."""
     h = _new_hash()

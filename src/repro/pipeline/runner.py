@@ -40,10 +40,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core import kernels
 from repro.pipeline.cache import (
     AnalysisCache,
     combine,
     digest_histogram,
+    digest_layout,
     digest_raw_arcs,
     digest_symbols,
     digest_warnings,
@@ -139,6 +141,10 @@ def compute_keys(state: PipelineState) -> dict[str, str]:
         *options.excluded,
     )
     self_times_key = combine("self_times", sym, hist, *options.excluded)
+    # Spans depend only on the geometry (layout x symbols), never the
+    # counts, so their key deliberately omits the histogram digest —
+    # that is what lets every same-layout profile share one entry.
+    spans_key = combine("spans", sym, digest_layout(data.histogram))
     numbered_key = combine(
         "numbered",
         arcs_key,
@@ -153,6 +159,7 @@ def compute_keys(state: PipelineState) -> dict[str, str]:
     profile_key = combine("profile", prop_key, digest_warnings(data))
     return {
         "arcs": arcs_key,
+        "spans": spans_key,
         "self_times": self_times_key,
         "numbered": numbered_key,
         "prop": prop_key,
@@ -169,7 +176,12 @@ def _run_stage(
         start = time.perf_counter()
         stage.run(state, counters)
         trace.add(
-            StageTrace(stage.name, time.perf_counter() - start, counters)
+            StageTrace(
+                stage.name, time.perf_counter() - start, counters,
+                backend=(
+                    kernels.default_backend_name() if stage.kernel else ""
+                ),
+            )
         )
     else:
         stage.run(state, counters)
@@ -200,6 +212,16 @@ def run_analysis(
     state = PipelineState(data, symbols, options, warnings=list(data.warnings))
     keys = compute_keys(state) if cache is not None else None
     stage_by_name = {s.name: s for s in STAGES}
+    backend = kernels.default_backend_name()
+    if cache is not None:
+        # Seed the geometry spans if a same-layout analysis already
+        # built them.  This is a sub-stage memo, not a cache group: a
+        # hit only skips the geometry walk inside ``apportion``, never
+        # a whole stage, so it deliberately stays out of the trace's
+        # cache_hits/cache_misses accounting.
+        cached_spans = cache.get("spans", keys["spans"])
+        if cached_spans is not None:
+            state.spans = cached_spans
     for group in GROUPS:
         if cache is not None:
             record = cache.get(group.kind, keys[group.kind])
@@ -211,7 +233,14 @@ def run_analysis(
                     trace.cache_hits += 1
                     for name, counters in journal:
                         trace.add(
-                            StageTrace(name, 0.0, dict(counters), cached=True)
+                            StageTrace(
+                                name, 0.0, dict(counters), cached=True,
+                                backend=(
+                                    backend
+                                    if stage_by_name[name].kernel
+                                    else ""
+                                ),
+                            )
                         )
                 continue
             if trace is not None:
@@ -227,4 +256,6 @@ def run_analysis(
                 keys[group.kind],
                 (group.capture(state), state.warnings[mark:], journal),
             )
+            if group.kind == "self_times" and state.spans is not None:
+                cache.put("spans", keys["spans"], state.spans)
     return state.profile

@@ -95,6 +95,7 @@ class ProfileSession:
         jobs: int | None = None,
         on_incompatible: str = "error",
         per_file_reports: bool = True,
+        stats_out: dict | None = None,
     ) -> ProfileData:
         """Expand ``specs`` and merge every input into one ProfileData.
 
@@ -107,6 +108,8 @@ class ProfileSession:
         ``per_file_reports=False`` to trade the reports for the
         parallel tree reduction (fleet-sized salvage merges); the
         recovered data still carries its degradation warnings.
+        ``stats_out`` is handed to :func:`tree_reduce` to collect the
+        kernel backend and parse/fold wall-time split.
         """
         paths = expand_inputs(specs)
         self.paths += [str(p) for p in paths]
@@ -114,6 +117,7 @@ class ProfileSession:
             return tree_reduce(
                 paths, jobs=jobs, salvage=salvage,
                 on_incompatible=on_incompatible,
+                stats_out=stats_out,
             )
         from repro.check import salvage_passes
 

@@ -55,6 +55,10 @@ class PipelineState:
     warnings: list[str] = field(default_factory=list)
     symbolized: list | None = None
     arcs: ArcSet | None = None
+    #: Precomputed bucket/symbol overlap spans (see
+    #: repro.core.kernels.spans); seeded by the runner from the
+    #: analysis cache when available, else built by ApportionStage.
+    spans: Any = None
     self_times: dict[str, float] | None = None
     graph: CallGraph | None = None
     removed: list | None = None
@@ -81,6 +85,9 @@ class Stage:
     requires: tuple[str, ...] = ()
     #: State fields this stage writes.
     provides: tuple[str, ...] = ()
+    #: Whether the stage's arithmetic is served by a repro.core.kernels
+    #: backend (surfaced per-stage in the pipeline trace).
+    kernel: bool = False
 
     def run(self, state: PipelineState, counters: dict[str, int]) -> None:
         raise NotImplementedError  # pragma: no cover - interface
@@ -159,22 +166,40 @@ class ExcludeStage(Stage):
 
 
 class ApportionStage(Stage):
-    """§4: charge histogram buckets to routines as self seconds."""
+    """§4: charge histogram buckets to routines as self seconds.
+
+    The bucket/symbol overlap spans depend only on the histogram
+    layout and symbol table; when the runner found them in the
+    analysis cache they ride in on ``state.spans`` and the stage skips
+    the geometry walk entirely, evaluating the cached spans against
+    this input's counts with the selected kernel backend.
+    """
 
     name = "apportion"
-    provides = ("self_times",)
+    provides = ("spans", "self_times")
+    kernel = True
 
     def run(self, state: PipelineState, counters: dict[str, int]) -> None:
+        from repro.core import kernels
+
+        hist = state.data.histogram
+        if state.spans is None and hist.counts:
+            state.spans = kernels.spans_for(
+                state.symbols, hist.low_pc, hist.high_pc, hist.num_buckets
+            )
         excluded = state.excluded
         state.self_times = {
             name: secs
-            for name, secs in state.data.histogram.assign_samples(
-                state.symbols
+            for name, secs in hist.time_for_symbols(
+                state.symbols, spans=state.spans
             ).items()
             if name not in excluded
         }
-        counters["buckets"] = state.data.histogram.num_buckets
+        counters["buckets"] = hist.num_buckets
         counters["routines_sampled"] = len(state.self_times)
+        counters["span_symbols"] = (
+            len(state.spans.entries) if state.spans is not None else 0
+        )
 
 
 class BuildGraphStage(Stage):
@@ -274,6 +299,7 @@ class PropagateStage(Stage):
     name = "propagate"
     requires = ("numbered", "self_times")
     provides = ("prop",)
+    kernel = True
 
     def run(self, state: PipelineState, counters: dict[str, int]) -> None:
         state.prop = propagate(state.numbered, state.self_times)

@@ -455,6 +455,7 @@ class TenantStore:
             total_ticks=self.acc.total_ticks if not self.acc.empty else 0,
             distinct_arcs=self.acc.distinct_arcs,
             layout=self.acc.key.digest() if self.acc.key else None,
+            kernel_backend=self.acc.backend_name,
             recent=len(self.recent),
             quarantine_entries=self.quarantine.count(self.name),
         )

@@ -56,6 +56,49 @@ class TestRoundTrip:
         assert p1.read_bytes() == p2.read_bytes()
 
 
+class TestRawGmon:
+    """The wire-form view: lazy decoding, settled public types."""
+
+    def test_counts_is_always_a_tuple(self):
+        """Pinned wire type: ``RawGmon.counts`` is ``tuple[int, ...]``.
+
+        Consumers hash, cache, and compare it; a list here would be a
+        silent API break, so the type is part of the format contract.
+        """
+        from repro.gmon import dumps_gmon, parse_gmon_raw
+        from repro.gmon.format import RawGmon
+
+        raw = parse_gmon_raw(dumps_gmon(_sample_data()))
+        assert type(raw.counts) is tuple
+        assert raw.counts == (0, 5, 0, 2, 0, 0, 0, 1, 0, 0)
+        # repeated access returns the same decoded object
+        assert raw.counts is raw.counts
+        # construction from an explicit sequence normalizes too
+        direct = RawGmon("", 1, 0, 40, 3, 60, [1, 2, 3])
+        assert type(direct.counts) is tuple
+
+    def test_counts_blob_round_trips_and_equals_eager(self):
+        from repro.gmon import dumps_gmon, parse_gmon_raw
+        from repro.gmon.format import RawGmon
+
+        blob = dumps_gmon(_sample_data())
+        raw = parse_gmon_raw(blob)
+        eager = RawGmon(
+            raw.comment, raw.runs, raw.low_pc, raw.high_pc, raw.nbuckets,
+            raw.profrate, raw.counts, raw.arc_blob, raw.narcs,
+        )
+        assert raw == eager
+        assert hash(raw) == hash(eager)
+
+    def test_arcs_as_arrays_matches_iter_arcs(self):
+        from repro.gmon import dumps_gmon, parse_gmon_raw
+
+        raw = parse_gmon_raw(dumps_gmon(_sample_data()))
+        froms, selfs, counts = raw.arcs_as_arrays()
+        assert list(zip(froms, selfs, counts)) == list(raw.iter_arcs())
+        assert len(froms) == raw.narcs
+
+
 class TestCorruption:
     def test_bad_magic(self, tmp_path):
         path = tmp_path / "bad"

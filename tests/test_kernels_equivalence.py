@@ -1,0 +1,269 @@
+"""Property suite: every kernel backend is observationally identical.
+
+The tentpole claim of :mod:`repro.core.kernels` is not "close enough"
+— it is that swapping backends can never change a single output byte.
+These tests generate adversarial inputs (random layouts, non-power-of-
+two bucket widths, empty histograms, zero-arc files, counts at the
+u32 ceiling) and assert three levels of identity:
+
+1. **wire bytes**: merging a fleet through :class:`ProfileAccumulator`
+   on any backend and re-serializing yields byte-identical ``gmon``
+   output, equal to the legacy ``merge_profiles`` path;
+2. **listings**: the flat and call-graph listings of a full analysis
+   are character-identical across backends;
+3. **apportionment semantics**: the span-compressed evaluator agrees
+   with the historical per-bucket formula to ≤1e-9 relative — the one
+   place the kernels deliberately reassociate a float sum (see
+   ``repro/core/kernels/spans.py`` for why bit-identity *across
+   backends* still holds exactly).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AnalysisOptions,
+    Histogram,
+    ProfileData,
+    RawArc,
+    Symbol,
+    SymbolTable,
+    analyze,
+    merge_profiles,
+)
+from repro.core import kernels
+from repro.core.kernels.spans import build_spans
+from repro.fleet import ProfileAccumulator
+from repro.gmon import dumps_gmon
+from repro.report import format_flat_profile, format_graph_profile
+
+BACKENDS = kernels.available_backends()
+
+U32 = 0xFFFFFFFF
+
+# -- strategies --------------------------------------------------------------
+
+#: Histogram layouts, deliberately including non-power-of-two bucket
+#: widths (width 3, 7, 13...) and the degenerate zero-bucket layout.
+layouts = st.tuples(
+    st.integers(min_value=0, max_value=1 << 16),          # low_pc
+    st.integers(min_value=0, max_value=24),               # nbuckets
+    st.integers(min_value=1, max_value=19),               # bucket width
+    st.sampled_from([60, 100, 1000]),                     # profrate
+)
+
+
+@st.composite
+def fleets(draw):
+    """A same-layout fleet of 1-4 wire profiles (bytes), plus metadata.
+
+    Counts are scaled so the merged sums stay within the wire's u32
+    ceiling, but single-profile fleets can carry counts at exactly
+    ``0xFFFFFFFF``.
+    """
+    low, nbuckets, width, profrate = draw(layouts)
+    high = low + nbuckets * width
+    k = draw(st.integers(min_value=1, max_value=4))
+    ceiling = U32 // k
+    blobs = []
+    for _ in range(k):
+        counts = draw(
+            st.lists(
+                st.one_of(
+                    st.integers(min_value=0, max_value=64),
+                    st.integers(min_value=ceiling - 3, max_value=ceiling),
+                ),
+                min_size=nbuckets,
+                max_size=nbuckets,
+            )
+        )
+        arcs = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=1 << 40),
+                    st.integers(min_value=0, max_value=1 << 40),
+                    st.integers(min_value=0, max_value=ceiling),
+                ),
+                max_size=6,
+                # unique call sites per profile: condensing duplicates
+                # could push a merged count past the wire's u32 ceiling
+                unique_by=lambda t: (t[0], t[1]),
+            )
+        )
+        data = ProfileData(
+            Histogram(low, high, counts, profrate),
+            [RawArc(f, s, c) for f, s, c in arcs],
+            runs=draw(st.integers(min_value=1, max_value=3)),
+        )
+        blobs.append(dumps_gmon(data))
+    return blobs
+
+
+@st.composite
+def images(draw):
+    """A random symbol table + a sampled profile over it.
+
+    Symbol sizes are arbitrary (not bucket-aligned), the histogram
+    scale varies, so bucket/symbol overlap produces plenty of
+    fractional-weight edges.
+    """
+    nsyms = draw(st.integers(min_value=1, max_value=6))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=3, max_value=90),
+            min_size=nsyms,
+            max_size=nsyms,
+        )
+    )
+    addr = draw(st.integers(min_value=0, max_value=1000))
+    syms = []
+    for i, size in enumerate(sizes):
+        syms.append(Symbol(addr, f"f{i}", addr + size))
+        addr += size
+    symbols = SymbolTable(syms)
+    scale = draw(st.sampled_from([1.0, 0.5, 0.375, 0.21, 0.07]))
+    hist = Histogram.for_range(symbols.low_pc, symbols.high_pc, scale, 100)
+    nticks = draw(st.integers(min_value=0, max_value=24))
+    for _ in range(nticks):
+        pc = draw(
+            st.integers(min_value=symbols.low_pc, max_value=symbols.high_pc - 1)
+        )
+        hist.record(pc)
+    arcs = []
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        caller = syms[draw(st.integers(0, nsyms - 1))]
+        callee = syms[draw(st.integers(0, nsyms - 1))]
+        count = draw(st.integers(min_value=1, max_value=50))
+        arcs.append(RawArc(caller.address + 1, callee.address, count))
+    return symbols, ProfileData(hist, arcs, runs=1)
+
+
+# -- level 1: wire bytes -----------------------------------------------------
+
+
+@given(fleets())
+@settings(deadline=None, max_examples=60)
+def test_merged_gmon_bytes_identical_across_backends(blobs):
+    outputs = {}
+    for name in BACKENDS:
+        acc = ProfileAccumulator(name)
+        for blob in blobs:
+            acc.add(blob)
+        outputs[name] = dumps_gmon(acc.result())
+    reference = outputs["python"]
+    for name, out in outputs.items():
+        assert out == reference, f"backend {name} diverged on the wire"
+    # and the legacy pairwise-merge path agrees too
+    from repro.gmon import parse_gmon
+
+    legacy = merge_profiles([parse_gmon(b) for b in blobs])
+    assert dumps_gmon(legacy) == reference
+
+
+def test_empty_histogram_and_zero_arc_files_round_trip():
+    """The degenerate shapes: no buckets, no arcs, still byte-equal."""
+    empty_hist = dumps_gmon(ProfileData(Histogram(64, 64, [], 100), [], runs=1))
+    zero_arcs = dumps_gmon(
+        ProfileData(Histogram(0, 8, [U32, 0], 60), [], runs=2)
+    )
+    half = dumps_gmon(
+        ProfileData(Histogram(0, 8, [U32 // 2, 7], 60), [], runs=1)
+    )
+    for blobs in ([empty_hist, empty_hist], [zero_arcs], [half, half]):
+        outs = set()
+        for name in BACKENDS:
+            acc = ProfileAccumulator(name)
+            for b in blobs:
+                acc.add(b)
+            outs.add(dumps_gmon(acc.result()))
+        assert len(outs) == 1
+
+
+# -- level 2: listings -------------------------------------------------------
+
+
+@given(images())
+@settings(deadline=None, max_examples=40)
+def test_listings_identical_across_backends(image):
+    symbols, data = image
+    listings = {}
+    for name in BACKENDS:
+        kernels.set_default_backend(name)
+        try:
+            profile = analyze(data, symbols, AnalysisOptions())
+            listings[name] = (
+                format_flat_profile(profile),
+                format_graph_profile(profile),
+            )
+        finally:
+            kernels.set_default_backend(None)
+    reference = listings["python"]
+    for name, out in listings.items():
+        assert out == reference, f"backend {name} changed a listing"
+
+
+# -- level 3: apportionment vs the historical formula ------------------------
+
+
+def historical_assign(hist: Histogram, symbols: SymbolTable):
+    """The pre-kernels per-bucket loop, transcribed for comparison."""
+    times: dict[str, float] = {}
+    if not hist.counts:
+        return times
+    width = hist.bucket_width
+    sec = hist.seconds_per_tick
+    for sym in symbols:
+        if sym.end <= hist.low_pc or sym.address >= hist.high_pc:
+            continue
+        first = max(int((sym.address - hist.low_pc) / width) - 1, 0)
+        last = min(
+            int((sym.end - hist.low_pc) / width) + 1, hist.num_buckets - 1
+        )
+        acc = 0.0
+        for idx in range(first, last + 1):
+            b_lo = hist.low_pc + idx * width
+            overlap = min(b_lo + width, sym.end) - max(b_lo, sym.address)
+            if overlap > 0:
+                acc += hist.counts[idx] * (overlap / width)
+        if acc:
+            times[sym.name] = acc * sec
+    return times
+
+
+@given(images())
+@settings(deadline=None, max_examples=60)
+def test_span_evaluation_matches_historical_formula(image):
+    symbols, data = image
+    hist = data.histogram
+    expected = historical_assign(hist, symbols)
+    spans = build_spans(
+        hist.low_pc, hist.high_pc, hist.num_buckets, symbols
+    )
+    for name in BACKENDS:
+        got = kernels.get_backend(name).apportion(
+            spans, hist.counts, hist.seconds_per_tick
+        )
+        assert got.keys() == expected.keys()
+        for routine, want in expected.items():
+            assert got[routine] == pytest.approx(want, rel=1e-9), (
+                name,
+                routine,
+            )
+
+
+@given(images())
+@settings(deadline=None, max_examples=40)
+def test_histogram_time_for_symbols_uses_selected_backend(image):
+    """The public entry point agrees bitwise across backends."""
+    symbols, data = image
+    hist = data.histogram
+    results = set()
+    for name in BACKENDS:
+        kernels.set_default_backend(name)
+        try:
+            results.add(tuple(sorted(hist.time_for_symbols(symbols).items())))
+        finally:
+            kernels.set_default_backend(None)
+    assert len(results) == 1

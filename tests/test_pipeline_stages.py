@@ -258,7 +258,9 @@ def test_digest_options_is_order_sensitive():
 def test_compute_keys_change_with_their_inputs(simple):
     symbols, data = simple
     base = compute_keys(make_state(symbols, data))
-    assert set(base) == {"arcs", "self_times", "numbered", "prop", "profile"}
+    assert set(base) == {
+        "arcs", "spans", "self_times", "numbered", "prop", "profile",
+    }
 
     excl = compute_keys(
         make_state(symbols, data, AnalysisOptions(excluded=["leaf"]))

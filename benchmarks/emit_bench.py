@@ -207,6 +207,13 @@ SUITES = {
         "kernel backends disagree (per-kernel results or merged gmon "
         "bytes differ from the python reference)",
     ),
+    "pgo": (
+        "T-PGO",
+        "BENCH_pgo.json",
+        None,  # resolved lazily, same pattern as vm
+        "PGO gate violated: behaviour diverged, assembly is not "
+        "byte-deterministic, or fewer than 3 programs got faster",
+    ),
 }
 
 
@@ -235,6 +242,10 @@ def _suite_runner(name: str):
         from benchmarks.bench_kernels import run_kernels
 
         return run_kernels
+    if name == "pgo":
+        from benchmarks.bench_pgo import run_pgo_suite
+
+        return run_pgo_suite
     return SUITES[name][2]
 
 

@@ -1,4 +1,4 @@
-"""The §6 iterative optimization loop, end to end.
+"""The §6 iterative optimization loop, end to end — manual, then hands-free.
 
 Run:  python examples/iterative_optimization.py
 
@@ -6,9 +6,9 @@ Run:  python examples/iterative_optimization.py
 program, eliminating one bottleneck, then finding some other part of
 the program that begins to dominate execution time."
 
-The program is a toy symbol-table client whose ``lookup`` uses an
-"inefficient linear search algorithm" (§6's own example).  One turn of
-the loop:
+**Act one (the paper's loop, a programmer in the middle).**  The
+program is a toy symbol-table client whose ``lookup`` uses an
+"inefficient linear search algorithm" (§6's own example).  One turn:
 
 1. profile — the call graph profile shows ``lookup``'s entry
    dominated by ``scan_chain``, and charges the cost up to ``intern``;
@@ -17,11 +17,21 @@ the loop:
 3. re-profile and *compare* — total time drops, ``scan_chain`` is
    gone, and the comparison names what dominates now (the §6 loop's
    next target).
+
+**Act two (the same loop with the programmer replaced).**  The same
+workload, written in Rel, goes through ``repro.lang.run_pgo`` — the
+repro-pgo CLI's engine: measure, map the profile back onto the AST,
+rewrite (branch ordering / benefit-model inlining / hot-cold layout),
+verify, re-measure.  The act asserts the automated loop *finds the
+same bottleneck* the manual reading of act one found, and shaves
+cycles without a human ever looking at the listing.
 """
 
 from repro.core import analyze
 from repro.core.compare import compare_profiles, format_delta
-from repro.machine import assemble, run_profiled
+from repro.lang import run_pgo
+from repro.lang import compile_source
+from repro.machine import Monitor, MonitorConfig, assemble, make_cpu, run_profiled
 from repro.report import format_entry
 
 COMMON = """
@@ -103,13 +113,42 @@ FAST = COMMON + """
 """
 
 
+#: Act two: the same symbol-table client, in Rel, for the hands-free
+#: loop.  scan_chain's probe loop is the bottleneck, same as act one.
+REL_CLIENT = """
+func scan_chain(n) {
+    while (n > 0) { burn 12; n = n - 1; }
+    return 0;
+}
+func lookup(k) {
+    burn 1;
+    return scan_chain(k % 8 + 1);
+}
+func intern(k) { burn 2; return lookup(k); }
+func emit_ref(k) { burn 4; return k; }
+func main() {
+    i = 120;
+    while (i > 0) { intern(i); emit_ref(i); i = i - 1; }
+}
+"""
+
+
 def profile_version(source, name):
     cpu, data = run_profiled(source, name=name)
     exe = assemble(source, name=name, profile=True)
     return analyze(data, exe.symbol_table())
 
 
-def main():
+def profile_rel(source, name):
+    """The manual reading, act-two flavour: profile the compiled Rel."""
+    exe = compile_source(source, name=name, profile=True)
+    monitor = Monitor(MonitorConfig(exe.low_pc, exe.high_pc, cycles_per_tick=100))
+    cpu = make_cpu(exe, monitor)
+    cpu.run()
+    return analyze(monitor.mcleanup(), exe.symbol_table())
+
+
+def act_one():
     # Turn 1: profile and read the bottleneck's entry.
     before = profile_version(SLOW, "v1-linear")
     print("turn 1 — the profile points at the lookup abstraction:\n")
@@ -129,6 +168,40 @@ def main():
         "comparison already names the next target — exactly the loop the\n"
         "paper describes (they ran it until reading data files dominated)."
     )
+
+
+def act_two():
+    print("\n— act two: the same loop, hands-free (repro-pgo) —\n")
+    # The manual reading first: which routine does a human see on top?
+    manual = profile_rel(REL_CLIENT, "client-manual")
+    manual_hot = manual.flat_entries[0].name
+    print(f"a human reading the flat profile would start at: {manual_hot}")
+
+    # Now the automated loop: measure -> rewrite -> verify -> re-measure.
+    result = run_pgo(REL_CLIENT, name="client-pgo", rounds=2)
+    print(f"run_pgo's first measurement names:             {result.bottleneck}")
+    assert result.bottleneck == manual_hot, (
+        "the automated loop must find the bottleneck the manual loop found"
+    )
+    assert result.identical, "PGO must never change observable behaviour"
+    for r in result.rounds:
+        moves = {k: v for k, v in r.counters.items() if v} or "nothing left"
+        print(
+            f"  round {r.index}: {r.cycles_before} -> {r.cycles_after} "
+            f"cycles ({r.saved:+d}); rewrote: {moves}"
+        )
+    print(
+        f"\nsame diagnosis, no human in the loop: {result.saved} cycles "
+        f"saved\n({result.cycles_baseline} -> {result.cycles_final}), "
+        "output bit-for-bit identical.\n"
+        "The programmer's half of §6's cycle — rewriting the algorithm "
+        "itself —\nremains theirs; the mechanical half is now free."
+    )
+
+
+def main():
+    act_one()
+    act_two()
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ Subcommands::
 
     repro-vm run IMAGE_OR_SOURCE [--profile] [--gmon FILE]
                  [--ticks N] [--annotate] [--checkpoint N]
+                 [--opt N] [--pgo GMON]
                  [--engine fast|reference]
                  [--cpus N [--procs M] [--sched SEED]
                   [--sched-policy rr|random|affinity|skew] [--quantum Q]]
@@ -48,8 +49,28 @@ from repro.machine.programs import PROGRAMS
 from repro.report.annotate import format_annotated_disassembly
 
 
-def _load_program(spec: str, profile: bool, count_blocks: bool = False) -> Executable:
-    """Resolve IMAGE_OR_SOURCE: .vmexe image, canned name, or asm file."""
+def _load_program(
+    spec: str,
+    profile: bool,
+    count_blocks: bool = False,
+    optimize_level: int = 0,
+    pgo: str | None = None,
+    cycles_per_tick: int = 100,
+) -> Executable:
+    """Resolve IMAGE_OR_SOURCE: .vmexe image, canned name, or asm file.
+
+    ``optimize_level`` and ``pgo`` (a gmon path enabling the
+    profile-guided passes) apply to Rel sources only — images and
+    assembly have no optimizer to feed.
+    """
+    is_rel = spec.endswith(".rl")
+    if pgo is not None and not is_rel:
+        raise ReproError(
+            "--pgo needs Rel source (a .rl file): images and assembly "
+            "have no optimizer to feed the profile to"
+        )
+    if optimize_level and not is_rel:
+        raise ReproError("--opt needs Rel source (a .rl file)")
     if spec in PROGRAMS:
         return assemble(
             PROGRAMS[spec](), name=spec, profile=profile, count_blocks=count_blocks
@@ -63,14 +84,27 @@ def _load_program(spec: str, profile: bool, count_blocks: bool = False) -> Execu
         return Executable.load(spec)
     with open(spec, encoding="utf-8") as f:
         text = f.read()
-    if spec.endswith(".rl"):
-        from repro.lang import compile_source
+    if is_rel:
+        from repro.lang import compile_source, feedback_from_data
 
+        feedback = None
+        if pgo is not None:
+            from repro.gmon import read_gmon
+
+            feedback = feedback_from_data(
+                text,
+                read_gmon(pgo),
+                name=os.path.basename(spec),
+                cycles_per_tick=cycles_per_tick,
+            )
+            print(f"pgo: {feedback.describe()}")
         return compile_source(
             text,
             name=os.path.basename(spec),
             profile=profile,
             count_blocks=count_blocks,
+            optimize_level=optimize_level,
+            feedback=feedback,
         )
     return assemble(
         text,
@@ -161,7 +195,12 @@ def cmd_run_smp(opts, exe: Executable) -> int:
 
 def cmd_run(opts) -> int:
     exe = _load_program(
-        opts.program, profile=opts.profile, count_blocks=opts.count
+        opts.program,
+        profile=opts.profile,
+        count_blocks=opts.count,
+        optimize_level=opts.opt,
+        pgo=opts.pgo,
+        cycles_per_tick=opts.ticks,
     )
     if opts.cpus:
         return cmd_run_smp(opts, exe)
@@ -245,6 +284,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--count", action="store_true",
                      help="instrument basic blocks with inline counters "
                           "and print their exact execution counts")
+    run.add_argument("--opt", type=int, default=0, choices=[0, 1, 2],
+                     metavar="N",
+                     help="Rel sources: static optimization level "
+                          "(0 = none, 1 = fold/prune, 2 = +inline)")
+    run.add_argument("--pgo", metavar="GMON", default=None,
+                     help="Rel sources: recompile with profile-guided "
+                          "optimization fed by this gmon file (from a "
+                          "prior run with --profile); stale or empty "
+                          "profiles degrade to a no-op with a warning")
     run.add_argument("--cpus", type=int, default=0, metavar="N",
                      help="run on an N-CPU machine with per-CPU profile "
                           "shards merged into one canonical gmon (0 = the "

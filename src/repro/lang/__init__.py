@@ -30,17 +30,30 @@ Example::
     >>> exe = compile_source(text, profile=True)   # "cc -pg"
 """
 
-from repro.lang.compiler import compile_source, compile_to_asm
+from repro.lang.compiler import compile, compile_source, compile_to_asm
+from repro.lang.feedback import (
+    ProfileFeedback,
+    feedback_from_data,
+    feedback_from_profile,
+)
 from repro.lang.optimize import optimize
 from repro.lang.parser import parse
+from repro.lang.pgo import PGOResult, PGORound, run_pgo
 from repro.lang.pretty import pretty
 from repro.lang.programs import REL_PROGRAMS
 
 __all__ = [
+    "PGOResult",
+    "PGORound",
+    "ProfileFeedback",
     "REL_PROGRAMS",
+    "compile",
     "compile_source",
     "compile_to_asm",
+    "feedback_from_data",
+    "feedback_from_profile",
     "optimize",
     "parse",
     "pretty",
+    "run_pgo",
 ]

@@ -93,21 +93,38 @@ class AssignIndex:
 
 @dataclass(frozen=True)
 class If:
-    """``if (cond) {…} else {…}`` (else optional)."""
+    """``if (cond) {…} else {…}`` (else optional).
+
+    ``likely`` is a profile-feedback hint, never produced by the
+    parser: ``"then"`` asks the code generator to lay the then-arm
+    out on the fall-through (no-jump) path.  The default lowering
+    already favours the else-arm, so ``None`` doubles as "else
+    likely / no data".  Hints never change observable behaviour —
+    only which arm pays the join-jump.
+    """
 
     cond: Expr
     then: tuple["Stmt", ...]
     otherwise: tuple["Stmt", ...]
     line: int
+    likely: str | None = None
 
 
 @dataclass(frozen=True)
 class While:
-    """``while (cond) {…}``"""
+    """``while (cond) {…}``
+
+    ``rotate`` is a profile-feedback hint, never produced by the
+    parser: when the measured mean trip count is high enough, the
+    code generator emits the bottom-tested (rotated) form that pays
+    one jump per *entry* instead of one per *iteration*.  Semantics
+    are identical either way.
+    """
 
     cond: Expr
     body: tuple["Stmt", ...]
     line: int
+    rotate: bool = False
 
 
 @dataclass(frozen=True)
@@ -165,9 +182,39 @@ class Program:
     Attributes:
         globals_: scalar global names, in declaration order.
         arrays: array name → size, in declaration order.
-        functions: the program's routines.
+        functions: the program's routines.  Code is emitted in list
+            order; the hot/cold layout pass may permute this list (and
+            nothing else — see DESIGN.md on why layout is only ever a
+            permutation).
     """
 
     globals_: list[str] = field(default_factory=list)
     arrays: dict[str, int] = field(default_factory=dict)
     functions: list[Function] = field(default_factory=list)
+
+
+def iter_branch_nodes(stmts) -> "list[If | While]":
+    """Every ``If``/``While`` under ``stmts`` in canonical pre-order.
+
+    This is the *branch numbering* contract shared by the code
+    generator's source map and the branch-ordering pass: statement
+    order, recursing into an ``If``'s then-arm before its else-arm.
+    The ordinal of a branch is its position in this walk, which
+    depends only on tree *structure* — two structurally identical
+    trees number their branches identically, and a hint that swaps
+    emitted arm order does not disturb the numbering.
+    """
+    out: list[If | While] = []
+
+    def walk(body) -> None:
+        for stmt in body:
+            if isinstance(stmt, If):
+                out.append(stmt)
+                walk(stmt.then)
+                walk(stmt.otherwise)
+            elif isinstance(stmt, While):
+                out.append(stmt)
+                walk(stmt.body)
+
+    walk(stmts)
+    return out

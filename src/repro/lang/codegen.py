@@ -16,9 +16,21 @@ Name resolution is C-flavoured:
   *unless* shadowed by a local assignment... which cannot happen: a
   name assigned in a function that is also a declared global writes
   the global (there is no local declaration syntax, so globals win).
+
+Two things feed the PGO loop from here:
+
+* profile-feedback **hints** on the tree (``If.likely``,
+  ``While.rotate``) select alternative lowerings with identical
+  semantics and instruction counts but cheaper measured-hot paths;
+* :func:`generate_mapped` additionally returns a :class:`SourceMap` —
+  per-function call-site instruction indexes and per-branch
+  instruction spans — which is how a gmon file's addresses find their
+  way back onto AST nodes.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 from repro.errors import LangError
 from repro.lang import ast
@@ -30,8 +42,13 @@ _BINOPS = {
 }
 
 
-class _Layout:
-    """Global segment layout and function signatures."""
+class Layout:
+    """Global segment layout and function signatures.
+
+    ``program.functions`` order *is* text-segment order: the hot/cold
+    layout pass permutes that list and nothing else, so the code
+    generator stays a faithful, order-preserving lowering.
+    """
 
     def __init__(self, program: ast.Program):
         self.scalar_slot: dict[str, int] = {}
@@ -47,24 +64,137 @@ class _Layout:
         self.arity = {f.name: len(f.params) for f in program.functions}
 
 
+#: Backwards-compatible private alias (pre-pipeline name).
+_Layout = Layout
+
+
+# -- the source map ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open range of *function-local* instruction indexes."""
+
+    start: int
+    end: int
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One emitted CALL: its callee and local instruction index."""
+
+    callee: str
+    index: int
+
+
+@dataclass(frozen=True)
+class BranchSpans:
+    """Where one If/While landed in its function's instructions.
+
+    ``ordinal`` is the branch's position in the canonical pre-order
+    walk (:func:`repro.lang.ast.iter_branch_nodes`) — *not* emission
+    order, so a hint that swaps arm layout does not renumber anything.
+    ``cond`` includes the dispatch jump; for an ``if``, ``then`` /
+    ``otherwise`` cover the arms (including a join jump emitted inside
+    the arm); for a ``while``, ``then`` covers the loop body and
+    ``otherwise`` is empty.
+    """
+
+    kind: str  # "if" | "while"
+    ordinal: int
+    line: int
+    cond: Span
+    then: Span
+    otherwise: Span
+
+
+@dataclass
+class FunctionMap:
+    """Source map for one function (indexes are pre-prologue local)."""
+
+    name: str
+    size: int = 0
+    sites: list[CallSite] = field(default_factory=list)
+    branches: list[BranchSpans] = field(default_factory=list)
+
+
+@dataclass
+class SourceMap:
+    """Per-function maps, keyed by routine name."""
+
+    functions: dict[str, FunctionMap] = field(default_factory=dict)
+
+
+def _terminates(stmts) -> bool:
+    """Whether control can never fall off the end of ``stmts``.
+
+    Conservative: a trailing ``return``, or a trailing ``if``/``else``
+    both of whose arms terminate.  Used to elide the unreachable code
+    a naive lowering would emit after such a tail — the implicit
+    ``return 0`` epilogue and the join jump of a returning arm — so
+    compiled routines contain no blocks the checker's reachability
+    pass (GP101) could flag.
+    """
+    if not stmts:
+        return False
+    last = stmts[-1]
+    if isinstance(last, ast.Return):
+        return True
+    if isinstance(last, ast.If) and last.otherwise:
+        return _terminates(last.then) and _terminates(last.otherwise)
+    return False
+
+
 def generate(program: ast.Program) -> str:
     """The whole program's assembly text."""
-    layout = _Layout(program)
+    asm, _ = _generate(program, mapped=False)
+    return asm
+
+
+def generate_mapped(program: ast.Program) -> tuple[str, SourceMap]:
+    """Assembly text plus the :class:`SourceMap` for feedback mapping.
+
+    The assembly is byte-identical to :func:`generate`'s — the map is
+    recorded on the side, never woven into the output.
+    """
+    asm, smap = _generate(program, mapped=True)
+    return asm, smap
+
+
+def _generate(program: ast.Program, mapped: bool) -> tuple[str, SourceMap]:
+    layout = Layout(program)
+    smap = SourceMap()
     parts = []
     if layout.num_globals:
         parts.append(f".globals {layout.num_globals}")
     for fn in program.functions:
-        parts.append(_FunctionCodegen(layout, fn).generate())
-    return "\n".join(parts) + "\n"
+        gen = _FunctionCodegen(layout, fn, record=mapped)
+        parts.append(gen.generate())
+        if mapped:
+            smap.functions[fn.name] = gen.map
+    return "\n".join(parts) + "\n", smap
 
 
 class _FunctionCodegen:
-    def __init__(self, layout: _Layout, fn: ast.Function):
+    def __init__(self, layout: Layout, fn: ast.Function, record: bool = False):
         self.layout = layout
         self.fn = fn
         self.lines: list[str] = []
         self.slots: dict[str, int] = {}
         self.labels = 0
+        self.count = 0  # instructions emitted so far (local index)
+        self.map = FunctionMap(fn.name) if record else None
+        self._ordinals = (
+            {
+                id(node): i
+                for i, node in enumerate(ast.iter_branch_nodes(fn.body))
+            }
+            if record
+            else None
+        )
         for param in fn.params:
             self.slots[param] = len(self.slots)
         self._collect_locals(fn.body)
@@ -73,6 +203,7 @@ class _FunctionCodegen:
 
     def emit(self, text: str) -> None:
         self.lines.append("    " + text)
+        self.count += 1
 
     def emit_label(self, label: str) -> None:
         self.lines.append(f"{label}:")
@@ -93,6 +224,20 @@ class _FunctionCodegen:
             elif isinstance(stmt, ast.While):
                 self._collect_locals(stmt.body)
 
+    def _record_branch(self, stmt, kind, cond, then, otherwise) -> None:
+        if self.map is None:
+            return
+        self.map.branches.append(
+            BranchSpans(
+                kind,
+                self._ordinals[id(stmt)],
+                stmt.line,
+                Span(*cond),
+                Span(*then),
+                Span(*otherwise),
+            )
+        )
+
     # -- entry point ----------------------------------------------------------------
 
     def generate(self) -> str:
@@ -103,11 +248,15 @@ class _FunctionCodegen:
             self.emit(f"STORE {i}")
         for stmt in self.fn.body:
             self.statement(stmt)
-        # implicit 'return 0' so no control path falls off the end and
-        # no generated label dangles past the last instruction
-        self.emit("PUSH 0")
-        self.emit("RET")
+        if not _terminates(self.fn.body):
+            # implicit 'return 0' for the control paths that can fall
+            # off the end; a body every path returns from gets no
+            # unreachable epilogue (the checker's GP101 would flag it)
+            self.emit("PUSH 0")
+            self.emit("RET")
         self.lines.append(".end")
+        if self.map is not None:
+            self.map.size = self.count
         return "\n".join(self.lines)
 
     # -- statements --------------------------------------------------------------------
@@ -130,28 +279,9 @@ class _FunctionCodegen:
                 self.emit("ADD")
             self.emit("GSTOREI")
         elif isinstance(stmt, ast.If):
-            otherwise = self.new_label("else")
-            end = self.new_label("endif")
-            self.expression(stmt.cond)
-            self.emit(f"JZ {otherwise if stmt.otherwise else end}")
-            for s in stmt.then:
-                self.statement(s)
-            if stmt.otherwise:
-                self.emit(f"JMP {end}")
-                self.emit_label(otherwise)
-                for s in stmt.otherwise:
-                    self.statement(s)
-            self.emit_label(end)
+            self._gen_if(stmt)
         elif isinstance(stmt, ast.While):
-            loop = self.new_label("loop")
-            end = self.new_label("endloop")
-            self.emit_label(loop)
-            self.expression(stmt.cond)
-            self.emit(f"JZ {end}")
-            for s in stmt.body:
-                self.statement(s)
-            self.emit(f"JMP {loop}")
-            self.emit_label(end)
+            self._gen_while(stmt)
         elif isinstance(stmt, ast.Return):
             if stmt.value is not None:
                 self.expression(stmt.value)
@@ -170,6 +300,98 @@ class _FunctionCodegen:
             self.emit("POP")
         else:  # pragma: no cover - exhaustive
             raise LangError(f"unknown statement {stmt!r}")
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        if stmt.likely == "then" and stmt.otherwise:
+            # Profile-guided arm swap: the measured-likely then-arm
+            # falls through (JNZ is the rare jump), the cold else-arm
+            # pays the join jump.  Same instruction count as the
+            # default form; the saved JMP moves to the cold path.
+            then_label = self.new_label("then")
+            end = self.new_label("endif")
+            c0 = self.count
+            self.expression(stmt.cond)
+            self.emit(f"JNZ {then_label}")
+            c1 = self.count
+            e0 = self.count
+            for s in stmt.otherwise:
+                self.statement(s)
+            join = not _terminates(stmt.otherwise)
+            if join:
+                self.emit(f"JMP {end}")
+            e1 = self.count
+            self.emit_label(then_label)
+            t0 = self.count
+            for s in stmt.then:
+                self.statement(s)
+            t1 = self.count
+            if join:
+                self.emit_label(end)
+            self._record_branch(stmt, "if", (c0, c1), (t0, t1), (e0, e1))
+            return
+        otherwise = self.new_label("else")
+        end = self.new_label("endif")
+        c0 = self.count
+        self.expression(stmt.cond)
+        self.emit(f"JZ {otherwise if stmt.otherwise else end}")
+        c1 = self.count
+        t0 = self.count
+        for s in stmt.then:
+            self.statement(s)
+        e0 = e1 = self.count
+        end_used = not stmt.otherwise
+        if stmt.otherwise:
+            if not _terminates(stmt.then):
+                self.emit(f"JMP {end}")
+                end_used = True
+            t1 = self.count
+            self.emit_label(otherwise)
+            e0 = self.count
+            for s in stmt.otherwise:
+                self.statement(s)
+            e1 = self.count
+        else:
+            t1 = self.count
+        if end_used:
+            self.emit_label(end)
+        self._record_branch(stmt, "if", (c0, c1), (t0, t1), (e0, e1))
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        if stmt.rotate:
+            # Profile-guided loop rotation: jump straight to a bottom
+            # test, so each iteration pays one conditional jump instead
+            # of a test-jump *and* a back-jump.  Same instruction
+            # count; saves ~(iterations − 1) JMP executions per entry.
+            test = self.new_label("looptest")
+            body_label = self.new_label("loopbody")
+            self.emit(f"JMP {test}")
+            self.emit_label(body_label)
+            b0 = self.count
+            for s in stmt.body:
+                self.statement(s)
+            b1 = self.count
+            self.emit_label(test)
+            c0 = self.count
+            self.expression(stmt.cond)
+            self.emit(f"JNZ {body_label}")
+            c1 = self.count
+            self._record_branch(stmt, "while", (c0, c1), (b0, b1), (b1, b1))
+            return
+        loop = self.new_label("loop")
+        end = self.new_label("endloop")
+        self.emit_label(loop)
+        c0 = self.count
+        self.expression(stmt.cond)
+        self.emit(f"JZ {end}")
+        c1 = self.count
+        b0 = self.count
+        for s in stmt.body:
+            self.statement(s)
+        if not _terminates(stmt.body):
+            self.emit(f"JMP {loop}")
+        b1 = self.count
+        self.emit_label(end)
+        self._record_branch(stmt, "while", (c0, c1), (b0, b1), (b1, b1))
 
     # -- expressions -----------------------------------------------------------------------
 
@@ -211,6 +433,8 @@ class _FunctionCodegen:
                 )
             for arg in expr.args:
                 self.expression(arg)
+            if self.map is not None:
+                self.map.sites.append(CallSite(expr.name, self.count))
             self.emit(f"CALL {expr.name}")
         else:  # pragma: no cover - exhaustive
             raise LangError(f"unknown expression {expr!r}")

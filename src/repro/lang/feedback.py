@@ -1,0 +1,452 @@
+"""Map a measured profile back onto the Rel AST: the PGO feedback layer.
+
+gprof's output answers "where did the time go?" in terms of addresses
+and symbols.  The optimizer needs the same answers in terms of AST
+nodes: how many times was *this function* called (arc counts), how
+much time is *its own* versus *its descendants'* (the §4 propagation),
+and which side of *this if* actually ran (histogram mass over the code
+generator's branch spans).  :class:`ProfileFeedback` is that
+translation, built one of two ways:
+
+* :meth:`ProfileFeedback.from_measurement` — the exact path: the
+  program was compiled with :func:`~repro.lang.codegen.generate_mapped`
+  and run; the :class:`~repro.lang.codegen.SourceMap` pins every call
+  site and branch arm to an address range, so hints come straight from
+  bucket mass and per-site arc counts.
+* :func:`feedback_from_profile` — the name-level path for an
+  already-analyzed :class:`~repro.core.Profile`: call counts and §4
+  times map by routine name; no branch hints (addresses are gone).
+
+**Staleness is a first-class outcome.**  A gmon file from a different
+program version must never produce a wrong layout: if the histogram
+bounds disagree with the executable, or any recorded arc's call site
+is not actually a CALL to the recorded callee entry, the feedback
+marks itself stale, keeps a warning trail, and every profile pass
+degrades to the identity transform.  The same holds for a zero-sample,
+zero-call profile — no data, no transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.histogram import Histogram
+from repro.core.profiledata import ProfileData
+from repro.lang import ast
+from repro.lang.codegen import SourceMap, generate_mapped
+from repro.lang.passes.branch import ROTATE, SWAP
+from repro.machine.isa import INSTRUCTION_SIZE, COSTS, Op
+
+#: The measured-likely arm must beat the other by this factor before a
+#: branch is reordered (hysteresis against sampling noise).
+SWAP_MARGIN = 1.25
+
+#: Minimum measured mean iterations per loop entry before rotation
+#: pays (at 1 iteration the two forms cost the same).
+ROTATE_MIN_AVG_ITERS = 2.0
+
+#: Evidence floors: a branch decision needs at least this many ticks
+#: landing in the branch's spans or this many calls through a site in
+#: them — below that the measurement is noise and the default layout
+#: stands.
+MIN_TICK_EVIDENCE = 2
+MIN_CALL_EVIDENCE = 4
+
+
+@dataclass
+class ProfileFeedback:
+    """Measured facts about one program, keyed by AST-level names.
+
+    Attributes:
+        arc_counts: dynamic calls per (caller, callee) routine pair.
+        spontaneous: calls into a routine with no recorded caller
+            (program entry, interrupted prologues).
+        self_sec: §4 per-routine self seconds.
+        total_sec: §4 per-routine self+descendants seconds.
+        cycle_groups: member tuples of every call-graph cycle, so
+            layout can keep them adjacent.
+        branch_hints: ``(function, branch ordinal) → "swap"|"rotate"``
+            decisions for the branch-order pass (exact path only).
+        total_ticks: histogram samples backing the time figures.
+        total_calls: dynamic calls backing the count figures.
+        stale: the profile does not match this program; all data is
+            advisory-only and :attr:`empty` is forced True.
+        warnings: human-readable degradation trail (why stale, what
+            was skipped).
+        profile: the underlying analyzed Profile, when the builder ran
+            the §4 pipeline (for reporting; not used by passes).
+    """
+
+    arc_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    spontaneous: dict[str, int] = field(default_factory=dict)
+    self_sec: dict[str, float] = field(default_factory=dict)
+    total_sec: dict[str, float] = field(default_factory=dict)
+    cycle_groups: list[tuple[str, ...]] = field(default_factory=list)
+    branch_hints: dict[tuple[str, int], str] = field(default_factory=dict)
+    total_ticks: int = 0
+    total_calls: int = 0
+    stale: bool = False
+    warnings: list[str] = field(default_factory=list)
+    profile: object = None
+
+    @property
+    def empty(self) -> bool:
+        """No usable measurements: stale, or zero samples and calls."""
+        return self.stale or (self.total_ticks == 0 and self.total_calls == 0)
+
+    # -- queries the passes ask ------------------------------------------
+
+    def calls_into(self, name: str) -> int:
+        """Total measured dynamic calls into ``name`` (any caller)."""
+        direct = sum(
+            count
+            for (_, callee), count in self.arc_counts.items()
+            if callee == name
+        )
+        return direct + self.spontaneous.get(name, 0)
+
+    def calls(self, caller: str, callee: str) -> int:
+        """Measured dynamic calls along one arc."""
+        return self.arc_counts.get((caller, callee), 0)
+
+    def self_seconds(self, name: str) -> float:
+        """§4 self seconds of a routine (0.0 if never sampled)."""
+        return self.self_sec.get(name, 0.0)
+
+    def total_seconds(self, name: str) -> float:
+        """§4 self+descendants seconds of a routine."""
+        return self.total_sec.get(name, 0.0)
+
+    def describe(self) -> str:
+        """One-line summary for CLI reporting."""
+        if self.stale:
+            return "stale profile (ignored): " + "; ".join(self.warnings)
+        if self.empty:
+            return "empty profile (no samples, no calls): identity transform"
+        return (
+            f"{self.total_ticks} samples, {self.total_calls} calls, "
+            f"{len(self.branch_hints)} branch hint(s), "
+            f"{len(self.cycle_groups)} cycle(s)"
+        )
+
+    # -- the exact (address-level) builder -------------------------------
+
+    @classmethod
+    def from_measurement(
+        cls,
+        program: ast.Program,
+        exe,
+        smap: SourceMap,
+        data: ProfileData,
+        cycles_per_tick: int = 100,
+        session=None,
+    ) -> "ProfileFeedback":
+        """Build feedback from a measured run of this exact program.
+
+        ``exe`` must be the profiled executable compiled from
+        ``program`` via :func:`~repro.lang.codegen.generate_mapped`
+        (whose ``smap`` this is), and ``data`` a gmon capture of a run
+        of that executable.  Mismatches are detected, not trusted.
+        """
+        fb = cls()
+        _validate(fb, program, exe, data)
+        if fb.stale:
+            return fb
+        fb.total_ticks = data.histogram.total_ticks if data.histogram else 0
+        fb.total_calls = data.total_calls
+
+        from repro.pipeline.session import ProfileSession
+
+        if session is None:
+            session = ProfileSession.from_executable(exe)
+        profile = session.analyze(data)
+        fb.profile = profile
+
+        # §4 propagation: per-routine self and self+descendant mass.
+        prop = profile.propagation
+        fb.self_sec = dict(prop.routine_self)
+        fb.total_sec = {
+            name: prop.routine_self.get(name, 0.0)
+            + prop.routine_child.get(name, 0.0)
+            for name in set(prop.routine_self) | set(prop.routine_child)
+        }
+        # Arc counts by routine-name pair, spontaneous counts aside.
+        graph = profile.graph
+        for caller in graph.nodes():
+            for callee, arc in graph.children(caller).items():
+                fb.arc_counts[(caller, callee)] = arc.count
+        for node in graph.nodes():
+            count = graph.spontaneous_calls(node)
+            if count:
+                fb.spontaneous[node] = count
+        # §4 cycles: member groups for the layout pass.
+        fb.cycle_groups = [
+            tuple(c.members) for c in profile.numbered.cycles
+        ]
+        _decide_branch_hints(fb, program, exe, smap, data, cycles_per_tick)
+        return fb
+
+
+# -- staleness validation ------------------------------------------------------
+
+
+def _validate(fb: ProfileFeedback, program, exe, data: ProfileData) -> None:
+    """Reject profiles that demonstrably came from another program."""
+    hist = data.histogram
+    if hist is not None and (
+        hist.low_pc != exe.low_pc or hist.high_pc != exe.high_pc
+    ):
+        fb.stale = True
+        fb.warnings.append(
+            f"histogram covers [{hist.low_pc:#x}, {hist.high_pc:#x}) but "
+            f"the program's text segment is "
+            f"[{exe.low_pc:#x}, {exe.high_pc:#x}): profile is from a "
+            "different program version; feedback disabled"
+        )
+        return
+    entries = {f.entry for f in exe.functions if f.profiled}
+    for arc in data.condensed_arcs():
+        if arc.self_pc not in entries:
+            fb.stale = True
+            fb.warnings.append(
+                f"arc callee {arc.self_pc:#x} is not a profiled routine "
+                "entry: profile is from a different program version; "
+                "feedback disabled"
+            )
+            return
+        if arc.from_pc == 0:
+            continue  # spontaneous (program entry / interrupted prologue)
+        idx, rem = divmod(arc.from_pc, INSTRUCTION_SIZE)
+        ins = (
+            exe.instructions[idx]
+            if rem == 0 and 0 <= idx < len(exe.instructions)
+            else None
+        )
+        if ins is None or ins.op is not Op.CALL or ins.operand != arc.self_pc:
+            fb.stale = True
+            fb.warnings.append(
+                f"arc site {arc.from_pc:#x} is not a CALL to "
+                f"{arc.self_pc:#x}: profile is from a different program "
+                "version; feedback disabled"
+            )
+            return
+    names = {fn.name for fn in program.functions}
+    image_names = {f.name for f in exe.functions}
+    if names != image_names:  # pragma: no cover - misuse guard
+        fb.stale = True
+        fb.warnings.append(
+            "executable routines do not match the program being "
+            "optimized; feedback disabled"
+        )
+
+
+# -- branch decisions ----------------------------------------------------------
+
+
+def _decide_branch_hints(
+    fb: ProfileFeedback,
+    program: ast.Program,
+    exe,
+    smap: SourceMap,
+    data: ProfileData,
+    cycles_per_tick: int,
+) -> None:
+    """Turn span mass and per-site arc counts into swap/rotate hints."""
+    hist = data.histogram
+    site_calls: dict[int, int] = {}
+    for arc in data.condensed_arcs():
+        if arc.from_pc:
+            site_calls[arc.from_pc] = site_calls.get(arc.from_pc, 0) + arc.count
+
+    for fn in program.functions:
+        fmap = smap.functions.get(fn.name)
+        if fmap is None:
+            continue
+        image_fn = exe.function_named(fn.name)
+        base = image_fn.entry + (INSTRUCTION_SIZE if image_fn.profiled else 0)
+
+        def addr_range(span) -> tuple[int, int]:
+            return (
+                base + span.start * INSTRUCTION_SIZE,
+                base + span.end * INSTRUCTION_SIZE,
+            )
+
+        def ticks(span) -> float:
+            if hist is None or not len(span):
+                return 0.0
+            return _ticks_in(hist, *addr_range(span))
+
+        def max_site(span) -> int:
+            lo, hi = addr_range(span)
+            return max(
+                (
+                    count
+                    for pc, count in site_calls.items()
+                    if lo <= pc < hi
+                ),
+                default=0,
+            )
+
+        def exec_estimate(span) -> float:
+            """How many times this span ran: the larger of its hottest
+            call site's count and its tick mass over its static cost."""
+            if not len(span):
+                return 0.0
+            cost = _span_cost(exe, *addr_range(span))
+            by_mass = (
+                ticks(span) * cycles_per_tick / cost if cost else 0.0
+            )
+            return max(float(max_site(span)), by_mass)
+
+        for br in fmap.branches:
+            if br.kind == "if":
+                if not len(br.otherwise):
+                    continue  # no else-arm: nothing to reorder
+                evidence = (
+                    ticks(br.then) + ticks(br.otherwise) >= MIN_TICK_EVIDENCE
+                    or max(max_site(br.then), max_site(br.otherwise))
+                    >= MIN_CALL_EVIDENCE
+                )
+                if not evidence:
+                    continue
+                then_w = exec_estimate(br.then)
+                else_w = exec_estimate(br.otherwise)
+                if then_w > else_w * SWAP_MARGIN:
+                    fb.branch_hints[(fn.name, br.ordinal)] = SWAP
+            else:  # while
+                evidence = (
+                    ticks(br.then) + ticks(br.cond) >= MIN_TICK_EVIDENCE
+                    or max_site(br.then) >= MIN_CALL_EVIDENCE
+                )
+                if not evidence:
+                    continue
+                entries = max(fb.calls_into(fn.name), 1)
+                body_cost = _span_cost(exe, *addr_range(br.then))
+                cond_cost = _span_cost(exe, *addr_range(br.cond))
+                per_iter = body_cost + cond_cost
+                by_mass = (
+                    (ticks(br.then) + ticks(br.cond))
+                    * cycles_per_tick
+                    / per_iter
+                    if per_iter
+                    else 0.0
+                )
+                iters = max(float(max_site(br.then)), by_mass)
+                if iters >= ROTATE_MIN_AVG_ITERS * entries:
+                    fb.branch_hints[(fn.name, br.ordinal)] = ROTATE
+
+
+def _ticks_in(hist: Histogram, lo: int, hi: int) -> float:
+    """Fractional tick mass the histogram attributes to ``[lo, hi)``.
+
+    The inverse of §3.2's apportionment: a bucket's count is spread
+    uniformly over its address range, and this sums each bucket's
+    overlap with the span.
+    """
+    width = hist.bucket_width
+    if not width or hi <= lo:
+        return 0.0
+    total = 0.0
+    first = max(0, int((lo - hist.low_pc) // width))
+    last = min(hist.num_buckets, int(-(-(hi - hist.low_pc) // width)))
+    for b in range(first, last):
+        if not hist.counts[b]:
+            continue
+        b_lo = hist.low_pc + b * width
+        b_hi = b_lo + width
+        overlap = min(hi, b_hi) - max(lo, b_lo)
+        if overlap > 0:
+            total += hist.counts[b] * overlap / width
+    return total
+
+
+def _span_cost(exe, lo: int, hi: int) -> int:
+    """Static cycle cost of one straight-line pass over ``[lo, hi)``."""
+    cost = 0
+    for idx in range(lo // INSTRUCTION_SIZE, hi // INSTRUCTION_SIZE):
+        if 0 <= idx < len(exe.instructions):
+            ins = exe.instructions[idx]
+            cost += COSTS.get(ins.op, 1)
+            if ins.op is Op.WORK:
+                cost += ins.operand
+    return cost
+
+
+# -- convenience builders ------------------------------------------------------
+
+
+def feedback_from_data(
+    source: "str | ast.Program",
+    data: ProfileData,
+    *,
+    name: str = "a.out",
+    cycles_per_tick: int = 100,
+) -> ProfileFeedback:
+    """Feedback from raw gmon data, recompiling the measured baseline.
+
+    The gmon file's addresses refer to the *unoptimized, profiled*
+    build — what ``repro-vm run prog.rl --profile`` executes — so this
+    recompiles exactly that baseline (level 0, mapped, profiled) and
+    maps the data against it.  A profile captured from any other build
+    of the source trips the staleness checks and degrades to a no-op.
+    """
+    from repro.lang.parser import parse
+    from repro.machine.assembler import assemble
+
+    program = parse(source) if isinstance(source, str) else source
+    asm, smap = generate_mapped(program)
+    exe = assemble(asm, name=name, profile=True)
+    return ProfileFeedback.from_measurement(
+        program, exe, smap, data, cycles_per_tick
+    )
+
+
+def feedback_from_profile(profile, program: ast.Program) -> ProfileFeedback:
+    """Name-level feedback from an already-analyzed Profile.
+
+    Call counts, §4 masses, and cycles map by routine name; branch
+    hints need addresses and are unavailable on this path.  A profile
+    mentioning routines this program does not define is stale.
+    """
+    fb = ProfileFeedback()
+    fb.profile = profile
+    names = {fn.name for fn in program.functions}
+    unknown = sorted(set(profile.propagation.routine_self) - names)
+    if unknown:
+        fb.stale = True
+        fb.warnings.append(
+            f"profile routines {', '.join(unknown)} are not defined by "
+            "this program: profile is from a different program version; "
+            "feedback disabled"
+        )
+        return fb
+    prop = profile.propagation
+    fb.self_sec = dict(prop.routine_self)
+    fb.total_sec = {
+        name: prop.routine_self.get(name, 0.0)
+        + prop.routine_child.get(name, 0.0)
+        for name in set(prop.routine_self) | set(prop.routine_child)
+    }
+    graph = profile.graph
+    for caller in graph.nodes():
+        for callee, arc in graph.children(caller).items():
+            fb.arc_counts[(caller, callee)] = arc.count
+    for node in graph.nodes():
+        count = graph.spontaneous_calls(node)
+        if count:
+            fb.spontaneous[node] = count
+    fb.cycle_groups = [tuple(c.members) for c in profile.numbered.cycles]
+    fb.total_calls = sum(fb.arc_counts.values()) + sum(
+        fb.spontaneous.values()
+    )
+    fb.total_ticks = round(
+        profile.total_seconds * _profrate_of(profile)
+    )
+    return fb
+
+
+def _profrate_of(profile) -> int:
+    """Best-effort tick rate for converting seconds back to samples."""
+    from repro.core.histogram import DEFAULT_PROFRATE
+
+    return DEFAULT_PROFRATE

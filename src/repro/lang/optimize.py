@@ -1,341 +1,76 @@
-"""An optimizing pass for the Rel compiler.
+"""The optimizer facade: ``optimize(program, level=…, profile=…)``.
 
-§6's first optimization is a compiler-shaped one ("If this format
-routine is expanded inline in the output routine, the overhead of a
-function call and return can be saved"), and its drawback is a
-profiling story ("the profiling will also become less useful since the
-loss of routines will make its output more granular").  This pass
-implements the standard local optimizations — constant folding,
-algebraic identities, branch pruning, dead code after return — plus
-exactly that §6 inline expansion for trivially inlinable routines, so
-the trade-off can be *measured* (see tests).
+The implementation lives in :mod:`repro.lang.passes` as a staged pass
+pipeline (const-fold, dead-code, inline, plus the profile-consuming
+branch-order / pgo-inline / hot-cold-layout passes).  This module
+keeps the stable entry point and its level semantics:
 
-The pass is AST→AST: ``optimize(program, inline=...)`` returns a new
-tree that the ordinary code generator consumes.
+* ``level=0`` — no static optimization;
+* ``level=1`` — constant folding, branch pruning, dead-code removal;
+* ``level=2`` — level 1 plus §6 inline expansion (static heuristic).
+
+Passing ``profile=`` (a :class:`~repro.lang.feedback.ProfileFeedback`)
+adds the profile-guided passes at any level: measured-benefit inlining
+replaces the static heuristic, branches reorder onto their measured
+fall-through, and functions are laid out hot-first.  Empty or stale
+feedback degrades every profile pass to a no-op, so PGO with a useless
+profile is exactly the identity transform over the static pipeline.
+
+The historical ``optimize(program, inline=True)`` spelling survives as
+a deprecated alias for ``level=2`` (one warning per process).
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import warnings
 
 from repro.lang import ast
+from repro.lang.passes import (
+    INLINE_BODY_LIMIT,  # noqa: F401  (re-exported: the historical home)
+    build_pipeline,
+    run_passes,
+)
 
-#: Cap on the body size (statements) of a routine considered for §6
-#: inline expansion.
-INLINE_BODY_LIMIT = 2
+_warned_inline_kwarg = False
 
 
-def optimize(program: ast.Program, inline: bool = False) -> ast.Program:
-    """Fold constants, prune dead branches, optionally inline.
+def optimize(
+    program: ast.Program,
+    level: int | None = None,
+    profile=None,
+    *,
+    inline: bool | None = None,
+) -> ast.Program:
+    """Optimize a parsed program; returns a new tree (input unchanged).
 
     Arguments:
         program: the parsed tree (not mutated).
-        inline: also perform §6 inline expansion of trivial routines
-            (single-``return`` bodies without calls) into their callers.
+        level: 0 (nothing), 1 (fold/prune — the default), or
+            2 (fold/prune + §6 inline expansion).
+        profile: optional measured feedback
+            (:class:`~repro.lang.feedback.ProfileFeedback`); enables
+            the profile-guided passes.
+        inline: deprecated pre-pipeline spelling — ``inline=True``
+            means ``level=2``, ``inline=False`` means ``level=1``.
     """
-    functions = [
-        replace(fn, body=tuple(_opt_stmts(fn.body))) for fn in program.functions
-    ]
-    if inline:
-        inlinable = _find_inlinable(functions)
-        functions = [
-            replace(fn, body=_inline_in(fn.body, inlinable, fn.name))
-            for fn in functions
-        ]
-        # §6: a fully-inlined routine disappears from the program (and,
-        # later, from the profile — "the loss of routines will make its
-        # output more granular").  A routine some call site could not
-        # inline (unsafe argument duplication) must of course stay.
-        still_called = set()
-        for fn in functions:
-            _collect_calls(fn.body, still_called)
-        functions = [
-            fn
-            for fn in functions
-            if fn.name == "main"
-            or fn.name not in inlinable
-            or fn.name in still_called
-        ]
-    result = ast.Program(
-        globals_=list(program.globals_),
-        arrays=dict(program.arrays),
-        functions=functions,
+    global _warned_inline_kwarg
+    if isinstance(level, bool):
+        # The historical positional call optimize(program, True).
+        inline, level = level, None
+    if inline is not None:
+        if not _warned_inline_kwarg:
+            warnings.warn(
+                "optimize(program, inline=...) is deprecated; use "
+                "optimize(program, level=2) (or level=1 for inline=False)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            _warned_inline_kwarg = True
+        if level is None:
+            level = 2 if inline else 1
+    if level is None:
+        level = 1
+    optimized, _traces = run_passes(
+        program, build_pipeline(level, profile), profile
     )
-    return result
-
-
-# -- constant folding ----------------------------------------------------------
-
-
-def _opt_stmts(stmts) -> list[ast.Stmt]:
-    out: list[ast.Stmt] = []
-    for stmt in stmts:
-        folded = _opt_stmt(stmt)
-        out.extend(folded)
-        if folded and isinstance(folded[-1], ast.Return):
-            break  # §: code after return is unreachable
-    return out
-
-
-def _opt_stmt(stmt: ast.Stmt) -> list[ast.Stmt]:
-    if isinstance(stmt, ast.Assign):
-        return [replace(stmt, value=_fold(stmt.value))]
-    if isinstance(stmt, ast.AssignIndex):
-        return [
-            replace(stmt, index=_fold(stmt.index), value=_fold(stmt.value))
-        ]
-    if isinstance(stmt, ast.If):
-        cond = _fold(stmt.cond)
-        then = tuple(_opt_stmts(stmt.then))
-        otherwise = tuple(_opt_stmts(stmt.otherwise))
-        if isinstance(cond, ast.Num):
-            return list(then if cond.value != 0 else otherwise)
-        return [ast.If(cond, then, otherwise, stmt.line)]
-    if isinstance(stmt, ast.While):
-        cond = _fold(stmt.cond)
-        if isinstance(cond, ast.Num) and cond.value == 0:
-            return []  # while(0): gone
-        return [ast.While(cond, tuple(_opt_stmts(stmt.body)), stmt.line)]
-    if isinstance(stmt, ast.Return):
-        value = _fold(stmt.value) if stmt.value is not None else None
-        return [ast.Return(value, stmt.line)]
-    if isinstance(stmt, ast.Print):
-        return [ast.Print(_fold(stmt.value), stmt.line)]
-    if isinstance(stmt, ast.ExprStmt):
-        value = _fold(stmt.value)
-        if isinstance(value, (ast.Num, ast.Var)):
-            return []  # effect-free statement: gone
-        return [ast.ExprStmt(value, stmt.line)]
-    return [stmt]  # Burn
-
-
-def _fold(expr: ast.Expr) -> ast.Expr:
-    if isinstance(expr, ast.Unary):
-        operand = _fold(expr.operand)
-        if isinstance(operand, ast.Num):
-            if expr.op == "-":
-                return ast.Num(-operand.value, expr.line)
-            return ast.Num(int(operand.value == 0), expr.line)
-        return replace(expr, operand=operand)
-    if isinstance(expr, ast.Binary):
-        left, right = _fold(expr.left), _fold(expr.right)
-        folded = _fold_binary(expr.op, left, right, expr.line)
-        if folded is not None:
-            return folded
-        return replace(expr, left=left, right=right)
-    if isinstance(expr, ast.Index):
-        return replace(expr, index=_fold(expr.index))
-    if isinstance(expr, ast.Call):
-        return replace(expr, args=tuple(_fold(a) for a in expr.args))
-    return expr
-
-
-def _fold_binary(op, left, right, line) -> ast.Expr | None:
-    lnum = left.value if isinstance(left, ast.Num) else None
-    rnum = right.value if isinstance(right, ast.Num) else None
-    if lnum is not None and rnum is not None:
-        if op in ("/", "%") and rnum == 0:
-            return None  # leave the fault to run time
-        value = {
-            "+": lambda: lnum + rnum,
-            "-": lambda: lnum - rnum,
-            "*": lambda: lnum * rnum,
-            "/": lambda: _trunc(lnum, rnum),
-            "%": lambda: lnum - _trunc(lnum, rnum) * rnum,
-            "==": lambda: int(lnum == rnum),
-            "!=": lambda: int(lnum != rnum),
-            "<": lambda: int(lnum < rnum),
-            "<=": lambda: int(lnum <= rnum),
-            ">": lambda: int(lnum > rnum),
-            ">=": lambda: int(lnum >= rnum),
-            "&&": lambda: int(bool(lnum) and bool(rnum)),
-            "||": lambda: int(bool(lnum) or bool(rnum)),
-        }[op]()
-        return ast.Num(value, line)
-    # algebraic identities (only ones safe without effect analysis:
-    # the surviving operand is still evaluated)
-    if op == "+" and rnum == 0:
-        return left
-    if op == "+" and lnum == 0:
-        return right
-    if op == "-" and rnum == 0:
-        return left
-    if op == "*" and rnum == 1:
-        return left
-    if op == "*" and lnum == 1:
-        return right
-    return None
-
-
-def _trunc(a: int, b: int) -> int:
-    q = a // b
-    if q < 0 and q * b != a:
-        q += 1
-    return q
-
-
-# -- §6 inline expansion ----------------------------------------------------------
-
-
-def _find_inlinable(functions) -> dict[str, ast.Function]:
-    """Routines whose whole body is one call-free ``return expr``."""
-    table = {}
-    for fn in functions:
-        if fn.name == "main" or len(fn.body) > INLINE_BODY_LIMIT:
-            continue
-        if (
-            len(fn.body) == 1
-            and isinstance(fn.body[0], ast.Return)
-            and fn.body[0].value is not None
-            and _call_free(fn.body[0].value)
-        ):
-            table[fn.name] = fn
-    return table
-
-
-def _call_free(expr: ast.Expr) -> bool:
-    if isinstance(expr, ast.Call):
-        return False
-    if isinstance(expr, ast.Binary):
-        return _call_free(expr.left) and _call_free(expr.right)
-    if isinstance(expr, ast.Unary):
-        return _call_free(expr.operand)
-    if isinstance(expr, ast.Index):
-        return _call_free(expr.index)
-    return True
-
-
-def _safe_to_substitute(fn: ast.Function, args) -> bool:
-    """Substitution duplicates argument expressions; that is safe only
-    when every multiply-used parameter receives a *simple* argument (a
-    variable or literal — no work, no effects to duplicate)."""
-    counts = {p: 0 for p in fn.params}
-    _count_uses(fn.body[0].value, counts)
-    for param, arg in zip(fn.params, args):
-        if counts[param] > 1 and not isinstance(arg, (ast.Var, ast.Num)):
-            return False
-    return True
-
-
-def _collect_calls(node, names: set) -> None:
-    """Accumulate every function name called anywhere under ``node``."""
-    if isinstance(node, (tuple, list)):
-        for item in node:
-            _collect_calls(item, names)
-    elif isinstance(node, ast.Call):
-        names.add(node.name)
-        for arg in node.args:
-            _collect_calls(arg, names)
-    elif isinstance(node, ast.Binary):
-        _collect_calls(node.left, names)
-        _collect_calls(node.right, names)
-    elif isinstance(node, ast.Unary):
-        _collect_calls(node.operand, names)
-    elif isinstance(node, ast.Index):
-        _collect_calls(node.index, names)
-    elif isinstance(node, ast.Assign):
-        _collect_calls(node.value, names)
-    elif isinstance(node, ast.AssignIndex):
-        _collect_calls(node.index, names)
-        _collect_calls(node.value, names)
-    elif isinstance(node, ast.If):
-        _collect_calls(node.cond, names)
-        _collect_calls(node.then, names)
-        _collect_calls(node.otherwise, names)
-    elif isinstance(node, ast.While):
-        _collect_calls(node.cond, names)
-        _collect_calls(node.body, names)
-    elif isinstance(node, ast.Return) and node.value is not None:
-        _collect_calls(node.value, names)
-    elif isinstance(node, (ast.Print, ast.ExprStmt)):
-        _collect_calls(node.value, names)
-
-
-def _count_uses(expr, counts) -> None:
-    if isinstance(expr, ast.Var) and expr.name in counts:
-        counts[expr.name] += 1
-    elif isinstance(expr, ast.Binary):
-        _count_uses(expr.left, counts)
-        _count_uses(expr.right, counts)
-    elif isinstance(expr, ast.Unary):
-        _count_uses(expr.operand, counts)
-    elif isinstance(expr, ast.Index):
-        _count_uses(expr.index, counts)
-    elif isinstance(expr, ast.Call):
-        for arg in expr.args:
-            _count_uses(arg, counts)
-
-
-def _inline_in(stmts, inlinable, current: str):
-    return tuple(_inline_stmt(s, inlinable, current) for s in stmts)
-
-
-def _inline_stmt(stmt, inlinable, current):
-    sub = lambda e: _inline_expr(e, inlinable, current)  # noqa: E731
-    if isinstance(stmt, ast.Assign):
-        return replace(stmt, value=sub(stmt.value))
-    if isinstance(stmt, ast.AssignIndex):
-        return replace(stmt, index=sub(stmt.index), value=sub(stmt.value))
-    if isinstance(stmt, ast.If):
-        return ast.If(
-            sub(stmt.cond),
-            _inline_in(stmt.then, inlinable, current),
-            _inline_in(stmt.otherwise, inlinable, current),
-            stmt.line,
-        )
-    if isinstance(stmt, ast.While):
-        return ast.While(
-            sub(stmt.cond), _inline_in(stmt.body, inlinable, current), stmt.line
-        )
-    if isinstance(stmt, ast.Return):
-        return replace(
-            stmt, value=sub(stmt.value) if stmt.value is not None else None
-        )
-    if isinstance(stmt, ast.Print):
-        return replace(stmt, value=sub(stmt.value))
-    if isinstance(stmt, ast.ExprStmt):
-        return replace(stmt, value=sub(stmt.value))
-    return stmt
-
-
-def _inline_expr(expr, inlinable, current):
-    sub = lambda e: _inline_expr(e, inlinable, current)  # noqa: E731
-    if isinstance(expr, ast.Call):
-        args = tuple(sub(a) for a in expr.args)
-        target = inlinable.get(expr.name)
-        if (
-            target is not None
-            and expr.name != current
-            and _safe_to_substitute(target, args)
-        ):
-            body_expr = target.body[0].value
-            mapping = dict(zip(target.params, args))
-            return _substitute(body_expr, mapping)
-        return replace(expr, args=args)
-    if isinstance(expr, ast.Binary):
-        return replace(expr, left=sub(expr.left), right=sub(expr.right))
-    if isinstance(expr, ast.Unary):
-        return replace(expr, operand=sub(expr.operand))
-    if isinstance(expr, ast.Index):
-        return replace(expr, index=sub(expr.index))
-    return expr
-
-
-def _substitute(expr, mapping):
-    if isinstance(expr, ast.Var) and expr.name in mapping:
-        return mapping[expr.name]
-    if isinstance(expr, ast.Binary):
-        return replace(
-            expr,
-            left=_substitute(expr.left, mapping),
-            right=_substitute(expr.right, mapping),
-        )
-    if isinstance(expr, ast.Unary):
-        return replace(expr, operand=_substitute(expr.operand, mapping))
-    if isinstance(expr, ast.Index):
-        return replace(expr, index=_substitute(expr.index, mapping))
-    if isinstance(expr, ast.Call):
-        return replace(
-            expr, args=tuple(_substitute(a, mapping) for a in expr.args)
-        )
-    return expr
+    return optimized

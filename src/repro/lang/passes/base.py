@@ -1,0 +1,65 @@
+"""The pass protocol: the compiler's analogue of the pipeline stages.
+
+``repro.pipeline.stages`` taught the analysis side to run as named
+stages with declared inputs and outputs; the compiler now follows the
+same discipline.  A :class:`Pass` is AST → AST, never mutating its
+input, and declares what it ``requires`` from and ``provides`` to the
+pipeline so :func:`repro.lang.passes.run_passes` can reject a
+mis-ordered pipeline instead of silently miscompiling.
+
+A pass that consumes measured feedback sets ``profile = True``; such
+passes must be no-ops when the feedback is missing, empty (zero
+samples and zero calls), or stale (from a different program version) —
+that contract is what makes PGO safe to apply unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+
+
+class Pass:
+    """One AST → AST transformation.
+
+    Class attributes:
+        name: the pass's stable identifier (appears in traces and CLI
+            reports).
+        requires: facts that must have been provided by earlier passes.
+        provides: facts this pass establishes for later ones.
+        profile: True for passes that consume measured feedback.
+    """
+
+    name = "?"
+    requires: tuple[str, ...] = ()
+    provides: tuple[str, ...] = ()
+    profile = False
+
+    def run(
+        self, program: ast.Program, feedback, counters: dict
+    ) -> ast.Program:
+        """Return the transformed program (input is never mutated)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def feedback_active(feedback) -> bool:
+        """Whether ``feedback`` carries usable measurements.
+
+        ``None``, stale, and zero-sample feedback all count as absent,
+        so every profile pass degrades to the identity transform on
+        bad input instead of guessing.
+        """
+        return feedback is not None and not feedback.empty
+
+
+@dataclass
+class PassTrace:
+    """What one pass did: its name and its work counters."""
+
+    name: str
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        work = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        return f"{self.name}({work})"

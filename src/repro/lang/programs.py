@@ -115,6 +115,37 @@ func main() {{
 """
 
 
+def classify(rounds: int = 300) -> str:
+    """Skewed branching: the common if-arm sits on the taken-jump path.
+
+    Seven in eight values are "ordinary" — but the source spells the
+    ordinary case as the *then*-arm, which the default lowering makes
+    pay a join jump on every execution.  A measured profile tells the
+    branch-ordering pass to put the common arm on the fall-through
+    path instead; static analysis cannot know which arm that is.
+    """
+    return f"""
+func weigh(v) {{
+    if (v % 8 != 0) {{
+        burn 6;
+        return v;
+    }} else {{
+        burn 45;
+        return v * 2;
+    }}
+}}
+func main() {{
+    total = 0;
+    i = 1;
+    while (i <= {rounds}) {{
+        total = total + weigh(i);
+        i = i + 1;
+    }}
+    print total;
+}}
+"""
+
+
 #: Registry, like :data:`repro.machine.programs.PROGRAMS`.
 REL_PROGRAMS: dict[str, Callable[..., str]] = {
     "fib": fib,
@@ -122,4 +153,5 @@ REL_PROGRAMS: dict[str, Callable[..., str]] = {
     "abstraction": abstraction,
     "sieve": sieve,
     "gcd_chain": gcd_chain,
+    "classify": classify,
 }

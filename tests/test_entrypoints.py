@@ -17,6 +17,7 @@ CLI_MODULES = {
     "repro-stacks": "repro.cli.stacks_cli",
     "repro-check": "repro.cli.check_cli",
     "repro-merge": "repro.cli.merge_cli",
+    "repro-pgo": "repro.cli.pgo_cli",
 }
 
 

@@ -1,0 +1,185 @@
+"""End-to-end tests for the closed §6 loop: run_pgo and its CLIs."""
+
+import json
+
+import pytest
+
+from repro.lang import run_pgo
+from repro.lang.programs import REL_PROGRAMS
+from repro.machine import CPU, assemble
+
+#: Programs the loop demonstrably speeds up (the benchmark gate's
+#: ">= 3 strictly faster" census draws from these).
+IMPROVING = ("abstraction", "gcd_chain", "sieve", "classify")
+
+
+def plain_run(asm: str):
+    cpu = CPU(assemble(asm))
+    cpu.run()
+    return cpu
+
+
+class TestRunPgo:
+    @pytest.mark.parametrize("name", IMPROVING)
+    def test_strictly_fewer_cycles(self, name):
+        result = run_pgo(REL_PROGRAMS[name](), name=name)
+        assert result.identical
+        assert result.cycles_final < result.cycles_baseline
+
+    @pytest.mark.parametrize("name", sorted(REL_PROGRAMS))
+    def test_behaviour_preserved_everywhere(self, name):
+        result = run_pgo(REL_PROGRAMS[name](), name=name, rounds=2)
+        assert result.identical
+        # the honest re-run of the final assembly agrees too
+        cpu = plain_run(result.asm)
+        assert list(cpu.output) == result.output
+        assert cpu.cycles == result.cycles_final
+
+    def test_byte_deterministic_for_fixed_source(self):
+        a = run_pgo(REL_PROGRAMS["classify"](), rounds=2)
+        b = run_pgo(REL_PROGRAMS["classify"](), rounds=2)
+        assert a.asm == b.asm
+        assert a.cycles_final == b.cycles_final
+
+    def test_never_slower_than_baseline(self):
+        for name in sorted(REL_PROGRAMS):
+            result = run_pgo(REL_PROGRAMS[name](), name=name)
+            assert result.cycles_final <= result.cycles_baseline, name
+
+    def test_second_round_converges(self):
+        # once the rewrite happened, re-measuring finds nothing new on
+        # these small programs: the loop is a fixed point, not a churn.
+        result = run_pgo(REL_PROGRAMS["classify"](), rounds=2)
+        assert result.rounds[1].saved == 0
+
+    def test_bottleneck_is_the_hot_routine(self):
+        result = run_pgo(REL_PROGRAMS["abstraction"]())
+        assert result.bottleneck in {"format1", "format2", "write"}
+
+    def test_transform_shapes(self):
+        # classify: the skewed if gets swapped; sieve: the inner
+        # marking loop gets rotated.
+        classify = run_pgo(REL_PROGRAMS["classify"]())
+        assert classify.rounds[0].counters.get(
+            "branch-order.reordered_ifs", 0
+        ) >= 1
+        sieve = run_pgo(REL_PROGRAMS["sieve"]())
+        assert sieve.rounds[0].counters.get(
+            "branch-order.rotated_loops", 0
+        ) >= 1
+
+    def test_rounds_must_be_positive(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="at least one round"):
+            run_pgo(REL_PROGRAMS["fib"](), rounds=0)
+
+
+class TestVmCliPgo:
+    def _write_source(self, tmp_path, name="classify"):
+        path = tmp_path / f"{name}.rl"
+        path.write_text(REL_PROGRAMS[name](), encoding="utf-8")
+        return str(path)
+
+    def test_profile_then_pgo(self, tmp_path, capsys):
+        from repro.cli.vm_cli import main
+
+        src = self._write_source(tmp_path)
+        gmon = str(tmp_path / "gmon.out")
+        assert main(["run", src, "--profile", "--gmon", gmon]) == 0
+        profiled = capsys.readouterr().out
+        assert main(["run", src, "--pgo", gmon]) == 0
+        optimized = capsys.readouterr().out
+        assert "pgo:" in optimized
+        assert "branch hint" in optimized
+        # same printed program output either way
+        assert profiled.splitlines()[0].split("output")[-1] == \
+            optimized.splitlines()[1].split("output")[-1]
+
+    def test_pgo_needs_rel_source(self, tmp_path, capsys):
+        from repro.cli.vm_cli import main
+
+        assert main(["run", "fib", "--pgo", "nope.out"]) == 1
+        assert "Rel source" in capsys.readouterr().err
+
+    def test_stale_gmon_degrades_with_warning(self, tmp_path, capsys):
+        from repro.cli.vm_cli import main
+
+        classify = self._write_source(tmp_path, "classify")
+        sieve = self._write_source(tmp_path, "sieve")
+        gmon = str(tmp_path / "gmon.out")
+        assert main(["run", classify, "--profile", "--gmon", gmon]) == 0
+        capsys.readouterr()
+        # wrong program: must still run, flagged, with baseline layout
+        assert main(["run", sieve, "--pgo", gmon]) == 0
+        out = capsys.readouterr().out
+        assert "stale profile (ignored)" in out
+
+
+class TestPgoCli:
+    def test_list(self, capsys):
+        from repro.cli.pgo_cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "classify" in out and "sieve" in out
+
+    def test_canned_program_report(self, capsys):
+        from repro.cli.pgo_cli import main
+
+        assert main(["classify", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "round 1:" in out and "round 2:" in out
+        assert "behaviour identical" in out
+        assert "total:" in out
+
+    def test_json_report(self, capsys):
+        from repro.cli.pgo_cli import main
+
+        assert main(["sieve", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["identical"] is True
+        assert blob["cycles_final"] < blob["cycles_baseline"]
+        assert blob["rounds"][0]["hints"] >= 1
+
+    def test_artifacts_written(self, tmp_path, capsys):
+        from repro.cli.pgo_cli import main
+        from repro.machine import Executable
+
+        out = str(tmp_path / "classify.vmexe")
+        asm = str(tmp_path / "classify.s")
+        assert main(["classify", "--out", out, "--asm", asm]) == 0
+        capsys.readouterr()
+        exe = Executable.load(out)
+        cpu = CPU(exe)
+        cpu.run()
+        text = (tmp_path / "classify.s").read_text(encoding="utf-8")
+        assert text.startswith(".") or ".func" in text
+
+    def test_unknown_source_fails(self, capsys):
+        from repro.cli.pgo_cli import main
+
+        assert main(["no_such_program"]) == 1
+        assert "neither" in capsys.readouterr().err
+
+    def test_missing_source_fails(self, capsys):
+        from repro.cli.pgo_cli import main
+
+        assert main([]) == 1
+
+
+class TestPgoOutputPassesChecker:
+    @pytest.mark.parametrize("name", sorted(REL_PROGRAMS))
+    def test_check_strict_flow_clean(self, name, tmp_path, capsys):
+        """Every PGO'd program must satisfy the static checker's full
+        strict battery — the optimizer may not emit shapes the flow
+        analysis can't prove."""
+        from repro.cli.check_cli import main as check_main
+        from repro.cli.pgo_cli import main as pgo_main
+
+        out = str(tmp_path / f"{name}.vmexe")
+        assert pgo_main([name, "--out", out, "--instrumented"]) == 0
+        capsys.readouterr()
+        assert check_main(["--strict", "--flow", out]) == 0, (
+            capsys.readouterr().out
+        )

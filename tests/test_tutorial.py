@@ -131,5 +131,5 @@ class TestTutorialSteps:
         assert commands <= {
             "repro-vm", "repro-gprof", "repro-prof",
             "repro-kgmon", "repro-stacks", "repro-check", "repro-merge",
-            "repro-serve", "repro-agent",
+            "repro-serve", "repro-agent", "repro-pgo",
         }
